@@ -1,0 +1,283 @@
+// Benchmarks regenerating the paper's figures as testing.B targets (the
+// cmd/lamellar-bench CLI produces the full tables; these provide
+// `go test -bench` entry points plus micro-benchmarks of the stack's
+// layers). Wall-clock numbers here reflect the simulator host; the
+// figure-shaped outputs come from the CLI's modeled metric.
+package lamellar_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	lamellar "repro"
+	"repro/internal/bale/kernels"
+	"repro/internal/fabric"
+	"repro/internal/memregion"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/serde"
+)
+
+// benchParams keeps kernel benchmarks fast enough for -bench runs.
+var benchParams = kernels.Params{
+	TablePerPE:   1000,
+	UpdatesPerPE: 20_000,
+	BufItems:     2_000,
+	DartsPerPE:   10_000,
+	TargetFactor: 2,
+	Seed:         0xBA1E,
+}
+
+func benchWorldCfg(pes int) runtime.Config {
+	return runtime.Config{PEs: pes, WorkersPerPE: 2, Lamellae: runtime.LamellaeSim}
+}
+
+// runKernelBench executes a collective kernel b.N times inside one world.
+func runKernelBench(b *testing.B, pes int, fn kernels.KernelFunc) {
+	b.Helper()
+	err := runtime.Run(benchWorldCfg(pes), func(w *runtime.World) {
+		for i := 0; i < b.N; i++ {
+			if kerr := fn(w, benchParams, nil); kerr != nil {
+				panic(kerr)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(benchParams.UpdatesPerPE*pes*b.N), "updates")
+}
+
+// ----- Fig. 2: put-like bandwidth -----------------------------------------
+
+func BenchmarkFig2PutBandwidth(b *testing.B) {
+	const size = 64 << 10
+	methods := []struct {
+		name string
+		run  func(w *runtime.World, buf []uint8, n int)
+	}{
+		{"rofi", func(w *runtime.World, buf []uint8, n int) {
+			seg := w.Provider().AllocSegment(size, 0)
+			defer w.Provider().FreeSegment(seg)
+			for i := 0; i < n; i++ {
+				w.Provider().Put(0, 1, seg, 0, buf)
+			}
+		}},
+		{"memregion", func(w *runtime.World, buf []uint8, n int) {
+			reg := fabric.AllocTyped[uint8](w.Provider(), size)
+			sh := memregion.NewShared(w.Provider(), reg, 0)
+			for i := 0; i < n; i++ {
+				sh.Put(1, 0, buf)
+			}
+		}},
+	}
+	for _, m := range methods {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			err := runtime.Run(benchWorldCfg(2), func(w *runtime.World) {
+				if w.MyPE() != 0 {
+					return
+				}
+				buf := make([]uint8, size)
+				b.ResetTimer()
+				m.run(w, buf, b.N)
+				b.StopTimer()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(size)
+		})
+	}
+}
+
+func BenchmarkFig2ArrayPut(b *testing.B) {
+	const size = 64 << 10
+	kindsUnderTest := []string{"unsafe-unchecked", "unsafe", "locallock", "atomic"}
+	for _, kind := range kindsUnderTest {
+		kind := kind
+		b.Run(kind, func(b *testing.B) {
+			err := runtime.Run(benchWorldCfg(2), func(w *runtime.World) {
+				buf := make([]uint8, size)
+				switch kind {
+				case "unsafe-unchecked", "unsafe":
+					a := lamellar.NewUnsafeArray[uint8](w.Team(), 2*size, lamellar.Block)
+					defer a.Drop()
+					if w.MyPE() == 0 {
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if kind == "unsafe-unchecked" {
+								a.PutUnchecked(size, buf)
+							} else {
+								a.Put(size, buf)
+							}
+						}
+						w.WaitAll()
+						b.StopTimer()
+					}
+				case "locallock":
+					a := lamellar.NewLocalLockArray[uint8](w.Team(), 2*size, lamellar.Block)
+					defer a.Drop()
+					if w.MyPE() == 0 {
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							a.Put(size, buf)
+						}
+						w.WaitAll()
+						b.StopTimer()
+					}
+				case "atomic":
+					a := lamellar.NewAtomicArray[uint8](w.Team(), 2*size, lamellar.Block)
+					defer a.Drop()
+					if w.MyPE() == 0 {
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							a.Put(size, buf)
+						}
+						w.WaitAll()
+						b.StopTimer()
+					}
+				}
+				w.Barrier()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(size)
+		})
+	}
+}
+
+// ----- Fig. 3: Histogram ----------------------------------------------------
+
+func BenchmarkFig3Histogram(b *testing.B) {
+	for _, name := range []string{"exstack", "exstack2", "conveyor", "selector", "chapel", "lamellar-am", "lamellar-array"} {
+		name := name
+		b.Run(name, func(b *testing.B) { runKernelBench(b, 4, kernels.Histogram[name]) })
+	}
+}
+
+// ----- Fig. 4: IndexGather ---------------------------------------------------
+
+func BenchmarkFig4IndexGather(b *testing.B) {
+	for _, name := range []string{"exstack", "exstack2", "conveyor", "selector", "chapel", "lamellar-am", "lamellar-array"} {
+		name := name
+		b.Run(name, func(b *testing.B) { runKernelBench(b, 4, kernels.IndexGather[name]) })
+	}
+}
+
+// ----- Fig. 5: Randperm -------------------------------------------------------
+
+func BenchmarkFig5Randperm(b *testing.B) {
+	for _, name := range []string{"exstack", "exstack2", "conveyor", "selector", "array-darts", "am-dart", "am-dart-opt", "am-push"} {
+		name := name
+		b.Run(name, func(b *testing.B) { runKernelBench(b, 4, kernels.Randperm[name]) })
+	}
+}
+
+// ----- layer micro-benchmarks -------------------------------------------------
+
+func BenchmarkSerdeEncodeDecode(b *testing.B) {
+	vals := make([]uint64, 1024)
+	for i := range vals {
+		vals[i] = uint64(i * 31)
+	}
+	enc := serde.NewEncoder(16 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		serde.EncodeSlice(enc, vals)
+		out := serde.DecodeSlice[uint64](serde.NewDecoder(enc.Bytes()))
+		if len(out) != 1024 {
+			b.Fatal("bad round trip")
+		}
+	}
+	b.SetBytes(8 * 1024)
+}
+
+func BenchmarkSchedulerSubmit(b *testing.B) {
+	p := scheduler.NewPool(4)
+	defer p.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.Submit(func() {})
+		}
+	})
+	p.Quiesce()
+}
+
+func BenchmarkAMRoundTrip(b *testing.B) {
+	err := runtime.Run(benchWorldCfg(2), func(w *runtime.World) {
+		if w.MyPE() != 0 {
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := runtime.BlockOn(w, w.ExecAMReturn(1, &echoBench{X: uint64(i)})); err != nil {
+				panic(err)
+			}
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+type echoBench struct{ X uint64 }
+
+func (a *echoBench) MarshalLamellar(e *serde.Encoder)         { e.PutUvarint(a.X) }
+func (a *echoBench) UnmarshalLamellar(d *serde.Decoder) error { a.X = d.Uvarint(); return d.Err() }
+func (a *echoBench) Exec(ctx *runtime.Context) any            { return a.X }
+
+func init() { runtime.RegisterAM[echoBench]("bench.echo") }
+
+func BenchmarkBarrier(b *testing.B) {
+	err := runtime.Run(benchWorldCfg(4), func(w *runtime.World) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Barrier()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTeamAllReduce(b *testing.B) {
+	err := runtime.Run(benchWorldCfg(8), func(w *runtime.World) {
+		for i := 0; i < b.N; i++ {
+			if got := w.Team().SumU64(1); got != 8 {
+				panic(fmt.Sprintf("sum = %d", got))
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAtomicArrayBatchAdd(b *testing.B) {
+	const tableLen = 8192
+	err := runtime.Run(benchWorldCfg(4), func(w *runtime.World) {
+		a := lamellar.NewAtomicArray[uint64](w.Team(), tableLen, lamellar.Block)
+		defer a.Drop()
+		rng := rand.New(rand.NewSource(int64(w.MyPE())))
+		idxs := make([]int, 4096)
+		for i := range idxs {
+			idxs[i] = rng.Intn(tableLen)
+		}
+		w.Barrier()
+		for i := 0; i < b.N; i++ {
+			if _, err := runtime.BlockOn(w, a.BatchAdd(idxs, 1)); err != nil {
+				panic(err)
+			}
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(4096*4, "updates/op")
+}

@@ -1,0 +1,45 @@
+// Command lamellar-trace runs one kernel implementation under a fabric
+// trace hook and prints its communication profile: operation counts, a
+// message-size histogram, and the PE×PE traffic matrix. Use it to see
+// why an implementation performs the way it does (e.g. the Conveyors
+// two-hop matrix vs. Exstack's dense all-to-all).
+//
+//	lamellar-trace -kernel histo -impl lamellar-am -cores 16
+//	lamellar-trace -kernel randperm -impl conveyor -cores 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bale/kernels"
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "histo", "histo | ig | randperm")
+		impl    = flag.String("impl", "lamellar-am", "implementation name (see lamellar-bench)")
+		cores   = flag.Int("cores", 16, "core count")
+		updates = flag.Int("updates", 20_000, "updates/requests per core")
+		bufI    = flag.Int("buf", 2_000, "aggregation buffer limit in operations")
+		workers = flag.Int("workers", 4, "threads per multithreaded PE")
+	)
+	flag.Parse()
+	cfg := bench.KernelFigConfig{
+		Params: kernels.Params{
+			TablePerPE:   1000,
+			UpdatesPerPE: *updates,
+			BufItems:     *bufI,
+			DartsPerPE:   *updates / 2,
+			TargetFactor: 2,
+			Seed:         0xBA1E,
+		},
+		WorkersPerPE: *workers,
+	}
+	if err := bench.RunTrace(*kernel, *impl, *cores, cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lamellar-trace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: the paper's Listing 1 "Hello World" translated to the Go
+// reproduction. A HelloWorldAM is launched on every PE (exec_am_all), the
+// local PE blocks on the request, and PEs other than 0 additionally send
+// an AM to PE0 and wait for all their launches (wait_all). Run prints one
+// line per PE plus one line per non-zero PE executed on PE0.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lamellar "repro"
+)
+
+// HelloWorldAM carries a name and prints where it executes — the analogue
+// of the #[AmData] struct in Listing 1.
+type HelloWorldAM struct {
+	Name string
+}
+
+// MarshalLamellar / UnmarshalLamellar play the role of the derive macros.
+func (a *HelloWorldAM) MarshalLamellar(e *lamellar.Encoder) { e.PutString(a.Name) }
+
+// UnmarshalLamellar decodes the AM on the destination PE.
+func (a *HelloWorldAM) UnmarshalLamellar(d *lamellar.Decoder) error {
+	a.Name = d.String()
+	return d.Err()
+}
+
+// Exec is the `async fn exec(self)` body.
+func (a *HelloWorldAM) Exec(ctx *lamellar.Context) any {
+	fmt.Printf("PE%d: hello %s!\n", ctx.CurrentPE(), a.Name)
+	return nil
+}
+
+func init() {
+	lamellar.RegisterAM[HelloWorldAM]("examples.HelloWorldAM")
+}
+
+func main() {
+	cfg := lamellar.Config{PEs: 4, Lamellae: lamellar.LamellaeSim}
+	err := lamellar.Run(cfg, func(world *lamellar.World) {
+		am := &HelloWorldAM{Name: "World"}
+		req := world.ExecAMAllReturn(am) // all PEs
+		if _, err := lamellar.BlockOn(world, req); err != nil {
+			panic(err)
+		}
+		world.Barrier() // global sync
+
+		if world.MyPE() != 0 {
+			am := &HelloWorldAM{Name: fmt.Sprintf("World2 from PE%d", world.MyPE())}
+			world.ExecAM(0, am) // send to PE0
+			world.WaitAll()     // only blocks the local PE
+		}
+		// No explicit finalize: Run keeps every PE serving AMs until the
+		// whole world is quiescent, like dropping `world` in Rust.
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

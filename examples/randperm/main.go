@@ -1,0 +1,92 @@
+// Randperm: the paper's "Array Darts" variant (§IV-B3) — build a random
+// permutation of 0..N·P-1 by throwing darts at an AtomicArray with
+// batch_compare_exchange and collecting the stuck darts with the
+// distributed Collect iterator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	lamellar "repro"
+)
+
+const (
+	dartsPerPE   = 100_000
+	targetFactor = 2 // target array is 2x the permutation (paper)
+)
+
+func main() {
+	cfg := lamellar.Config{PEs: 4, WorkersPerPE: 2, Lamellae: lamellar.LamellaeSim}
+	err := lamellar.Run(cfg, func(world *lamellar.World) {
+		pes := world.NumPEs()
+		targetLen := dartsPerPE * targetFactor * pes
+		target := lamellar.NewAtomicArray[uint64](world.Team(), targetLen, lamellar.Block)
+
+		// my darts: values rank*N .. rank*N+N-1, stored +1 (0 = empty slot)
+		pending := make([]uint64, dartsPerPE)
+		for i := range pending {
+			pending[i] = uint64(world.MyPE()*dartsPerPE + i)
+		}
+		rng := rand.New(rand.NewSource(int64(world.MyPE()) + 99))
+
+		world.Barrier()
+		timer := time.Now()
+		rounds := 0
+		for {
+			rounds++
+			idxs := make([]int, len(pending))
+			news := make([]uint64, len(pending))
+			for i, dart := range pending {
+				idxs[i] = rng.Intn(targetLen)
+				news[i] = dart + 1
+			}
+			prevs, err := lamellar.BlockOn(world, target.BatchCompareExchange(idxs, 0, news))
+			if err != nil {
+				panic(err)
+			}
+			var failed []uint64
+			for i, prev := range prevs {
+				if prev != 0 {
+					failed = append(failed, pending[i])
+				}
+			}
+			pending = failed
+			if world.Team().SumU64(uint64(len(pending))) == 0 {
+				break
+			}
+		}
+		world.Barrier()
+		if world.MyPE() == 0 {
+			fmt.Printf("all darts stuck after %d rounds in %v\n", rounds, time.Since(timer))
+		}
+
+		// Collect the permutation: filter stuck slots, map back to values.
+		it := lamellar.MapIter(
+			target.DistIter().Filter(func(v uint64) bool { return v != 0 }),
+			func(v uint64) uint64 { return v - 1 })
+		local, err := it.Collect().Await()
+		if err != nil {
+			panic(err)
+		}
+		var sum uint64
+		for _, v := range local {
+			sum += v
+		}
+		total := uint64(dartsPerPE * pes)
+		gsum := world.Team().SumU64(sum)
+		if want := total * (total - 1) / 2; gsum != want {
+			panic(fmt.Sprintf("permutation checksum %d != %d", gsum, want))
+		}
+		if world.MyPE() == 0 {
+			fmt.Printf("permutation of %d values verified (checksum ok)\n", total)
+		}
+		world.Barrier()
+		target.Drop()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

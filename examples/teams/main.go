@@ -1,0 +1,69 @@
+// Teams: sub-teams, team-scoped active messages and collectives (§III of
+// the paper: "Team - A subset of PEs in the world; sub-teams are
+// supported"). The world splits into even and odd sub-teams; each team
+// builds its own distributed array, reduces over it, and the odd team
+// additionally broadcasts a value from its last member.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lamellar "repro"
+)
+
+func main() {
+	cfg := lamellar.Config{PEs: 6, WorkersPerPE: 2, Lamellae: lamellar.LamellaeSim}
+	err := lamellar.Run(cfg, func(world *lamellar.World) {
+		// Everyone participates in both splits (collective on the world
+		// team); each PE keeps the handle of the team it belongs to.
+		evens := world.Team().SplitStrided(0, 2) // world PEs 0,2,4
+		odds := world.Team().SplitStrided(1, 2)  // world PEs 1,3,5
+		mine := evens
+		label := "evens"
+		if mine == nil {
+			mine, label = odds, "odds"
+		}
+
+		// A team-scoped array: only the team's PEs hold its data.
+		arr := lamellar.NewAtomicArray[uint64](mine, 30, lamellar.Block)
+		idxs := make([]int, 30)
+		for i := range idxs {
+			idxs[i] = i
+		}
+		if _, err := lamellar.BlockOn(world, arr.BatchAdd(idxs, uint64(mine.Rank()+1))); err != nil {
+			panic(err)
+		}
+		mine.Barrier()
+		sum, err := lamellar.BlockOn(world, arr.Sum())
+		if err != nil {
+			panic(err)
+		}
+		// each member added rank+1 to all 30 elements: 30 * Σ(rank+1)
+		want := uint64(30 * (1 + 2 + 3))
+		if sum != want {
+			panic(fmt.Sprintf("%s PE%d: sum %d want %d", label, world.MyPE(), sum, want))
+		}
+		if mine.Rank() == 0 {
+			fmt.Printf("%s team (world PEs %v): array sum = %d\n", label, mine.Members(), sum)
+		}
+
+		// Team collectives: a broadcast from the team's last member.
+		root := mine.Size() - 1
+		var payload []byte
+		if mine.Rank() == root {
+			payload = []byte(fmt.Sprintf("greetings from world PE%d", world.MyPE()))
+		}
+		msg := mine.BroadcastBytes(root, payload)
+		if mine.Rank() == 0 {
+			fmt.Printf("%s team received: %q\n", label, msg)
+		}
+
+		mine.Barrier()
+		arr.Drop()
+		world.Barrier()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

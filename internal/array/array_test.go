@@ -1,0 +1,422 @@
+package array
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func runWorld(t *testing.T, pes int, fn func(w *runtime.World)) {
+	t.Helper()
+	cfg := runtime.Config{PEs: pes, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem}
+	if err := runtime.Run(cfg, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runWorldSim(t *testing.T, pes int, fn func(w *runtime.World)) {
+	t.Helper()
+	cfg := runtime.Config{PEs: pes, WorkersPerPE: 2, Lamellae: runtime.LamellaeSim}
+	if err := runtime.Run(cfg, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestAtomicArrayAddAndSum(t *testing.T) {
+	for _, dist := range []Distribution{Block, Cyclic} {
+		dist := dist
+		t.Run(dist.String(), func(t *testing.T) {
+			runWorld(t, 4, func(w *runtime.World) {
+				a := NewAtomicArray[uint64](w.Team(), 100, dist)
+				defer a.Drop()
+				// every PE adds 1 to every element
+				idxs := make([]int, 100)
+				for i := range idxs {
+					idxs[i] = i
+				}
+				must(runtime.BlockOn(w, a.BatchAdd(idxs, 1)))
+				w.Barrier()
+				sum := must(runtime.BlockOn(w, a.Sum()))
+				if sum != 400 {
+					panic(fmt.Sprintf("PE%d: sum = %d, want 400", w.MyPE(), sum))
+				}
+				w.Barrier()
+			})
+		})
+	}
+}
+
+func TestAtomicSingleOps(t *testing.T) {
+	runWorld(t, 3, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 30, Block)
+		defer a.Drop()
+		if w.MyPE() == 0 {
+			must(runtime.BlockOn(w, a.Store(25, 10)))
+			if v := must(runtime.BlockOn(w, a.Load(25))); v != 10 {
+				panic(fmt.Sprintf("Load = %d", v))
+			}
+			if prev := must(runtime.BlockOn(w, a.FetchAdd(25, 5))); prev != 10 {
+				panic(fmt.Sprintf("FetchAdd prev = %d", prev))
+			}
+			must(runtime.BlockOn(w, a.Mul(25, 2)))
+			if v := must(runtime.BlockOn(w, a.Load(25))); v != 30 {
+				panic(fmt.Sprintf("after mul = %d", v))
+			}
+			if prev := must(runtime.BlockOn(w, a.Swap(25, 7))); prev != 30 {
+				panic(fmt.Sprintf("Swap prev = %d", prev))
+			}
+			res := must(runtime.BlockOn(w, a.CompareExchange(25, 7, 100)))
+			if !res.OK || res.Prev != 7 {
+				panic(fmt.Sprintf("CAS = %+v", res))
+			}
+			res = must(runtime.BlockOn(w, a.CompareExchange(25, 7, 200)))
+			if res.OK || res.Prev != 100 {
+				panic(fmt.Sprintf("failed CAS = %+v", res))
+			}
+			must(runtime.BlockOn(w, a.Sub(25, 40)))
+			if v := must(runtime.BlockOn(w, a.Load(25))); v != 60 {
+				panic(fmt.Sprintf("after sub = %d", v))
+			}
+		}
+		w.Barrier()
+	})
+}
+
+func TestBitwiseOps(t *testing.T) {
+	runWorld(t, 2, func(w *runtime.World) {
+		a := NewAtomicArray[uint64](w.Team(), 8, Block)
+		defer a.Drop()
+		if w.MyPE() == 0 {
+			must(runtime.BlockOn(w, a.Store(5, 0b1100)))
+			must(runtime.BlockOn(w, a.Or(5, 0b0011)))
+			must(runtime.BlockOn(w, a.And(5, 0b1010)))
+			must(runtime.BlockOn(w, a.Xor(5, 0b0001)))
+			if v := must(runtime.BlockOn(w, a.Load(5))); v != 0b1011 {
+				panic(fmt.Sprintf("bitwise result = %b", v))
+			}
+			// batch_bit_or from the paper: [0,1,2] |= [127, 0, 64]
+			must(runtime.BlockOn(w, a.BatchOpVals(OpOr, []int{0, 1, 2}, []uint64{127, 0, 64})))
+			got := must(runtime.BlockOn(w, a.BatchLoad([]int{0, 1, 2})))
+			if got[0] != 127 || got[1] != 0 || got[2] != 64 {
+				panic(fmt.Sprintf("batch or = %v", got))
+			}
+		}
+		w.Barrier()
+	})
+}
+
+func TestBatchOpAt(t *testing.T) {
+	runWorld(t, 2, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 25, Cyclic)
+		defer a.Drop()
+		if w.MyPE() == 1 {
+			must(runtime.BlockOn(w, a.Store(20, 1)))
+			// array.batch_mul(20, [2, 10]) => 1*2*10 = 20
+			must(runtime.BlockOn(w, a.BatchOpAt(OpMul, 20, []int64{2, 10})))
+			if v := must(runtime.BlockOn(w, a.Load(20))); v != 20 {
+				panic(fmt.Sprintf("BatchOpAt result = %d", v))
+			}
+		}
+		w.Barrier()
+	})
+}
+
+// Histogram-style concurrency: random adds from all PEs must conserve the
+// total, for both native (uint64) and generic (float64) atomics.
+func TestConcurrentBatchAddConserves(t *testing.T) {
+	const updates = 5000
+	t.Run("native", func(t *testing.T) {
+		runWorld(t, 4, func(w *runtime.World) {
+			a := NewAtomicArray[uint64](w.Team(), 97, Block)
+			defer a.Drop()
+			rng := rand.New(rand.NewSource(int64(w.MyPE())))
+			idxs := make([]int, updates)
+			for i := range idxs {
+				idxs[i] = rng.Intn(97)
+			}
+			must(runtime.BlockOn(w, a.BatchAdd(idxs, 1)))
+			w.Barrier()
+			if sum := must(runtime.BlockOn(w, a.Sum())); sum != 4*updates {
+				panic(fmt.Sprintf("sum = %d, want %d", sum, 4*updates))
+			}
+			w.Barrier()
+		})
+	})
+	t.Run("generic", func(t *testing.T) {
+		runWorld(t, 4, func(w *runtime.World) {
+			a := NewAtomicArray[float64](w.Team(), 97, Cyclic)
+			defer a.Drop()
+			rng := rand.New(rand.NewSource(int64(w.MyPE())))
+			idxs := make([]int, updates)
+			for i := range idxs {
+				idxs[i] = rng.Intn(97)
+			}
+			must(runtime.BlockOn(w, a.BatchAdd(idxs, 0.5)))
+			w.Barrier()
+			if sum := must(runtime.BlockOn(w, a.Sum())); sum != 0.5*4*updates {
+				panic(fmt.Sprintf("sum = %v", sum))
+			}
+			w.Barrier()
+		})
+	})
+}
+
+func TestBatchFetchAndCAS(t *testing.T) {
+	runWorld(t, 3, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 60, Block)
+		defer a.Drop()
+		w.Barrier()
+		if w.MyPE() == 0 {
+			idxs := []int{1, 20, 45, 1}
+			prevs := must(runtime.BlockOn(w, a.BatchFetchOp(OpAdd, idxs, 3)))
+			if len(prevs) != 4 {
+				panic("wrong fetch count")
+			}
+			// index 1 appears twice: one of the fetches saw 0, the other 3
+			if !(prevs[0] == 0 && prevs[3] == 3) && !(prevs[0] == 3 && prevs[3] == 0) {
+				panic(fmt.Sprintf("fetch prevs = %v", prevs))
+			}
+			// dart-throw style batch CAS
+			res := must(runtime.BlockOn(w, a.BatchCompareExchange([]int{2, 3}, 0, []int64{11, 12})))
+			if res[0] != 0 || res[1] != 0 {
+				panic(fmt.Sprintf("CAS prevs = %v", res))
+			}
+			got := must(runtime.BlockOn(w, a.BatchLoad([]int{2, 3})))
+			if got[0] != 11 || got[1] != 12 {
+				panic(fmt.Sprintf("after CAS = %v", got))
+			}
+		}
+		w.Barrier()
+	})
+}
+
+func TestPutGetAllKinds(t *testing.T) {
+	runWorldSim(t, 3, func(w *runtime.World) {
+		vals := make([]uint64, 40)
+		for i := range vals {
+			vals[i] = uint64(i * 3)
+		}
+		check := func(name string, put func() error, get func() ([]uint64, error)) {
+			if w.MyPE() == 0 {
+				if err := put(); err != nil {
+					panic(fmt.Sprintf("%s put: %v", name, err))
+				}
+			}
+			w.Barrier()
+			got, err := get()
+			if err != nil {
+				panic(fmt.Sprintf("%s get: %v", name, err))
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					panic(fmt.Sprintf("PE%d %s: elem %d = %d, want %d", w.MyPE(), name, i, got[i], vals[i]))
+				}
+			}
+			w.Barrier()
+		}
+
+		ua := NewUnsafeArray[uint64](w.Team(), 40, Block)
+		check("unsafe-am", func() error {
+			_, err := runtime.BlockOn(w, ua.Put(0, vals))
+			return err
+		}, func() ([]uint64, error) { return runtime.BlockOn(w, ua.Get(0, 40)) })
+		check("unsafe-unchecked", func() error {
+			ua.PutUnchecked(0, vals)
+			return nil
+		}, func() ([]uint64, error) { return ua.GetUnchecked(0, 40), nil })
+		ua.Drop()
+
+		ll := NewLocalLockArray[uint64](w.Team(), 40, Block)
+		check("locallock", func() error {
+			_, err := runtime.BlockOn(w, ll.Put(0, vals))
+			return err
+		}, func() ([]uint64, error) { return runtime.BlockOn(w, ll.Get(0, 40)) })
+		ll.Drop()
+
+		aa := NewAtomicArray[uint64](w.Team(), 40, Cyclic)
+		check("atomic", func() error {
+			_, err := runtime.BlockOn(w, aa.Put(0, vals))
+			return err
+		}, func() ([]uint64, error) { return runtime.BlockOn(w, aa.Get(0, 40)) })
+		aa.Drop()
+	})
+}
+
+func TestBigPutCrossesThreshold(t *testing.T) {
+	runWorldSim(t, 2, func(w *runtime.World) {
+		// default agg threshold 100KB; 32Ki u64 = 256KB crosses it
+		n := 32 << 10
+		a := NewUnsafeArray[uint64](w.Team(), 2*n, Block)
+		defer a.Drop()
+		if w.MyPE() == 0 {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(i)
+			}
+			must(runtime.BlockOn(w, a.Put(n, vals))) // lands entirely on PE1
+		}
+		w.Barrier()
+		if w.MyPE() == 1 {
+			local := a.LocalData()
+			for i := 0; i < n; i++ {
+				if local[i] != uint64(i) {
+					panic(fmt.Sprintf("elem %d = %d", i, local[i]))
+				}
+			}
+		}
+		w.Barrier()
+	})
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	runWorld(t, 2, func(w *runtime.World) {
+		a := NewUnsafeArray[int64](w.Team(), 10, Block)
+		if w.MyPE() == 0 {
+			must(runtime.BlockOn(w, a.Put(0, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})))
+		}
+		w.Barrier()
+		ro := a.IntoReadOnly()
+		defer ro.Drop()
+		// reads work
+		if v := must(runtime.BlockOn(w, ro.Load(9))); v != 10 {
+			panic(fmt.Sprintf("load = %d", v))
+		}
+		if got := ro.GetDirect(0, 3); got[2] != 3 {
+			panic(fmt.Sprintf("direct get = %v", got))
+		}
+		// writes fail with an error (owner-side rejection)
+		if w.MyPE() == 0 {
+			_, err := runtime.BlockOn(w, ro.c.batchOp(OpStore, false, []int{1}, []int64{9}, nil))
+			if err == nil {
+				panic("write on ReadOnlyArray succeeded")
+			}
+		}
+		w.Barrier()
+	})
+}
+
+func TestConversionRoundTrip(t *testing.T) {
+	runWorld(t, 3, func(w *runtime.World) {
+		a := NewAtomicArray[uint64](w.Team(), 30, Block)
+		must(runtime.BlockOn(w, a.BatchAdd([]int{int(w.MyPE())}, 5)))
+		w.Barrier()
+		ro := a.IntoReadOnly()
+		if ro.c.Kind() != KindReadOnly {
+			panic("kind not flipped")
+		}
+		w.Barrier() // the next conversion flips kind as soon as any PE reaches it
+		ll := ro.IntoLocalLock()
+		at := ll.IntoAtomic()
+		if sum := must(runtime.BlockOn(w, at.Sum())); sum != 15 {
+			panic(fmt.Sprintf("sum after conversions = %d", sum))
+		}
+		w.Barrier()
+		at.Drop()
+	})
+}
+
+func TestConversionBlocksOnExtraRefs(t *testing.T) {
+	runWorld(t, 1, func(w *runtime.World) {
+		a := NewAtomicArray[uint64](w.Team(), 10, Block)
+		extra := a.Clone()
+		done := make(chan *ReadOnlyArray[uint64], 1)
+		go func() {
+			done <- a.IntoReadOnly() // must block until extra dropped
+		}()
+		select {
+		case <-done:
+			panic("conversion completed with outstanding reference")
+		default:
+		}
+		extra.Drop()
+		ro := <-done
+		ro.Drop()
+	})
+}
+
+func TestSubArray(t *testing.T) {
+	runWorld(t, 4, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 100, Block)
+		if w.MyPE() == 0 {
+			idxs := make([]int, 100)
+			vals := make([]int64, 100)
+			for i := range idxs {
+				idxs[i], vals[i] = i, int64(i)
+			}
+			must(runtime.BlockOn(w, a.BatchAddVals(idxs, vals)))
+		}
+		w.Barrier()
+		sub := a.SubArray(10, 20) // elements 10..19
+		if sub.Len() != 10 {
+			panic("sub len")
+		}
+		if v := must(runtime.BlockOn(w, sub.Load(5))); v != 15 {
+			panic(fmt.Sprintf("sub load = %d", v))
+		}
+		if s := must(runtime.BlockOn(w, sub.Sum())); s != 145 { // 10+...+19
+			panic(fmt.Sprintf("sub sum = %d", s))
+		}
+		w.Barrier()
+		sub.Drop()
+		a.Drop()
+	})
+}
+
+func TestMinMaxProd(t *testing.T) {
+	runWorld(t, 2, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 6, Block)
+		if w.MyPE() == 0 {
+			must(runtime.BlockOn(w, a.Put(0, []int64{3, 1, 4, 1, 5, 9})))
+		}
+		w.Barrier()
+		if v := must(runtime.BlockOn(w, a.Min())); v != 1 {
+			panic(fmt.Sprintf("min = %d", v))
+		}
+		if v := must(runtime.BlockOn(w, a.Max())); v != 9 {
+			panic(fmt.Sprintf("max = %d", v))
+		}
+		if v := must(runtime.BlockOn(w, a.Prod())); v != 540 {
+			panic(fmt.Sprintf("prod = %d", v))
+		}
+		w.Barrier()
+		a.Drop()
+	})
+}
+
+func TestShiftAndRemOps(t *testing.T) {
+	runWorld(t, 2, func(w *runtime.World) {
+		a := NewAtomicArray[uint64](w.Team(), 8, Block)
+		defer a.Drop()
+		if w.MyPE() == 0 {
+			must(runtime.BlockOn(w, a.Store(6, 3)))
+			must(runtime.BlockOn(w, a.Shl(6, 4))) // 3<<4 = 48
+			if v := must(runtime.BlockOn(w, a.Load(6))); v != 48 {
+				panic(fmt.Sprintf("shl = %d", v))
+			}
+			must(runtime.BlockOn(w, a.Shr(6, 2))) // 48>>2 = 12
+			must(runtime.BlockOn(w, a.Rem(6, 5))) // 12%5 = 2
+			if v := must(runtime.BlockOn(w, a.Load(6))); v != 2 {
+				panic(fmt.Sprintf("rem = %d", v))
+			}
+			if prev := must(runtime.BlockOn(w, a.FetchSub(6, 1))); prev != 2 {
+				panic(fmt.Sprintf("fetchsub prev = %d", prev))
+			}
+			if prev := must(runtime.BlockOn(w, a.FetchOp(OpMul, 6, 10))); prev != 1 {
+				panic(fmt.Sprintf("fetchop prev = %d", prev))
+			}
+			if v := must(runtime.BlockOn(w, a.Load(6))); v != 10 {
+				panic(fmt.Sprintf("final = %d", v))
+			}
+		}
+		w.Barrier()
+	})
+}

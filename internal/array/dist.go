@@ -1,0 +1,137 @@
+// Package array implements the LamellarArray layer (§III-F): safe PGAS
+// distributed arrays with four access-safety kinds (Unsafe, ReadOnly,
+// Atomic, LocalLock), Block/Cyclic layouts, element-wise and batched
+// operations, RDMA-like put/get, distributed/local/one-sided iterators,
+// reductions, sub-arrays, and kind conversions guarded by the
+// single-reference rule. Remote access on safe kinds is mediated by
+// owner-side active messages, exactly as the paper describes.
+package array
+
+import "fmt"
+
+// Distribution selects the data layout across the team's PEs.
+type Distribution int
+
+// Layouts supported by LamellarArrays.
+const (
+	// Block gives each PE one contiguous chunk (remainder spread over the
+	// first PEs, one extra element each).
+	Block Distribution = iota
+	// Cyclic deals elements round-robin across PEs.
+	Cyclic
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Block:
+		return "Block"
+	case Cyclic:
+		return "Cyclic"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// geometry maps global indices to (team rank, local index) and back for a
+// given distribution, global length, and team size.
+type geometry struct {
+	dist Distribution
+	glen int
+	npes int
+}
+
+// place returns the owning team rank and local index of global index i.
+func (g geometry) place(i int) (rank, local int) {
+	if i < 0 || i >= g.glen {
+		panic(fmt.Sprintf("array: index %d out of range [0,%d)", i, g.glen))
+	}
+	switch g.dist {
+	case Block:
+		q, r := g.glen/g.npes, g.glen%g.npes
+		// first r ranks hold q+1 elements, the rest q
+		if cut := r * (q + 1); i < cut {
+			return i / (q + 1), i % (q + 1)
+		} else {
+			i -= r * (q + 1)
+			return r + i/q, i % q
+		}
+	case Cyclic:
+		return i % g.npes, i / g.npes
+	default:
+		panic("array: unknown distribution")
+	}
+}
+
+// globalOf is the inverse of place.
+func (g geometry) globalOf(rank, local int) int {
+	switch g.dist {
+	case Block:
+		q, r := g.glen/g.npes, g.glen%g.npes
+		if rank < r {
+			return rank*(q+1) + local
+		}
+		return r*(q+1) + (rank-r)*q + local
+	case Cyclic:
+		return local*g.npes + rank
+	default:
+		panic("array: unknown distribution")
+	}
+}
+
+// localLen returns the number of elements rank owns.
+func (g geometry) localLen(rank int) int {
+	switch g.dist {
+	case Block:
+		q, r := g.glen/g.npes, g.glen%g.npes
+		if rank < r {
+			return q + 1
+		}
+		return q
+	case Cyclic:
+		n := g.glen / g.npes
+		if rank < g.glen%g.npes {
+			n++
+		}
+		return n
+	default:
+		panic("array: unknown distribution")
+	}
+}
+
+// maxLocalLen returns the largest per-rank length (symmetric allocation).
+func (g geometry) maxLocalLen() int {
+	if g.glen == 0 {
+		return 0
+	}
+	return g.localLen(0) // rank 0 always holds the maximum in both layouts
+}
+
+// blockRanges yields maximal runs of consecutive global indices owned by a
+// single rank, for range-based transfers: fn(rank, localStart, gStart, n).
+func (g geometry) blockRanges(gStart, n int, fn func(rank, local, gIdx, runLen int)) {
+	if n == 0 {
+		return
+	}
+	if gStart < 0 || gStart+n > g.glen {
+		panic(fmt.Sprintf("array: range [%d,%d) out of bounds [0,%d)", gStart, gStart+n, g.glen))
+	}
+	switch g.dist {
+	case Block:
+		i := gStart
+		for i < gStart+n {
+			rank, local := g.place(i)
+			run := g.localLen(rank) - local
+			if rem := gStart + n - i; run > rem {
+				run = rem
+			}
+			fn(rank, local, i, run)
+			i += run
+		}
+	case Cyclic:
+		// runs of length 1 (each consecutive index changes rank)
+		for i := gStart; i < gStart+n; i++ {
+			rank, local := g.place(i)
+			fn(rank, local, i, 1)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package array
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// fillSequential writes 0..n-1 into the array from PE0 and barriers.
+func fillSequential(w *runtime.World, a *AtomicArray[int64]) {
+	if w.MyPE() == 0 {
+		vals := make([]int64, a.Len())
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		must(runtime.BlockOn(w, a.Put(0, vals)))
+	}
+	w.Barrier()
+}
+
+func TestDistIterForEachCoversAll(t *testing.T) {
+	for _, dist := range []Distribution{Block, Cyclic} {
+		dist := dist
+		t.Run(dist.String(), func(t *testing.T) {
+			var sum atomic.Int64
+			var count atomic.Int64
+			runWorld(t, 4, func(w *runtime.World) {
+				a := NewAtomicArray[int64](w.Team(), 101, dist)
+				defer a.Drop()
+				fillSequential(w, a)
+				must(a.DistIter().ForEach(func(v int64) {
+					sum.Add(v)
+					count.Add(1)
+				}).Await())
+				w.Barrier()
+			})
+			if count.Load() != 101 {
+				t.Errorf("visited %d elements", count.Load())
+			}
+			if sum.Load() != 100*101/2 {
+				t.Errorf("sum = %d", sum.Load())
+			}
+		})
+	}
+}
+
+func TestLocalIterOnlyLocal(t *testing.T) {
+	runWorld(t, 4, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 40, Block)
+		defer a.Drop()
+		fillSequential(w, a)
+		var count atomic.Int64
+		must(a.LocalIter().ForEachIndexed(func(i int, v int64) {
+			if int64(i) != v {
+				panic(fmt.Sprintf("index %d value %d", i, v))
+			}
+			count.Add(1)
+		}).Await())
+		if count.Load() != 10 { // 40/4 per PE
+			panic(fmt.Sprintf("PE%d visited %d", w.MyPE(), count.Load()))
+		}
+		w.Barrier()
+	})
+}
+
+func TestIterCombinators(t *testing.T) {
+	runWorld(t, 3, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 30, Block)
+		defer a.Drop()
+		fillSequential(w, a)
+		// filter even, map *10, skip first 10 indices, step 2, take < 20
+		it := Map(a.DistIter().Skip(10).StepBy(2).Take(20).Filter(func(v int64) bool {
+			return v%4 == 0
+		}), func(v int64) int64 { return v * 10 })
+		got := must(it.Collect().Await())
+		// local share; gather across PEs via the sum
+		var local int64
+		for _, v := range got {
+			local += v
+		}
+		total := w.Team().SumU64(uint64(local))
+		// indices 10..19 step2 -> 10,12,14,16,18; %4==0 -> 12,16; *10 -> 120+160
+		if total != 280 {
+			panic(fmt.Sprintf("total = %d", total))
+		}
+		w.Barrier()
+	})
+}
+
+func TestIterEnumerateAndZip(t *testing.T) {
+	runWorld(t, 2, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 16, Block)
+		b := NewAtomicArray[int64](w.Team(), 16, Block)
+		defer a.Drop()
+		defer b.Drop()
+		fillSequential(w, a)
+		if w.MyPE() == 0 {
+			vals := make([]int64, 16)
+			for i := range vals {
+				vals[i] = int64(i * 100)
+			}
+			must(runtime.BlockOn(w, b.Put(0, vals)))
+		}
+		w.Barrier()
+		pairs := must(Enumerate(Zip(a.LocalIter(), b.LocalIter())).Collect().Await())
+		if len(pairs) != 8 {
+			panic(fmt.Sprintf("PE%d: %d pairs", w.MyPE(), len(pairs)))
+		}
+		for _, p := range pairs {
+			if p.Val.B != p.Val.A*100 {
+				panic(fmt.Sprintf("pair %+v", p))
+			}
+		}
+		w.Barrier()
+	})
+}
+
+func TestIterCountAndReduce(t *testing.T) {
+	runWorld(t, 2, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 20, Cyclic)
+		defer a.Drop()
+		fillSequential(w, a)
+		n := must(a.DistIter().Filter(func(v int64) bool { return v >= 10 }).Count().Await())
+		total := w.Team().SumU64(uint64(n))
+		if total != 10 {
+			panic(fmt.Sprintf("count = %d", total))
+		}
+		s := must(a.LocalIter().Reduce(0, func(x, y int64) int64 { return x + y }).Await())
+		gs := w.Team().SumU64(uint64(s))
+		if gs != 190 {
+			panic(fmt.Sprintf("reduce sum = %d", gs))
+		}
+		w.Barrier()
+	})
+}
+
+func TestCollectArray(t *testing.T) {
+	runWorld(t, 3, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 30, Block)
+		fillSequential(w, a)
+		it := a.DistIter().Filter(func(v int64) bool { return v%3 == 0 })
+		out := CollectArray(it, a, Block)
+		if out.Len() != 10 {
+			panic(fmt.Sprintf("collected len = %d", out.Len()))
+		}
+		got := out.GetDirect(0, 10)
+		for i, v := range got {
+			if v != int64(i*3) {
+				panic(fmt.Sprintf("collected[%d] = %d", i, v))
+			}
+		}
+		w.Barrier()
+		out.Drop()
+		a.Drop()
+	})
+}
+
+func TestOneSidedIter(t *testing.T) {
+	runWorld(t, 3, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 50, Block)
+		defer a.Drop()
+		fillSequential(w, a)
+		if w.MyPE() == 1 {
+			// whole-array serial iteration with a small buffer
+			i := 0
+			for idx, v := range a.OneSidedIter(7).Seq() {
+				if idx != i || v != int64(i) {
+					panic(fmt.Sprintf("seq idx=%d v=%d want %d", idx, v, i))
+				}
+				i++
+			}
+			if i != 50 {
+				panic(fmt.Sprintf("visited %d", i))
+			}
+			// skip/step/take
+			vals := a.OneSidedIter(8).Skip(5).StepBy(3).Take(4).CollectVec()
+			want := []int64{5, 8, 11, 14}
+			for k := range want {
+				if vals[k] != want[k] {
+					panic(fmt.Sprintf("skip/step/take: %v", vals))
+				}
+			}
+			// chunks
+			nchunks := 0
+			for chunk := range a.OneSidedIter(16).Chunks(20) {
+				nchunks++
+				if len(chunk) > 20 {
+					panic("oversized chunk")
+				}
+			}
+			if nchunks != 3 { // 20+20+10
+				panic(fmt.Sprintf("chunks = %d", nchunks))
+			}
+			// zip
+			n := 0
+			for p := range ZipOneSided(a.OneSidedIter(9), a.OneSidedIter(13).Skip(1)) {
+				if p.B != p.A+1 {
+					panic(fmt.Sprintf("zip pair %+v", p))
+				}
+				n++
+			}
+			if n != 49 {
+				panic(fmt.Sprintf("zip visited %d", n))
+			}
+		}
+		w.Barrier()
+	})
+}
+
+func TestIterOnSubArray(t *testing.T) {
+	runWorld(t, 2, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 20, Block)
+		fillSequential(w, a)
+		sub := a.SubArray(5, 15)
+		var sum atomic.Int64 // per-PE: fn runs once per PE
+		must(sub.DistIter().ForEach(func(v int64) { sum.Add(v) }).Await())
+		// values 5..14 each visited exactly once by their owner: global 95
+		if total := w.Team().SumU64(uint64(sum.Load())); total != 95 {
+			panic(fmt.Sprintf("sub iter sum = %d", total))
+		}
+		w.Barrier()
+		sub.Drop()
+		a.Drop()
+	})
+}
+
+func TestIterChunksAndReductions(t *testing.T) {
+	runWorld(t, 2, func(w *runtime.World) {
+		a := NewAtomicArray[int64](w.Team(), 20, Block)
+		defer a.Drop()
+		fillSequential(w, a)
+		// chunks of 3 over my 10 local elements: 3+3+3+1
+		var nchunks, total atomic.Int64
+		must(Chunks(a.LocalIter(), 3).ForEach(func(c []int64) {
+			nchunks.Add(1)
+			for _, v := range c {
+				total.Add(v)
+			}
+		}).Await())
+		if nchunks.Load() != 4 {
+			panic(fmt.Sprintf("PE%d: chunks = %d", w.MyPE(), nchunks.Load()))
+		}
+		// IterSum/IterMax/IterMin over local halves
+		s := must(IterSum(a.LocalIter()).Await())
+		mx := must(IterMax(a.LocalIter()).Await())
+		mn := must(IterMin(a.LocalIter()).Await())
+		if w.MyPE() == 0 {
+			if s != 45 || mx != 9 || mn != 0 {
+				panic(fmt.Sprintf("PE0 reductions: sum=%d max=%d min=%d", s, mx, mn))
+			}
+		} else {
+			if s != 145 || mx != 19 || mn != 10 {
+				panic(fmt.Sprintf("PE1 reductions: sum=%d max=%d min=%d", s, mx, mn))
+			}
+		}
+		if total.Load() != s {
+			panic("chunk total mismatch")
+		}
+		w.Barrier()
+	})
+}

@@ -1,0 +1,193 @@
+package array
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/runtime"
+)
+
+// Property: any single-PE-issued sequence of batched operations applied to
+// a distributed AtomicArray produces exactly the state a sequential
+// reference model produces, for random lengths, layouts and PE counts.
+func TestBatchOpsMatchSequentialModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pes := 1 + rng.Intn(4)
+		glen := 1 + rng.Intn(200)
+		dist := Block
+		if rng.Intn(2) == 1 {
+			dist = Cyclic
+		}
+		nOps := 1 + rng.Intn(20)
+
+		type opRec struct {
+			op   Op
+			idxs []int
+			vals []int64
+		}
+		ops := make([]opRec, nOps)
+		usable := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpStore}
+		for i := range ops {
+			n := 1 + rng.Intn(30)
+			r := opRec{op: usable[rng.Intn(len(usable))], idxs: make([]int, n), vals: make([]int64, n)}
+			for k := 0; k < n; k++ {
+				r.idxs[k] = rng.Intn(glen)
+				r.vals[k] = int64(rng.Intn(7)) + 1
+			}
+			ops[i] = r
+		}
+
+		// sequential reference
+		ref := make([]int64, glen)
+		for _, r := range ops {
+			for k, idx := range r.idxs {
+				if r.op == OpCAS {
+					continue
+				}
+				ref[idx] = applyScalar(r.op, ref[idx], r.vals[k])
+			}
+		}
+
+		var got []int64
+		cfg := runtime.Config{PEs: pes, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem}
+		err := runtime.Run(cfg, func(w *runtime.World) {
+			a := NewAtomicArray[int64](w.Team(), glen, dist)
+			defer a.Drop()
+			if w.MyPE() == 0 {
+				for _, r := range ops {
+					// ops must apply in order: await each batch
+					if _, err := runtime.BlockOn(w, a.BatchOpVals(r.op, r.idxs, r.vals)); err != nil {
+						panic(err)
+					}
+				}
+				res, err := runtime.BlockOn(w, a.Get(0, glen))
+				if err != nil {
+					panic(err)
+				}
+				got = res
+			}
+			w.Barrier()
+		})
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("seed %d (pes=%d glen=%d %v): elem %d = %d, want %d",
+					seed, pes, glen, dist, i, got[i], ref[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BatchLoad returns exactly what a big Get over the same view
+// returns, for random sub-array views.
+func TestBatchLoadMatchesGetOnViews(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pes := 1 + rng.Intn(4)
+		glen := 20 + rng.Intn(100)
+		lo := rng.Intn(glen / 2)
+		hi := lo + 1 + rng.Intn(glen-lo-1)
+		ok := true
+		cfg := runtime.Config{PEs: pes, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem}
+		err := runtime.Run(cfg, func(w *runtime.World) {
+			a := NewAtomicArray[int64](w.Team(), glen, Cyclic)
+			if w.MyPE() == 0 {
+				vals := make([]int64, glen)
+				for i := range vals {
+					vals[i] = int64(i * 13)
+				}
+				if _, err := runtime.BlockOn(w, a.Put(0, vals)); err != nil {
+					panic(err)
+				}
+			}
+			w.Barrier()
+			sub := a.SubArray(lo, hi)
+			n := sub.Len()
+			idxs := make([]int, n)
+			for i := range idxs {
+				idxs[i] = i
+			}
+			loads, err := runtime.BlockOn(w, sub.BatchLoad(idxs))
+			if err != nil {
+				panic(err)
+			}
+			gets, err := runtime.BlockOn(w, sub.Get(0, n))
+			if err != nil {
+				panic(err)
+			}
+			for i := range loads {
+				if loads[i] != gets[i] || loads[i] != int64((lo+i)*13) {
+					ok = false
+					panic(fmt.Sprintf("view [%d,%d) elem %d: load=%d get=%d", lo, hi, i, loads[i], gets[i]))
+				}
+			}
+			w.Barrier()
+			sub.Drop()
+			a.Drop()
+		})
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reductions agree with a direct fold of GetUnchecked for every
+// kind conversion chain.
+func TestReductionsMatchDirectFold(t *testing.T) {
+	cfg := runtime.Config{PEs: 3, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem}
+	err := runtime.Run(cfg, func(w *runtime.World) {
+		const glen = 77
+		ua := NewUnsafeArray[int64](w.Team(), glen, Block)
+		if w.MyPE() == 0 {
+			vals := make([]int64, glen)
+			for i := range vals {
+				vals[i] = int64((i*29)%17 + 1)
+			}
+			ua.PutUnchecked(0, vals)
+		}
+		w.Barrier()
+		all := ua.GetUnchecked(0, glen)
+		var wantSum, wantMin, wantMax int64
+		wantMin, wantMax = all[0], all[0]
+		for _, v := range all {
+			wantSum += v
+			if v < wantMin {
+				wantMin = v
+			}
+			if v > wantMax {
+				wantMax = v
+			}
+		}
+		a := ua.IntoAtomic()
+		if s := must(runtime.BlockOn(w, a.Sum())); s != wantSum {
+			panic(fmt.Sprintf("sum %d want %d", s, wantSum))
+		}
+		if m := must(runtime.BlockOn(w, a.Min())); m != wantMin {
+			panic(fmt.Sprintf("min %d want %d", m, wantMin))
+		}
+		if m := must(runtime.BlockOn(w, a.Max())); m != wantMax {
+			panic(fmt.Sprintf("max %d want %d", m, wantMax))
+		}
+		w.Barrier()
+		a.Drop()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

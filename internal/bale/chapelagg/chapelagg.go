@@ -1,0 +1,322 @@
+// Package chapelagg reimplements the Chapel copy-aggregator pattern the
+// paper's Chapel baselines rely on (§IV-B2 credits Chapel's IndexGather
+// win to a specialized CopyAggregator). Two aggregators are provided:
+//
+//   - DstAggregator: buffered remote updates (offset, value) applied by
+//     the owner — used for Histogram-style scatter writes.
+//   - SrcAggregator: buffered remote reads — a request buffer of offsets
+//     travels to the owner, which answers with one bulk value reply the
+//     requester scatters into its local results (Chapel's
+//     SrcAggregator/CopyAggregator for gather assignments).
+//
+// Both use large per-destination buffers (Chapel defaults to ~8k
+// elements) and asynchronous termination.
+package chapelagg
+
+import (
+	"time"
+
+	"repro/internal/shmem"
+)
+
+// DefaultBufItems matches Chapel's aggregation buffer ballpark.
+const DefaultBufItems = 8192
+
+// ApplyFn applies one aggregated update on the owner.
+type ApplyFn func(off int, val uint64)
+
+// DstAggregator batches (offset, value) updates per destination.
+type DstAggregator struct {
+	ctx      *shmem.Ctx
+	bufItems int
+	mbox     *shmem.Mailbox
+	term     *shmem.Terminator
+	out      [][]uint64
+	apply    ApplyFn
+	flushing bool // guards against re-entrant flush
+}
+
+// NewDst collectively creates a destination aggregator whose updates are
+// applied on the owner with apply.
+func NewDst(ctx *shmem.Ctx, bufItems int, apply ApplyFn) *DstAggregator {
+	if bufItems < 1 {
+		bufItems = DefaultBufItems
+	}
+	return &DstAggregator{
+		ctx:      ctx,
+		bufItems: bufItems,
+		mbox:     shmem.NewMailbox(ctx, bufItems*2),
+		term:     shmem.NewTerminator(ctx),
+		out:      make([][]uint64, ctx.NPEs()),
+		apply:    apply,
+	}
+}
+
+// Update records val for offset off on pe, flushing full buffers.
+func (a *DstAggregator) Update(pe, off int, val uint64) {
+	a.term.NoteSent(1)
+	if pe == a.ctx.MyPE() {
+		a.apply(off, val)
+		a.term.NoteRecv(1)
+		return
+	}
+	a.out[pe] = append(a.out[pe], uint64(off), val)
+	if (len(a.out[pe])/2)%a.bufItems == 0 {
+		a.tryFlush(pe)
+	}
+	for len(a.out[pe])/2 >= 8*a.bufItems { // backpressure: run progress
+		if !a.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+		a.tryFlush(pe)
+	}
+}
+
+// tryFlush attempts a non-blocking chunked send; the remainder stays
+// buffered and is retried on every Advance.
+func (a *DstAggregator) tryFlush(pe int) bool {
+	if a.flushing {
+		return false
+	}
+	buf := a.out[pe]
+	if len(buf) == 0 {
+		return true
+	}
+	a.flushing = true
+	maxWords := a.bufItems * 2
+	sent := 0
+	for sent < len(buf) {
+		n := min(len(buf)-sent, maxWords)
+		n -= n % 2
+		if n == 0 || !a.mbox.TrySend(pe, buf[sent:sent+n]) {
+			break
+		}
+		sent += n
+	}
+	if sent > 0 {
+		rest := copy(buf, buf[sent:])
+		a.out[pe] = buf[:rest]
+	}
+	a.flushing = false
+	return len(a.out[pe]) == 0
+}
+
+func (a *DstAggregator) tryFlushAll() bool {
+	all := true
+	for pe := range a.out {
+		if !a.tryFlush(pe) {
+			all = false
+		}
+	}
+	return all
+}
+
+// Advance applies every available inbound update batch.
+func (a *DstAggregator) Advance() bool {
+	moved := false
+	a.mbox.Poll(func(src int, words []uint64) {
+		for k := 0; k+1 < len(words); k += 2 {
+			a.apply(int(words[k]), words[k+1])
+			a.term.NoteRecv(1)
+			moved = true
+		}
+	})
+	a.tryFlushAll()
+	return moved
+}
+
+// Finish flushes and drains until global quiescence (all PEs call it).
+func (a *DstAggregator) Finish() {
+	for !a.tryFlushAll() {
+		if !a.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	a.term.SetDone(true)
+	a.term.DrainUntilQuiet(a.Advance)
+	a.ctx.Barrier()
+}
+
+// ReadFn answers one aggregated read on the owner.
+type ReadFn func(off int) uint64
+
+// SrcAggregator batches remote reads: requests carry offsets plus the
+// requester's result positions; owners answer with bulk value replies.
+type SrcAggregator struct {
+	ctx      *shmem.Ctx
+	bufItems int
+	req      *shmem.Mailbox
+	rep      *shmem.Mailbox
+	term     *shmem.Terminator
+	outOff   [][]uint64 // per-destination requested offsets
+	outPos   [][]uint64 // matching local result positions
+	outRep   [][]uint64 // per-destination buffered (pos, val) reply pairs
+	scratch  []uint64   // reused request-message buffer
+	read     ReadFn
+	result   []uint64
+	flushing bool // guards against re-entrant flush
+}
+
+// NewSrc collectively creates a source aggregator; read answers offsets on
+// the owner and result receives gathered values on the requester.
+func NewSrc(ctx *shmem.Ctx, bufItems int, read ReadFn, result []uint64) *SrcAggregator {
+	if bufItems < 1 {
+		bufItems = DefaultBufItems
+	}
+	return &SrcAggregator{
+		ctx:      ctx,
+		bufItems: bufItems,
+		// request slot: [npos, pos..., off...]; reply: (pos,val) pairs
+		req:    shmem.NewMailbox(ctx, 2*bufItems+1),
+		rep:    shmem.NewMailbox(ctx, 2*bufItems),
+		term:   shmem.NewTerminator(ctx),
+		outOff: make([][]uint64, ctx.NPEs()),
+		outPos: make([][]uint64, ctx.NPEs()),
+		outRep: make([][]uint64, ctx.NPEs()),
+		read:   read,
+		result: result,
+	}
+}
+
+// Gather requests pe's element at off into result[pos].
+func (s *SrcAggregator) Gather(pe, off, pos int) {
+	s.term.NoteSent(1)
+	if pe == s.ctx.MyPE() {
+		s.result[pos] = s.read(off)
+		s.term.NoteRecv(1)
+		return
+	}
+	s.outOff[pe] = append(s.outOff[pe], uint64(off))
+	s.outPos[pe] = append(s.outPos[pe], uint64(pos))
+	// attempt a flush only when another full buffer accumulated (retries
+	// otherwise happen in Advance, keeping the per-call cost O(1))
+	if len(s.outOff[pe])%s.bufItems == 0 {
+		s.tryFlush(pe)
+	}
+	for len(s.outOff[pe]) >= 8*s.bufItems { // backpressure: run progress
+		if !s.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+		s.tryFlush(pe)
+	}
+}
+
+// tryFlush sends request batches non-blockingly; unsent requests stay
+// buffered and are retried on every Advance.
+func (s *SrcAggregator) tryFlush(pe int) bool {
+	if s.flushing {
+		return false
+	}
+	offs, poss := s.outOff[pe], s.outPos[pe]
+	if len(offs) == 0 {
+		return true
+	}
+	s.flushing = true
+	base := 0
+	for base < len(offs) {
+		end := min(base+s.bufItems, len(offs))
+		// reuse the scratch message buffer; TrySend copies on success
+		msg := s.scratch[:0]
+		msg = append(msg, uint64(end-base))
+		msg = append(msg, poss[base:end]...)
+		msg = append(msg, offs[base:end]...)
+		s.scratch = msg
+		if !s.req.TrySend(pe, msg) {
+			break
+		}
+		base = end
+	}
+	if base > 0 {
+		n := copy(offs, offs[base:])
+		copy(poss, poss[base:])
+		s.outOff[pe] = offs[:n]
+		s.outPos[pe] = poss[:n]
+	}
+	s.flushing = false
+	return len(s.outOff[pe]) == 0
+}
+
+func (s *SrcAggregator) tryFlushAll() bool {
+	all := true
+	for pe := range s.outOff {
+		if !s.tryFlush(pe) {
+			all = false
+		}
+	}
+	if !s.tryFlushReplies() {
+		all = false
+	}
+	return all
+}
+
+// Advance serves inbound requests (buffering bulk replies) and applies
+// inbound replies to the local result slice. All sends are non-blocking;
+// stranded reply buffers are retried here on every call.
+func (s *SrcAggregator) Advance() bool {
+	moved := false
+	s.req.Poll(func(src int, words []uint64) {
+		n := int(words[0])
+		poss := words[1 : 1+n]
+		offs := words[1+n : 1+2*n]
+		for k := 0; k < n; k++ {
+			s.outRep[src] = append(s.outRep[src], poss[k], s.read(int(offs[k])))
+		}
+		moved = true
+	})
+	moved = s.drainReplies() || moved
+	s.tryFlushAll()
+	return moved
+}
+
+// tryFlushReplies sends buffered (pos, val) reply pairs without blocking.
+func (s *SrcAggregator) tryFlushReplies() bool {
+	all := true
+	maxWords := 2 * s.bufItems
+	for pe := range s.outRep {
+		buf := s.outRep[pe]
+		if len(buf) == 0 {
+			continue
+		}
+		sent := 0
+		for sent < len(buf) {
+			n := min(len(buf)-sent, maxWords)
+			n -= n % 2
+			if n == 0 || !s.rep.TrySend(pe, buf[sent:sent+n]) {
+				break
+			}
+			sent += n
+		}
+		if sent > 0 {
+			rest := copy(buf, buf[sent:])
+			s.outRep[pe] = buf[:rest]
+		}
+		if len(s.outRep[pe]) > 0 {
+			all = false
+		}
+	}
+	return all
+}
+
+func (s *SrcAggregator) drainReplies() bool {
+	moved := false
+	s.rep.Poll(func(src int, words []uint64) {
+		for k := 0; k+1 < len(words); k += 2 {
+			s.result[words[k]] = words[k+1]
+			s.term.NoteRecv(1)
+		}
+		moved = true
+	})
+	return moved
+}
+
+// Finish flushes requests and serves traffic until every gather answered.
+func (s *SrcAggregator) Finish() {
+	for !s.tryFlushAll() {
+		if !s.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	s.term.SetDone(true)
+	s.term.DrainUntilQuiet(s.Advance)
+	s.ctx.Barrier()
+}

@@ -1,0 +1,79 @@
+package chapelagg
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/shmem"
+)
+
+func runWorld(t *testing.T, pes int, fn func(c *shmem.Ctx)) {
+	t.Helper()
+	cfg := runtime.Config{PEs: pes, WorkersPerPE: 1, Lamellae: runtime.LamellaeShmem}
+	if err := runtime.Run(cfg, func(w *runtime.World) { fn(shmem.New(w)) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDstAggregatorHistogram(t *testing.T) {
+	var total atomic.Uint64
+	const updates = 3000
+	const tablePerPE = 50
+	runWorld(t, 4, func(c *shmem.Ctx) {
+		table := make([]uint64, tablePerPE)
+		agg := NewDst(c, 32, func(off int, val uint64) { table[off] += val })
+		c.Barrier()
+		rng := rand.New(rand.NewSource(int64(c.MyPE() * 3)))
+		for i := 0; i < updates; i++ {
+			g := rng.Intn(tablePerPE * c.NPEs())
+			agg.Update(g/tablePerPE, g%tablePerPE, 1)
+			if i%100 == 0 {
+				agg.Advance()
+			}
+		}
+		agg.Finish()
+		var local uint64
+		for _, v := range table {
+			local += v
+		}
+		total.Add(local)
+		c.Barrier()
+	})
+	if total.Load() != 4*updates {
+		t.Errorf("total = %d, want %d", total.Load(), 4*updates)
+	}
+}
+
+func TestSrcAggregatorGather(t *testing.T) {
+	runWorld(t, 4, func(c *shmem.Ctx) {
+		const perPE = 40
+		const reqs = 300
+		data := make([]uint64, perPE)
+		for i := range data {
+			data[i] = uint64(c.MyPE()*1_000_000 + i)
+		}
+		results := make([]uint64, reqs)
+		agg := NewSrc(c, 16, func(off int) uint64 { return data[off] }, results)
+		c.Barrier()
+		rng := rand.New(rand.NewSource(int64(c.MyPE() + 17)))
+		want := make([]uint64, reqs)
+		for i := 0; i < reqs; i++ {
+			pe := rng.Intn(c.NPEs())
+			off := rng.Intn(perPE)
+			want[i] = uint64(pe*1_000_000 + off)
+			agg.Gather(pe, off, i)
+			if i%50 == 0 {
+				agg.Advance()
+			}
+		}
+		agg.Finish()
+		for i := range want {
+			if results[i] != want[i] {
+				panic("wrong gathered value")
+			}
+		}
+		c.Barrier()
+	})
+}

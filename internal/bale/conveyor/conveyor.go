@@ -1,0 +1,228 @@
+// Package conveyor reimplements BALE's Conveyors: asynchronous streaming
+// many-to-many communication with *two-hop* matrix routing. PEs form a
+// logical rows×cols grid; an item for dst first travels along the
+// sender's row to the PE sharing dst's column (the relay), then down the
+// column to dst. Each PE therefore keeps buffers only for its ~2·sqrt(P)
+// row and column neighbors, trading an extra hop for a smaller memory
+// footprint and fuller buffers — the properties the paper's §II and §IV
+// describe.
+package conveyor
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/shmem"
+)
+
+// Handler consumes one delivered item at its final destination.
+type Handler func(item []uint64)
+
+// Conveyor is one PE's handle.
+type Conveyor struct {
+	ctx       *shmem.Ctx
+	itemWords int // payload words (excluding the routing word)
+	bufItems  int
+	cols      int
+	mbox      *shmem.Mailbox
+	term      *shmem.Terminator
+	out       [][]uint64 // per next-hop buffered routed items
+	handler   Handler
+	draining  bool
+	flushing  bool   // guards against re-entrant flush via progress callbacks
+	coWork    func() // sibling-plane progress (see SetCoProgress)
+	advancing bool   // breaks co-progress recursion cycles
+}
+
+// New collectively creates a conveyor with the given payload width and
+// per-neighbor buffer capacity (in items).
+func New(ctx *shmem.Ctx, itemWords, bufItems int, handler Handler) *Conveyor {
+	if itemWords < 1 || bufItems < 1 {
+		panic("conveyor: bad geometry")
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(ctx.NPEs()))))
+	c := &Conveyor{
+		ctx:       ctx,
+		itemWords: itemWords,
+		bufItems:  bufItems,
+		cols:      cols,
+		mbox:      shmem.NewMailbox(ctx, bufItems*(itemWords+1)),
+		term:      shmem.NewTerminator(ctx),
+		out:       make([][]uint64, ctx.NPEs()),
+		handler:   handler,
+	}
+	return c
+}
+
+// relayFor returns the first hop for an item of mine destined to dst: the
+// PE in my row holding dst's column (falling back to dst when the grid
+// position does not exist because P is not a perfect multiple).
+func (c *Conveyor) relayFor(dst int) int {
+	relay := (c.ctx.MyPE()/c.cols)*c.cols + dst%c.cols
+	if relay >= c.ctx.NPEs() {
+		return dst
+	}
+	return relay
+}
+
+// Push injects an item for dst (counted for termination at the origin).
+// All internal sends are non-blocking; under backpressure the pusher runs
+// the progress engine until its buffers drain toward their bound.
+func (c *Conveyor) Push(dst int, item []uint64) {
+	if len(item) != c.itemWords {
+		panic(fmt.Sprintf("conveyor: item width %d, want %d", len(item), c.itemWords))
+	}
+	c.term.NoteSent(1)
+	c.route(dst, item)
+	for !c.advancing && c.overfull() {
+		if !c.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// overfull reports whether any hop buffer exceeds its backpressure bound.
+func (c *Conveyor) overfull() bool {
+	limit := 8 * c.bufItems * (c.itemWords + 1)
+	for _, b := range c.out {
+		if len(b) >= limit {
+			return true
+		}
+	}
+	return false
+}
+
+// route buffers a routed item toward its next hop, flushing full buffers.
+func (c *Conveyor) route(dst int, item []uint64) {
+	if dst == c.ctx.MyPE() {
+		c.deliver(item)
+		return
+	}
+	hop := dst
+	if dst%c.cols != c.ctx.MyPE()%c.cols {
+		hop = c.relayFor(dst) // row hop first
+	}
+	if hop == c.ctx.MyPE() {
+		// I am the relay for my own row position; go straight down.
+		hop = dst
+	}
+	c.out[hop] = append(c.out[hop], uint64(dst))
+	c.out[hop] = append(c.out[hop], item...)
+	if (len(c.out[hop])/(c.itemWords+1))%c.bufItems == 0 {
+		c.tryFlush(hop)
+	}
+}
+
+func (c *Conveyor) deliver(item []uint64) {
+	c.handler(item)
+	c.term.NoteRecv(1)
+}
+
+// tryFlush attempts a non-blocking chunked send of one hop buffer;
+// whatever does not fit stays buffered. Reports whether it is now empty.
+// Chunks must be a whole number of routed records so the receiver's
+// stride parsing stays aligned.
+func (c *Conveyor) tryFlush(hop int) bool {
+	if c.flushing {
+		return false
+	}
+	buf := c.out[hop]
+	if len(buf) == 0 {
+		return true
+	}
+	c.flushing = true
+	stride := c.itemWords + 1
+	maxWords := c.bufItems * stride
+	sent := 0
+	for sent < len(buf) {
+		n := min(len(buf)-sent, maxWords)
+		n -= n % stride
+		if n == 0 || !c.mbox.TrySend(hop, buf[sent:sent+n]) {
+			break
+		}
+		sent += n
+	}
+	if sent > 0 {
+		rest := copy(buf, buf[sent:])
+		c.out[hop] = buf[:rest]
+	}
+	c.flushing = false
+	return len(c.out[hop]) == 0
+}
+
+// tryFlushAll attempts a non-blocking flush of every hop buffer.
+func (c *Conveyor) tryFlushAll() bool {
+	all := true
+	for hop := range c.out {
+		if !c.tryFlush(hop) {
+			all = false
+		}
+	}
+	return all
+}
+
+// FlushAll pushes every non-empty buffer onto the wire, running the
+// progress engine while neighbors exert backpressure (sleeping between
+// retries rather than spinning; see Exstack2.FlushAll).
+func (c *Conveyor) FlushAll() {
+	for !c.tryFlushAll() {
+		if !c.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// SetCoProgress registers a sibling plane's progress function, invoked on
+// every Advance (multi-plane kernels must keep all planes moving while
+// blocked on one; linking both ways is safe, recursion is broken inside
+// Advance).
+func (c *Conveyor) SetCoProgress(f func()) { c.coWork = f }
+
+// Advance runs the progress engine: relay or deliver every available
+// inbound routed item. Returns whether anything moved.
+func (c *Conveyor) Advance() bool {
+	if c.advancing {
+		return false // re-entered through a co-progress cycle
+	}
+	c.advancing = true
+	defer func() { c.advancing = false }()
+	moved := false
+	c.mbox.Poll(func(src int, words []uint64) {
+		stride := c.itemWords + 1
+		n := len(words) / stride
+		for k := 0; k < n; k++ {
+			rec := words[k*stride : (k+1)*stride]
+			dst := int(rec[0])
+			if dst == c.ctx.MyPE() {
+				c.deliver(rec[1:])
+			} else {
+				c.route(dst, rec[1:]) // second hop
+			}
+			moved = true
+		}
+	})
+	if c.coWork != nil {
+		c.coWork()
+	}
+	c.tryFlushAll() // retry stranded buffers (incl. relayed second hops)
+	return moved
+}
+
+// Finish flushes and serves relay/delivery traffic until every injected
+// item has reached its final destination everywhere. All PEs call it.
+func (c *Conveyor) Finish() {
+	c.FlushAll()
+	c.term.SetDone(true)
+	c.term.DrainUntilQuiet(c.Advance)
+	c.ctx.Barrier()
+}
+
+// Reset prepares for another phase (collective).
+func (c *Conveyor) Reset() {
+	c.term.Reset()
+	for i := range c.out {
+		c.out[i] = c.out[i][:0]
+	}
+	c.ctx.Barrier()
+}

@@ -1,0 +1,80 @@
+package conveyor
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/shmem"
+)
+
+func runWorld(t *testing.T, pes int, fn func(c *shmem.Ctx)) {
+	t.Helper()
+	cfg := runtime.Config{PEs: pes, WorkersPerPE: 1, Lamellae: runtime.LamellaeShmem}
+	if err := runtime.Run(cfg, func(w *runtime.World) { fn(shmem.New(w)) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Delivery must be the exact multiset of pushes, across two hops, for
+// grid-imperfect PE counts too.
+func TestConveyorDeliveryMultiset(t *testing.T) {
+	for _, pes := range []int{2, 3, 4, 5, 7, 9} {
+		pes := pes
+		t.Run(fmt.Sprintf("pes=%d", pes), func(t *testing.T) {
+			var mu sync.Mutex
+			sentAll := map[uint64]int{}
+			gotAll := map[uint64]int{}
+			runWorld(t, pes, func(c *shmem.Ctx) {
+				cv := New(c, 2, 8, func(item []uint64) {
+					if int(item[0]) != c.MyPE() {
+						panic(fmt.Sprintf("item for PE%d delivered to PE%d", item[0], c.MyPE()))
+					}
+					mu.Lock()
+					gotAll[item[1]]++
+					mu.Unlock()
+				})
+				c.Barrier()
+				rng := rand.New(rand.NewSource(int64(c.MyPE() * 7)))
+				for i := 0; i < 200; i++ {
+					dst := rng.Intn(c.NPEs())
+					tag := uint64(c.MyPE()*100000 + i)
+					mu.Lock()
+					sentAll[tag]++
+					mu.Unlock()
+					cv.Push(dst, []uint64{uint64(dst), tag})
+					if i%37 == 0 {
+						cv.Advance()
+					}
+				}
+				cv.Finish()
+			})
+			if len(gotAll) != len(sentAll) {
+				t.Fatalf("got %d distinct items, sent %d", len(gotAll), len(sentAll))
+			}
+			for tag, n := range sentAll {
+				if gotAll[tag] != n {
+					t.Fatalf("tag %d: got %d want %d", tag, gotAll[tag], n)
+				}
+			}
+		})
+	}
+}
+
+func TestConveyorSelfDelivery(t *testing.T) {
+	var n atomic.Int64
+	runWorld(t, 4, func(c *shmem.Ctx) {
+		cv := New(c, 1, 4, func(item []uint64) { n.Add(1) })
+		c.Barrier()
+		for i := 0; i < 5; i++ {
+			cv.Push(c.MyPE(), []uint64{uint64(i)})
+		}
+		cv.Finish()
+	})
+	if n.Load() != 20 {
+		t.Errorf("self deliveries = %d", n.Load())
+	}
+}

@@ -1,0 +1,116 @@
+// Package exstack reimplements BALE's Exstack library: synchronous,
+// bulk-synchronous aggregation over SHMEM. Every PE accumulates items
+// into per-destination buffers; when any buffer fills (or the caller
+// decides), all PEs enter a collective Exchange that moves every buffer
+// to its destination, after which items are popped locally. The paper
+// compares Lamellar against this library in Figs. 3–5.
+package exstack
+
+import (
+	"fmt"
+
+	"repro/internal/shmem"
+)
+
+// Exstack is one PE's handle. Items are fixed-width []uint64 records.
+type Exstack struct {
+	ctx       *shmem.Ctx
+	itemWords int
+	bufItems  int
+
+	out     [][]uint64 // per-destination outgoing items (flattened words)
+	in      *shmem.Sym[uint64]
+	inCnt   *shmem.Sym[uint64]
+	popSrc  int
+	popIdx  int
+	pending int // items pushed since last exchange (all destinations)
+}
+
+// New collectively creates an Exstack with the given item width (in
+// 64-bit words) and per-destination buffer capacity (in items).
+func New(ctx *shmem.Ctx, itemWords, bufItems int) *Exstack {
+	if itemWords < 1 || bufItems < 1 {
+		panic("exstack: bad geometry")
+	}
+	n := ctx.NPEs()
+	e := &Exstack{
+		ctx:       ctx,
+		itemWords: itemWords,
+		bufItems:  bufItems,
+		out:       make([][]uint64, n),
+		in:        shmem.Alloc[uint64](ctx, n*bufItems*itemWords),
+		inCnt:     shmem.Alloc[uint64](ctx, n),
+	}
+	e.popSrc = n // nothing to pop yet
+	return e
+}
+
+// Push appends an item destined for dst; it reports false (without
+// pushing) when dst's buffer is full — the caller must Exchange, exactly
+// like exstack_push in BALE.
+func (e *Exstack) Push(dst int, item []uint64) bool {
+	if len(item) != e.itemWords {
+		panic(fmt.Sprintf("exstack: item width %d, want %d", len(item), e.itemWords))
+	}
+	buf := e.out[dst]
+	if len(buf)/e.itemWords >= e.bufItems {
+		return false
+	}
+	e.out[dst] = append(buf, item...)
+	e.pending++
+	return true
+}
+
+// Exchange is collective: every PE transfers its outgoing buffers to the
+// per-source inbound slots of the destinations. Two barriers bracket the
+// data movement (the bulk-synchronous step of the model).
+func (e *Exstack) Exchange() {
+	ctx := e.ctx
+	me := ctx.MyPE()
+	ctx.Barrier() // previous round's inbound slots are free again
+	for dst := 0; dst < ctx.NPEs(); dst++ {
+		buf := e.out[dst]
+		nItems := len(buf) / e.itemWords
+		if nItems > 0 {
+			e.in.Put(dst, me*e.bufItems*e.itemWords, buf)
+		}
+		e.inCnt.P(dst, me, uint64(nItems))
+		e.out[dst] = buf[:0]
+	}
+	ctx.Barrier() // all inbound data visible
+	e.popSrc, e.popIdx = 0, 0
+	e.pending = 0
+}
+
+// Pop removes the next inbound item, reporting its source PE; ok is false
+// when the inbound buffers are drained.
+func (e *Exstack) Pop() (src int, item []uint64, ok bool) {
+	cnts := e.inCnt.Local()
+	data := e.in.Local()
+	for e.popSrc < e.ctx.NPEs() {
+		if uint64(e.popIdx) < cnts[e.popSrc] {
+			base := e.popSrc*e.bufItems*e.itemWords + e.popIdx*e.itemWords
+			item = data[base : base+e.itemWords]
+			src = e.popSrc
+			e.popIdx++
+			return src, item, true
+		}
+		e.popSrc++
+		e.popIdx = 0
+	}
+	return 0, nil, false
+}
+
+// Proceed is the collective loop condition: it returns true while any PE
+// still has work (is not done or holds unexchanged items), mirroring
+// exstack_proceed.
+func (e *Exstack) Proceed(imDone bool) bool {
+	busy := uint64(0)
+	if !imDone || e.pending > 0 {
+		busy = 1
+	}
+	return e.ctx.SumU64(busy) > 0
+}
+
+// BufItems reports the per-destination buffer capacity.
+func (e *Exstack) BufItems() int { return e.bufItems }

@@ -1,0 +1,104 @@
+package exstack
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/shmem"
+)
+
+func runWorld(t *testing.T, pes int, fn func(c *shmem.Ctx)) {
+	t.Helper()
+	cfg := runtime.Config{PEs: pes, WorkersPerPE: 1, Lamellae: runtime.LamellaeShmem}
+	if err := runtime.Run(cfg, func(w *runtime.World) { fn(shmem.New(w)) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mini histogram over Exstack: each PE sends updates; owners apply to a
+// local table; totals must conserve.
+func TestExstackHistogram(t *testing.T) {
+	var total atomic.Uint64
+	const updatesPerPE = 1000
+	const tablePerPE = 64
+	runWorld(t, 4, func(c *shmem.Ctx) {
+		ex := New(c, 1, 32)
+		table := make([]uint64, tablePerPE)
+		rng := rand.New(rand.NewSource(int64(c.MyPE())))
+		sent := 0
+		for ex.Proceed(sent == updatesPerPE) {
+			for sent < updatesPerPE {
+				g := rng.Intn(tablePerPE * c.NPEs())
+				if !ex.Push(g/tablePerPE, []uint64{uint64(g % tablePerPE)}) {
+					break
+				}
+				sent++
+			}
+			ex.Exchange()
+			for {
+				_, item, ok := ex.Pop()
+				if !ok {
+					break
+				}
+				table[item[0]]++
+			}
+		}
+		c.Barrier()
+		var local uint64
+		for _, v := range table {
+			local += v
+		}
+		total.Add(local)
+		c.Barrier()
+	})
+	if total.Load() != 4*updatesPerPE {
+		t.Errorf("total = %d, want %d", total.Load(), 4*updatesPerPE)
+	}
+}
+
+func TestExstackPushFullBuffer(t *testing.T) {
+	runWorld(t, 2, func(c *shmem.Ctx) {
+		ex := New(c, 2, 3)
+		for i := 0; i < 3; i++ {
+			if !ex.Push(1, []uint64{uint64(i), uint64(i * 2)}) {
+				panic("push should fit")
+			}
+		}
+		if ex.Push(1, []uint64{9, 9}) {
+			panic("push should fail when full")
+		}
+		ex.Exchange()
+		if c.MyPE() == 1 {
+			count := 0
+			for {
+				src, item, ok := ex.Pop()
+				if !ok {
+					break
+				}
+				if len(item) != 2 || item[1] != item[0]*2 {
+					panic(fmt.Sprintf("item %v from %d", item, src))
+				}
+				count++
+			}
+			if count != 6 { // both PEs pushed 3 items to PE1
+				panic(fmt.Sprintf("popped %d", count))
+			}
+		}
+		c.Barrier()
+		// second exchange delivers the item that did not fit
+		if c.MyPE() == 0 {
+			ex.Push(1, []uint64{9, 18})
+		}
+		ex.Exchange()
+		if c.MyPE() == 1 {
+			_, item, ok := ex.Pop()
+			if !ok || item[0] != 9 {
+				panic("second round item missing")
+			}
+		}
+		c.Barrier()
+	})
+}

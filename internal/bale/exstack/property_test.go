@@ -1,0 +1,77 @@
+package exstack
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/shmem"
+)
+
+// Property: across random world sizes, buffer depths and item widths, the
+// popped multiset equals the pushed multiset and every item arrives at
+// its intended destination.
+func TestExstackDeliveryMultiset(t *testing.T) {
+	for _, tc := range []struct{ pes, buf, words, items int }{
+		{2, 4, 1, 100},
+		{3, 7, 2, 211},
+		{5, 16, 3, 500},
+		{4, 1, 1, 64}, // single-item buffers force many exchanges
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("pes%d_buf%d_w%d", tc.pes, tc.buf, tc.words), func(t *testing.T) {
+			var mu sync.Mutex
+			sent := map[string]int{}
+			got := map[string]int{}
+			runWorld(t, tc.pes, func(c *shmem.Ctx) {
+				ex := New(c, tc.words, tc.buf)
+				rng := rand.New(rand.NewSource(int64(c.MyPE()*31 + tc.items)))
+				pushed := 0
+				for ex.Proceed(pushed == tc.items) {
+					for pushed < tc.items {
+						dst := rng.Intn(c.NPEs())
+						item := make([]uint64, tc.words)
+						item[0] = uint64(c.MyPE()*1_000_000 + pushed)
+						for k := 1; k < tc.words; k++ {
+							item[k] = uint64(dst)
+						}
+						key := fmt.Sprintf("%d->%d:%d", c.MyPE(), dst, item[0])
+						if !ex.Push(dst, item) {
+							break
+						}
+						mu.Lock()
+						sent[key]++
+						mu.Unlock()
+						pushed++
+					}
+					ex.Exchange()
+					for {
+						src, item, ok := ex.Pop()
+						if !ok {
+							break
+						}
+						for k := 1; k < tc.words; k++ {
+							if item[k] != uint64(c.MyPE()) {
+								panic("item delivered to wrong destination")
+							}
+						}
+						key := fmt.Sprintf("%d->%d:%d", src, c.MyPE(), item[0])
+						mu.Lock()
+						got[key]++
+						mu.Unlock()
+					}
+				}
+				c.Barrier()
+			})
+			if len(got) != len(sent) {
+				t.Fatalf("got %d distinct items, sent %d", len(got), len(sent))
+			}
+			for k, n := range sent {
+				if got[k] != n {
+					t.Fatalf("item %s: got %d want %d", k, got[k], n)
+				}
+			}
+		})
+	}
+}

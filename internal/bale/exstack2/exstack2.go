@@ -1,0 +1,182 @@
+// Package exstack2 reimplements BALE's Exstack2 library: the asynchronous
+// successor of Exstack. Per-destination buffers flush as they fill —
+// without any global barrier — through per-source mailbox slots, and
+// completion uses asynchronous distributed termination detection instead
+// of collective rounds. Items are delivered to a handler callback, which
+// may itself push new items (the mechanism Randperm-style kernels use to
+// re-throw).
+package exstack2
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/shmem"
+)
+
+// Handler consumes one delivered item on the destination PE.
+type Handler func(src int, item []uint64)
+
+// Exstack2 is one PE's handle.
+type Exstack2 struct {
+	ctx       *shmem.Ctx
+	itemWords int
+	bufItems  int
+	mbox      *shmem.Mailbox
+	term      *shmem.Terminator
+	out       [][]uint64
+	handler   Handler
+	draining  bool
+	flushing  bool   // guards against re-entrant flush via progress callbacks
+	coWork    func() // sibling-plane progress (see SetCoProgress)
+	advancing bool   // breaks co-progress recursion cycles
+}
+
+// New collectively creates an Exstack2. Termination counts items at push
+// (origin) and delivery (destination), so buffered or in-flight items
+// always hold off quiescence.
+func New(ctx *shmem.Ctx, itemWords, bufItems int, handler Handler) *Exstack2 {
+	if itemWords < 1 || bufItems < 1 {
+		panic("exstack2: bad geometry")
+	}
+	e := &Exstack2{
+		ctx:       ctx,
+		itemWords: itemWords,
+		bufItems:  bufItems,
+		mbox:      shmem.NewMailbox(ctx, bufItems*itemWords),
+		term:      shmem.NewTerminator(ctx),
+		out:       make([][]uint64, ctx.NPEs()),
+		handler:   handler,
+	}
+	return e
+}
+
+// Push appends an item for dst, attempting a non-blocking flush when the
+// buffer fills. All internal sends are non-blocking (stranded buffers are
+// retried on every Advance), which makes the library deadlock-free by
+// construction: no goroutine ever waits on a remote credit while holding
+// progress guards. Under backpressure the pusher itself runs the progress
+// engine until the buffer drains toward its bound.
+func (e *Exstack2) Push(dst int, item []uint64) {
+	if len(item) != e.itemWords {
+		panic(fmt.Sprintf("exstack2: item width %d, want %d", len(item), e.itemWords))
+	}
+	e.term.NoteSent(1)
+	e.out[dst] = append(e.out[dst], item...)
+	if (len(e.out[dst])/e.itemWords)%e.bufItems == 0 {
+		e.tryFlush(dst)
+	}
+	// Backpressure (only at top level; handler re-pushes must not spin):
+	for !e.advancing && len(e.out[dst])/e.itemWords >= 8*e.bufItems {
+		if !e.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+		e.tryFlush(dst)
+	}
+}
+
+// tryFlush attempts to put dst's buffer on the wire without blocking,
+// in slot-sized chunks; whatever does not fit stays buffered. Reports
+// whether the buffer is now empty.
+func (e *Exstack2) tryFlush(dst int) bool {
+	if e.flushing {
+		return false
+	}
+	buf := e.out[dst]
+	if len(buf) == 0 {
+		return true
+	}
+	e.flushing = true
+	// Send chunks from the front in place; compact only after progress so
+	// a failed attempt (no credit) costs one local check, not a copy.
+	maxWords := e.bufItems * e.itemWords
+	sent := 0
+	for sent < len(buf) {
+		n := min(len(buf)-sent, maxWords)
+		if !e.mbox.TrySend(dst, buf[sent:sent+n]) {
+			break
+		}
+		sent += n
+	}
+	if sent > 0 {
+		rest := copy(buf, buf[sent:])
+		e.out[dst] = buf[:rest]
+	}
+	e.flushing = false
+	return len(e.out[dst]) == 0
+}
+
+// tryFlushAll attempts a non-blocking flush of every buffer; reports
+// whether all are empty.
+func (e *Exstack2) tryFlushAll() bool {
+	all := true
+	for dst := range e.out {
+		if !e.tryFlush(dst) {
+			all = false
+		}
+	}
+	return all
+}
+
+// FlushAll pushes every non-empty buffer onto the wire, running the
+// progress engine while destinations exert backpressure. Waiting on
+// remote credits sleeps briefly instead of spinning, so oversubscribed
+// schedulers (many PE goroutines per core) keep everyone progressing.
+func (e *Exstack2) FlushAll() {
+	for !e.tryFlushAll() {
+		if !e.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// SetCoProgress registers a sibling plane's progress function, invoked on
+// every Advance. Multi-plane kernels need it: while a PE drains or blocks
+// on one plane it must keep serving the others, or mutual blocking sends
+// deadlock. Linking planes both ways is safe: Advance breaks recursion
+// cycles internally.
+func (e *Exstack2) SetCoProgress(f func()) { e.coWork = f }
+
+// Advance runs the progress engine: deliver every available inbound item
+// to the handler. Returns whether anything was delivered. Call it
+// regularly from compute loops (the BALE progress-function discipline).
+func (e *Exstack2) Advance() bool {
+	if e.advancing {
+		return false // re-entered through a co-progress cycle
+	}
+	e.advancing = true
+	defer func() { e.advancing = false }()
+	delivered := false
+	e.mbox.Poll(func(src int, words []uint64) {
+		n := len(words) / e.itemWords
+		for k := 0; k < n; k++ {
+			e.handler(src, words[k*e.itemWords:(k+1)*e.itemWords])
+			e.term.NoteRecv(1)
+			delivered = true
+		}
+	})
+	if e.coWork != nil {
+		e.coWork()
+	}
+	e.tryFlushAll() // retry stranded buffers (incl. handler re-pushes)
+	return delivered
+}
+
+// Finish flushes, then serves inbound traffic until the whole world is
+// quiescent (every pushed item delivered everywhere). All PEs call it.
+func (e *Exstack2) Finish() {
+	e.FlushAll()
+	e.term.SetDone(true)
+	e.term.DrainUntilQuiet(e.Advance)
+	e.ctx.Barrier()
+}
+
+// Reset prepares the instance for another phase (collective: all PEs,
+// with the implied barrier from Finish or an explicit one).
+func (e *Exstack2) Reset() {
+	e.term.Reset()
+	for i := range e.out {
+		e.out[i] = e.out[i][:0]
+	}
+	e.ctx.Barrier()
+}

@@ -1,0 +1,92 @@
+package exstack2
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/shmem"
+)
+
+func runWorld(t *testing.T, pes int, fn func(c *shmem.Ctx)) {
+	t.Helper()
+	cfg := runtime.Config{PEs: pes, WorkersPerPE: 1, Lamellae: runtime.LamellaeShmem}
+	if err := runtime.Run(cfg, func(w *runtime.World) { fn(shmem.New(w)) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExstack2Histogram(t *testing.T) {
+	var total atomic.Uint64
+	const updatesPerPE = 2000
+	const tablePerPE = 64
+	runWorld(t, 4, func(c *shmem.Ctx) {
+		table := make([]uint64, tablePerPE)
+		ex := New(c, 1, 64, func(src int, item []uint64) {
+			table[item[0]]++
+		})
+		c.Barrier()
+		rng := rand.New(rand.NewSource(int64(c.MyPE() + 1)))
+		for i := 0; i < updatesPerPE; i++ {
+			g := rng.Intn(tablePerPE * c.NPEs())
+			ex.Push(g/tablePerPE, []uint64{uint64(g % tablePerPE)})
+			if i%128 == 0 {
+				ex.Advance()
+			}
+		}
+		ex.Finish()
+		var local uint64
+		for _, v := range table {
+			local += v
+		}
+		total.Add(local)
+		c.Barrier()
+	})
+	if total.Load() != 4*updatesPerPE {
+		t.Errorf("total = %d, want %d", total.Load(), 4*updatesPerPE)
+	}
+}
+
+// Handlers that push new work (randperm-style re-throws) must still
+// terminate correctly.
+func TestExstack2HandlerRepush(t *testing.T) {
+	var landed atomic.Uint64
+	runWorld(t, 3, func(c *shmem.Ctx) {
+		var ex *Exstack2
+		ex = New(c, 2, 16, func(src int, item []uint64) {
+			hops, id := item[0], item[1]
+			if hops == 0 {
+				landed.Add(1)
+				return
+			}
+			ex.Push(int(id)%c.NPEs(), []uint64{hops - 1, id + 1})
+		})
+		c.Barrier()
+		for i := 0; i < 20; i++ {
+			ex.Push((c.MyPE()+1)%c.NPEs(), []uint64{5, uint64(i)})
+		}
+		ex.Finish()
+	})
+	if landed.Load() != 3*20 {
+		t.Errorf("landed = %d, want 60", landed.Load())
+	}
+}
+
+func TestExstack2ResetAndReuse(t *testing.T) {
+	var count atomic.Uint64
+	runWorld(t, 2, func(c *shmem.Ctx) {
+		ex := New(c, 1, 8, func(src int, item []uint64) { count.Add(1) })
+		c.Barrier()
+		for phase := 0; phase < 3; phase++ {
+			for i := 0; i < 10; i++ {
+				ex.Push(1-c.MyPE(), []uint64{uint64(i)})
+			}
+			ex.Finish()
+			ex.Reset()
+		}
+	})
+	if count.Load() != 2*10*3 {
+		t.Errorf("count = %d, want 60", count.Load())
+	}
+}

@@ -1,0 +1,317 @@
+package kernels
+
+import (
+	"sync/atomic"
+
+	"repro/internal/array"
+	"repro/internal/bale/chapelagg"
+	"repro/internal/bale/conveyor"
+	"repro/internal/bale/exstack"
+	"repro/internal/bale/exstack2"
+	"repro/internal/bale/selector"
+	"repro/internal/darc"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/serde"
+	"repro/internal/shmem"
+)
+
+// Histogram (§IV-B1): each PE draws UpdatesPerPE uniform indices into a
+// distributed table of TablePerPE×P elements and increments them — the
+// GUPS-style small-message all-to-all pattern.
+
+// HistoExstack is the synchronous bulk-exchange implementation.
+func HistoExstack(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := make([]uint64, p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 1)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	ex := exstack.New(c, 1, p.BufItems)
+
+	c.Barrier()
+	t.start()
+	sent := 0
+	for ex.Proceed(sent == len(idxs)) {
+		for sent < len(idxs) {
+			pe, off := placeOf(idxs[sent], p.TablePerPE)
+			if !ex.Push(pe, []uint64{uint64(off)}) {
+				break
+			}
+			sent++
+		}
+		ex.Exchange()
+		for {
+			_, item, ok := ex.Pop()
+			if !ok {
+				break
+			}
+			table[item[0]]++
+		}
+	}
+	c.Barrier()
+	t.stop()
+	return verifyHisto(w, p, table)
+}
+
+// HistoExstack2 is the asynchronous buffered implementation.
+func HistoExstack2(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := make([]uint64, p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 1)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	ex := exstack2.New(c, 1, p.BufItems, func(src int, item []uint64) {
+		table[item[0]]++
+	})
+
+	c.Barrier()
+	t.start()
+	for i, g := range idxs {
+		pe, off := placeOf(g, p.TablePerPE)
+		ex.Push(pe, []uint64{uint64(off)})
+		if i%1024 == 0 {
+			ex.Advance()
+		}
+	}
+	ex.Finish()
+	t.stop()
+	return verifyHisto(w, p, table)
+}
+
+// HistoConveyor is the two-hop matrix-routed implementation.
+func HistoConveyor(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := make([]uint64, p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 1)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	cv := conveyor.New(c, 1, p.BufItems, func(item []uint64) {
+		table[item[0]]++
+	})
+
+	c.Barrier()
+	t.start()
+	for i, g := range idxs {
+		pe, off := placeOf(g, p.TablePerPE)
+		cv.Push(pe, []uint64{uint64(off)})
+		if i%1024 == 0 {
+			cv.Advance()
+		}
+	}
+	cv.Finish()
+	t.stop()
+	return verifyHisto(w, p, table)
+}
+
+// HistoSelector is the actor-model implementation.
+func HistoSelector(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := make([]uint64, p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 1)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	s := selector.New(c, 1, 1, p.BufItems, func(mbx, src int, item []uint64) {
+		table[item[0]]++
+	})
+
+	c.Barrier()
+	t.start()
+	for i, g := range idxs {
+		pe, off := placeOf(g, p.TablePerPE)
+		s.Send(0, pe, []uint64{uint64(off)})
+		if i%1024 == 0 {
+			s.Advance()
+		}
+	}
+	s.Done()
+	t.stop()
+	return verifyHisto(w, p, table)
+}
+
+// HistoChapel uses the Chapel-style destination aggregator.
+func HistoChapel(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := make([]uint64, p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 1)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	agg := chapelagg.NewDst(c, chapelagg.DefaultBufItems, func(off int, val uint64) {
+		table[off] += val
+	})
+
+	c.Barrier()
+	t.start()
+	for i, g := range idxs {
+		pe, off := placeOf(g, p.TablePerPE)
+		agg.Update(pe, off, 1)
+		if i%1024 == 0 {
+			agg.Advance()
+		}
+	}
+	agg.Finish()
+	t.stop()
+	return verifyHisto(w, p, table)
+}
+
+// verifyHisto checks conservation of the update count.
+func verifyHisto(w *runtime.World, p Params, table []uint64) error {
+	var local uint64
+	for _, v := range table {
+		local += v
+	}
+	return verifyCount(w, local, uint64(p.UpdatesPerPE)*uint64(w.NumPEs()), "histogram")
+}
+
+// ----- Lamellar implementations -------------------------------------------
+
+// histoAM is the paper's manually-aggregated Histogram AM: a Vec of
+// destination-local indices plus a Darc to the distributed table; the
+// handler atomically increments the executing PE's instance.
+type histoAM struct {
+	Table *darc.Darc[[]uint64]
+	Idxs  []uint64
+}
+
+func (a *histoAM) MarshalLamellar(e *serde.Encoder) {
+	a.Table.MarshalLamellar(e)
+	serde.EncodeFixedSlice(e, a.Idxs) // bincode-style fixed width, like the Rust AMs
+}
+
+func (a *histoAM) UnmarshalLamellar(d *serde.Decoder) error {
+	var err error
+	a.Table, err = darc.UnmarshalDarc[[]uint64](d)
+	if err != nil {
+		return err
+	}
+	a.Idxs = serde.DecodeFixedSlice[uint64](d)
+	return d.Err()
+}
+
+func (a *histoAM) Exec(ctx *runtime.Context) any {
+	tbl := a.Table.Get()
+	for _, i := range a.Idxs {
+		atomic.AddUint64(&tbl[i], 1)
+	}
+	a.Table.Drop() // the AM's reference (moved in at launch)
+	return nil
+}
+
+func init() {
+	runtime.RegisterAM[histoAM]("kernels.histoAM")
+}
+
+// HistoLamellarAM is the hand-optimized Lamellar version: indices are
+// aggregated per destination into Vec-AMs (the best performer in Fig. 3).
+func HistoLamellarAM(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	team := w.Team()
+	local := make([]uint64, p.TablePerPE)
+	table := darc.New(team, local)
+	rng := rngFor(p, w.MyPE(), 1)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*w.NumPEs())
+
+	w.Barrier()
+	t.start()
+	// The paper's AM version iterates the random indices *in parallel*,
+	// each thread maintaining its own per-destination update buffers; we
+	// split the index stream across the PE's worker threads the same way.
+	nThreads := w.Pool().Workers()
+	if nThreads > len(idxs) {
+		nThreads = 1
+	}
+	var futs []*scheduler.Future[struct{}]
+	chunk := (len(idxs) + nThreads - 1) / nThreads
+	for lo := 0; lo < len(idxs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		mine := idxs[lo:hi]
+		futs = append(futs, scheduler.Spawn(w.Pool(), func() (struct{}, error) {
+			bufs := make([][]uint64, w.NumPEs())
+			flush := func(pe int) {
+				if len(bufs[pe]) == 0 {
+					return
+				}
+				w.ExecAM(pe, &histoAM{Table: table.Clone(), Idxs: bufs[pe]})
+				bufs[pe] = nil
+			}
+			for _, g := range mine {
+				pe, off := placeOf(g, p.TablePerPE)
+				bufs[pe] = append(bufs[pe], uint64(off))
+				if len(bufs[pe]) >= p.BufItems {
+					flush(pe)
+				}
+			}
+			for pe := range bufs {
+				flush(pe)
+			}
+			return struct{}{}, nil
+		}))
+	}
+	for _, f := range futs {
+		if _, err := runtime.BlockOn(w, f); err != nil {
+			return err
+		}
+	}
+	w.WaitAll()
+	w.Barrier()
+	t.stop()
+
+	var sum uint64
+	for _, v := range local {
+		sum += v
+	}
+	err := verifyCount(w, sum, uint64(p.UpdatesPerPE)*uint64(w.NumPEs()), "histogram-am")
+	w.Barrier()
+	table.Drop()
+	return err
+}
+
+// HistoLamellarArray is Listing 2: a batch_add on an AtomicArray, with all
+// batching, sub-batch splitting and dispatch handled by the runtime.
+func HistoLamellarArray(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	tableLen := p.TablePerPE * w.NumPEs()
+	tbl := array.NewAtomicArray[uint64](w.Team(), tableLen, array.Block)
+	rng := rngFor(p, w.MyPE(), 1)
+	gIdx := randIndices(rng, p.UpdatesPerPE, tableLen)
+	idxs := make([]int, len(gIdx))
+	for i, g := range gIdx {
+		idxs[i] = int(g)
+	}
+
+	w.Barrier()
+	t.start()
+	if _, err := runtime.BlockOn(w, tbl.BatchAdd(idxs, 1)); err != nil {
+		return err
+	}
+	w.Barrier()
+	t.stop()
+
+	sum, err := runtime.BlockOn(w, tbl.Sum())
+	if err != nil {
+		return err
+	}
+	want := uint64(p.UpdatesPerPE) * uint64(w.NumPEs())
+	if sum != want {
+		return errMismatch("histogram-array", sum, want)
+	}
+	w.Barrier()
+	tbl.Drop()
+	return nil
+}
+
+func errMismatch(what string, got, want uint64) error {
+	return &mismatchError{what: what, got: got, want: want}
+}
+
+type mismatchError struct {
+	what      string
+	got, want uint64
+}
+
+func (e *mismatchError) Error() string {
+	return "kernels: " + e.what + ": verification mismatch"
+}

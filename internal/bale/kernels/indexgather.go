@@ -1,0 +1,380 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/bale/chapelagg"
+	"repro/internal/bale/conveyor"
+	"repro/internal/bale/exstack"
+	"repro/internal/bale/exstack2"
+	"repro/internal/bale/selector"
+	"repro/internal/darc"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/serde"
+	"repro/internal/shmem"
+)
+
+// IndexGather (§IV-B2): target[i] = table[rand_i] — random remote *reads*,
+// harder than Histogram because every request needs a second message to
+// carry the value home. The shared convention: table[g] = g globally, so
+// every implementation can verify results locally.
+
+// igFillTable initializes this PE's slice of the conceptual table.
+func igFillTable(pe, perPE int) []uint64 {
+	t := make([]uint64, perPE)
+	for i := range t {
+		t[i] = uint64(pe*perPE + i)
+	}
+	return t
+}
+
+// igVerify checks every gathered value against the table fill rule.
+func igVerify(w *runtime.World, idxs []uint64, target []uint64) error {
+	for i, g := range idxs {
+		if target[i] != g {
+			return fmt.Errorf("kernels: indexgather: target[%d] = %d, want %d", i, target[i], g)
+		}
+	}
+	// cheap collective so every PE agrees the phase ended
+	return verifyCount(w, uint64(len(idxs)), uint64(len(idxs)*w.NumPEs()), "indexgather")
+}
+
+// IGExstack: synchronous — requests round, then replies round, repeated.
+func IGExstack(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := igFillTable(c.MyPE(), p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 2)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	target := make([]uint64, len(idxs))
+	req := exstack.New(c, 2, p.BufItems) // [off, pos]
+	rep := exstack.New(c, 2, p.BufItems) // [pos, val]
+
+	c.Barrier()
+	t.start()
+	sent := 0
+	for req.Proceed(sent == len(idxs)) {
+		for sent < len(idxs) {
+			pe, off := placeOf(idxs[sent], p.TablePerPE)
+			if !req.Push(pe, []uint64{uint64(off), uint64(sent)}) {
+				break
+			}
+			sent++
+		}
+		req.Exchange()
+		for {
+			src, item, ok := req.Pop()
+			if !ok {
+				break
+			}
+			// replies can exceed the buffer of one destination; exchange
+			// mid-drain would desynchronize, so size reply pushes safely:
+			// each inbound request generates exactly one reply to src, and
+			// src sent at most BufItems requests, so the reply buffer to
+			// src can never overflow within one round.
+			if !rep.Push(src, []uint64{item[1], table[item[0]]}) {
+				return fmt.Errorf("kernels: indexgather reply buffer overflow")
+			}
+		}
+		rep.Exchange()
+		for {
+			_, item, ok := rep.Pop()
+			if !ok {
+				break
+			}
+			target[item[0]] = item[1]
+		}
+	}
+	c.Barrier()
+	t.stop()
+	return igVerify(w, idxs, target)
+}
+
+// IGExstack2: asynchronous request and reply planes.
+func IGExstack2(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := igFillTable(c.MyPE(), p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 2)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	target := make([]uint64, len(idxs))
+
+	var rep *exstack2.Exstack2
+	req := exstack2.New(c, 2, p.BufItems, func(src int, item []uint64) {
+		rep.Push(src, []uint64{item[1], table[item[0]]})
+	})
+	rep = exstack2.New(c, 2, p.BufItems, func(src int, item []uint64) {
+		target[item[0]] = item[1]
+	})
+	// While a PE drains or blocks on either plane it must keep serving
+	// the other, or mutual blocking sends deadlock (SetCoProgress).
+	req.SetCoProgress(func() { rep.Advance() })
+	rep.SetCoProgress(func() { req.Advance() })
+
+	c.Barrier()
+	t.start()
+	for i, g := range idxs {
+		pe, off := placeOf(g, p.TablePerPE)
+		req.Push(pe, []uint64{uint64(off), uint64(i)})
+		if i%1024 == 0 {
+			req.Advance()
+			rep.Advance()
+		}
+	}
+	req.Finish() // all requests delivered (handlers buffered replies)
+	rep.Finish() // all replies applied
+	t.stop()
+	return igVerify(w, idxs, target)
+}
+
+// IGConveyor: two conveyors (requests carry the requester id).
+func IGConveyor(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := igFillTable(c.MyPE(), p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 2)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	target := make([]uint64, len(idxs))
+
+	var rep *conveyor.Conveyor
+	req := conveyor.New(c, 3, p.BufItems, func(item []uint64) {
+		// [off, requester, pos]
+		rep.Push(int(item[1]), []uint64{item[2], table[item[0]]})
+	})
+	rep = conveyor.New(c, 2, p.BufItems, func(item []uint64) {
+		target[item[0]] = item[1]
+	})
+	req.SetCoProgress(func() { rep.Advance() })
+	rep.SetCoProgress(func() { req.Advance() })
+
+	c.Barrier()
+	t.start()
+	for i, g := range idxs {
+		pe, off := placeOf(g, p.TablePerPE)
+		req.Push(pe, []uint64{uint64(off), uint64(c.MyPE()), uint64(i)})
+		if i%1024 == 0 {
+			req.Advance()
+			rep.Advance()
+		}
+	}
+	req.Finish()
+	rep.Finish()
+	t.stop()
+	return igVerify(w, idxs, target)
+}
+
+// IGSelector: one actor, two mailboxes (REQUEST / RESPONSE), the
+// bale_actor IndexGather pattern.
+func IGSelector(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := igFillTable(c.MyPE(), p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 2)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	target := make([]uint64, len(idxs))
+
+	var s *selector.Selector
+	s = selector.New(c, 2, 2, p.BufItems, func(mbx, src int, item []uint64) {
+		switch mbx {
+		case 0: // request [off, pos]
+			s.Send(1, src, []uint64{item[1], table[item[0]]})
+		case 1: // response [pos, val]
+			target[item[0]] = item[1]
+		}
+	})
+
+	c.Barrier()
+	t.start()
+	for i, g := range idxs {
+		pe, off := placeOf(g, p.TablePerPE)
+		s.Send(0, pe, []uint64{uint64(off), uint64(i)})
+		if i%1024 == 0 {
+			s.Advance()
+		}
+	}
+	s.Done()
+	t.stop()
+	return igVerify(w, idxs, target)
+}
+
+// IGChapel uses the Chapel-style source (gather) aggregator that wins
+// Fig. 4 in the paper.
+func IGChapel(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	c := shmem.New(w)
+	table := igFillTable(c.MyPE(), p.TablePerPE)
+	rng := rngFor(p, c.MyPE(), 2)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*c.NPEs())
+	target := make([]uint64, len(idxs))
+	agg := chapelagg.NewSrc(c, chapelagg.DefaultBufItems,
+		func(off int) uint64 { return table[off] }, target)
+
+	c.Barrier()
+	t.start()
+	for i, g := range idxs {
+		pe, off := placeOf(g, p.TablePerPE)
+		agg.Gather(pe, off, i)
+		if i%1024 == 0 {
+			agg.Advance()
+		}
+	}
+	agg.Finish()
+	t.stop()
+	return igVerify(w, idxs, target)
+}
+
+// ----- Lamellar implementations -------------------------------------------
+
+// igAM is the manually-aggregated gather AM: destination-local offsets in,
+// values out (the second message is the AM return).
+type igAM struct {
+	Table *darc.Darc[[]uint64]
+	Offs  []uint64
+}
+
+func (a *igAM) MarshalLamellar(e *serde.Encoder) {
+	a.Table.MarshalLamellar(e)
+	serde.EncodeFixedSlice(e, a.Offs)
+}
+
+func (a *igAM) UnmarshalLamellar(d *serde.Decoder) error {
+	var err error
+	a.Table, err = darc.UnmarshalDarc[[]uint64](d)
+	if err != nil {
+		return err
+	}
+	a.Offs = serde.DecodeFixedSlice[uint64](d)
+	return d.Err()
+}
+
+func (a *igAM) Exec(ctx *runtime.Context) any {
+	tbl := a.Table.Get()
+	vals := make([]uint64, len(a.Offs))
+	for i, off := range a.Offs {
+		vals[i] = tbl[off]
+	}
+	a.Table.Drop()
+	return vals
+}
+
+func init() {
+	runtime.RegisterAM[igAM]("kernels.igAM")
+}
+
+// IGLamellarAM is the hand-aggregated Lamellar IndexGather.
+func IGLamellarAM(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	team := w.Team()
+	table := darc.New(team, igFillTable(w.MyPE(), p.TablePerPE))
+	rng := rngFor(p, w.MyPE(), 2)
+	idxs := randIndices(rng, p.UpdatesPerPE, p.TablePerPE*w.NumPEs())
+	target := make([]uint64, len(idxs))
+
+	w.Barrier()
+	t.start()
+	// Parallel pushers with per-thread request buffers, as in Histogram
+	// (the paper's hand-optimized AM versions use one buffer set per
+	// thread to mirror the PE-per-core baselines).
+	nThreads := w.Pool().Workers()
+	if nThreads > len(idxs) {
+		nThreads = 1
+	}
+	chunk := (len(idxs) + nThreads - 1) / nThreads
+	var outer []*scheduler.Future[struct{}]
+	for lo := 0; lo < len(idxs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		base := lo
+		mine := idxs[lo:hi]
+		outer = append(outer, scheduler.Spawn(w.Pool(), func() (struct{}, error) {
+			offs := make([][]uint64, w.NumPEs())
+			poss := make([][]int, w.NumPEs())
+			var futures []*scheduler.Future[struct{}]
+			flush := func(pe int) {
+				if len(offs[pe]) == 0 {
+					return
+				}
+				myOffs, myPoss := offs[pe], poss[pe]
+				offs[pe], poss[pe] = nil, nil
+				pr, fut := scheduler.NewPromise[struct{}](w.Pool())
+				futures = append(futures, fut)
+				runtime.ExecTyped[[]uint64](w, pe, &igAM{Table: table.Clone(), Offs: myOffs}).
+					OnDone(func(vals []uint64, err error) {
+						if err == nil {
+							for k, pos := range myPoss {
+								target[pos] = vals[k]
+							}
+							pr.Complete(struct{}{})
+						} else {
+							pr.CompleteErr(err)
+						}
+					})
+			}
+			for i, g := range mine {
+				pe, off := placeOf(g, p.TablePerPE)
+				offs[pe] = append(offs[pe], uint64(off))
+				poss[pe] = append(poss[pe], base+i)
+				if len(offs[pe]) >= p.BufItems {
+					flush(pe)
+				}
+			}
+			for pe := range offs {
+				flush(pe)
+			}
+			for _, f := range futures {
+				if _, err := f.Await(); err != nil {
+					return struct{}{}, err
+				}
+			}
+			return struct{}{}, nil
+		}))
+	}
+	for _, f := range outer {
+		if _, err := runtime.BlockOn(w, f); err != nil {
+			return err
+		}
+	}
+	w.Barrier()
+	t.stop()
+	err := igVerify(w, idxs, target)
+	w.Barrier()
+	table.Drop()
+	return err
+}
+
+// IGLamellarArray is the batch_load on a ReadOnlyArray from §IV-B2.
+func IGLamellarArray(w *runtime.World, p Params, t *Timing) error {
+	p = p.WithDefaults()
+	tableLen := p.TablePerPE * w.NumPEs()
+	ua := array.NewUnsafeArray[uint64](w.Team(), tableLen, array.Block)
+	fill := igFillTable(w.MyPE(), p.TablePerPE)
+	ua.PutUnchecked(w.MyPE()*p.TablePerPE, fill) // local init
+	w.Barrier()
+	tbl := ua.IntoReadOnly()
+
+	rng := rngFor(p, w.MyPE(), 2)
+	gIdx := randIndices(rng, p.UpdatesPerPE, tableLen)
+	idxs := make([]int, len(gIdx))
+	for i, g := range gIdx {
+		idxs[i] = int(g)
+	}
+
+	w.Barrier()
+	t.start()
+	target, err := runtime.BlockOn(w, tbl.BatchLoad(idxs))
+	if err != nil {
+		return err
+	}
+	w.Barrier()
+	t.stop()
+	if err := igVerify(w, gIdx, target); err != nil {
+		return err
+	}
+	w.Barrier()
+	tbl.Drop()
+	return nil
+}

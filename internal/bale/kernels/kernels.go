@@ -1,0 +1,144 @@
+// Package kernels implements the three BALE kernels the paper evaluates —
+// Histogram, IndexGather, Randperm — once per communication system:
+// Exstack, Exstack2, Conveyors, Selectors, a Chapel-style aggregator, a
+// hand-aggregated Lamellar Active-Message version, and a LamellarArray
+// version. Every implementation of a kernel computes the same answer over
+// the same workload parameters, so the benchmark harness can regenerate
+// the comparisons of Figs. 3–5.
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/runtime"
+)
+
+// Params fixes a kernel workload. The paper's experiments use 1000 table
+// elements per core, 10M updates per core, aggregation limited to 10 000
+// operations, and for Randperm 1M darts per core with a 2x target array.
+type Params struct {
+	// TablePerPE is the distributed table size per PE (Histogram,
+	// IndexGather).
+	TablePerPE int
+	// UpdatesPerPE is the number of updates/requests per PE.
+	UpdatesPerPE int
+	// BufItems limits aggregation buffers to this many operations.
+	BufItems int
+	// DartsPerPE is the Randperm permutation size per PE.
+	DartsPerPE int
+	// TargetFactor sizes the Randperm target array (paper: 2x).
+	TargetFactor int
+	// Seed makes workloads reproducible; each PE derives its own stream.
+	Seed int64
+}
+
+// WithDefaults fills unset fields with scaled-down defaults.
+func (p Params) WithDefaults() Params {
+	if p.TablePerPE <= 0 {
+		p.TablePerPE = 1000
+	}
+	if p.UpdatesPerPE <= 0 {
+		p.UpdatesPerPE = 100_000
+	}
+	if p.BufItems <= 0 {
+		p.BufItems = 10_000
+	}
+	if p.DartsPerPE <= 0 {
+		p.DartsPerPE = 100_000
+	}
+	if p.TargetFactor <= 0 {
+		p.TargetFactor = 2
+	}
+	if p.Seed == 0 {
+		p.Seed = 0xBA1E
+	}
+	return p
+}
+
+// Timing brackets the measured region of a kernel. Every PE calls Start
+// immediately after a barrier and Stop after the closing barrier; the
+// harness decides which PE's calls matter. A nil Timing is valid.
+type Timing struct {
+	Start func()
+	Stop  func()
+}
+
+func (t *Timing) start() {
+	if t != nil && t.Start != nil {
+		t.Start()
+	}
+}
+
+func (t *Timing) stop() {
+	if t != nil && t.Stop != nil {
+		t.Stop()
+	}
+}
+
+// rngFor derives a PE-local random stream.
+func rngFor(p Params, pe int, salt int64) *rand.Rand {
+	mix := uint64(p.Seed) ^ uint64(pe+1)*0x9E3779B97F4A7C15 ^ uint64(salt)
+	return rand.New(rand.NewSource(int64(mix)))
+}
+
+// randIndices draws n uniform global indices in [0, span).
+func randIndices(rng *rand.Rand, n, span int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(rng.Intn(span))
+	}
+	return out
+}
+
+// KernelFunc runs one implementation of one kernel on the calling PE.
+type KernelFunc func(w *runtime.World, p Params, t *Timing) error
+
+// Histogram maps implementation names to runners (Fig. 3's series).
+var Histogram = map[string]KernelFunc{
+	"exstack":        HistoExstack,
+	"exstack2":       HistoExstack2,
+	"conveyor":       HistoConveyor,
+	"selector":       HistoSelector,
+	"chapel":         HistoChapel,
+	"lamellar-am":    HistoLamellarAM,
+	"lamellar-array": HistoLamellarArray,
+}
+
+// IndexGather maps implementation names to runners (Fig. 4's series).
+var IndexGather = map[string]KernelFunc{
+	"exstack":        IGExstack,
+	"exstack2":       IGExstack2,
+	"conveyor":       IGConveyor,
+	"selector":       IGSelector,
+	"chapel":         IGChapel,
+	"lamellar-am":    IGLamellarAM,
+	"lamellar-array": IGLamellarArray,
+}
+
+// Randperm maps implementation names to runners (Fig. 5's series).
+var Randperm = map[string]KernelFunc{
+	"exstack":     RPExstack,
+	"exstack2":    RPExstack2,
+	"conveyor":    RPConveyor,
+	"selector":    RPSelector,
+	"array-darts": RPArrayDarts,
+	"am-dart":     RPAMDart,
+	"am-dart-opt": RPAMDartOpt,
+	"am-push":     RPAMPush,
+}
+
+// verifyCount checks a conservation law via a team sum.
+func verifyCount(w *runtime.World, got, want uint64, what string) error {
+	total := w.Team().SumU64(got)
+	if total != want {
+		return fmt.Errorf("kernels: %s: total %d, want %d", what, total, want)
+	}
+	return nil
+}
+
+// placeOf maps a global table index to (owner PE, local offset) for the
+// block layout every implementation shares (tablePerPE elements per PE).
+func placeOf(g uint64, perPE int) (pe int, off int) {
+	return int(g) / perPE, int(g) % perPE
+}

@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func testParams() Params {
+	return Params{
+		TablePerPE:   100,
+		UpdatesPerPE: 3000,
+		BufItems:     64,
+		DartsPerPE:   500,
+		TargetFactor: 2,
+		Seed:         7,
+	}
+}
+
+func runKernel(t *testing.T, pes int, fn KernelFunc) {
+	t.Helper()
+	cfg := runtime.Config{PEs: pes, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem}
+	p := testParams()
+	err := runtime.Run(cfg, func(w *runtime.World) {
+		if kerr := fn(w, p, nil); kerr != nil {
+			panic(kerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramAllImplementations(t *testing.T) {
+	for name, fn := range Histogram {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) { runKernel(t, 4, fn) })
+	}
+}
+
+func TestIndexGatherAllImplementations(t *testing.T) {
+	for name, fn := range IndexGather {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) { runKernel(t, 4, fn) })
+	}
+}
+
+func TestRandpermAllImplementations(t *testing.T) {
+	for name, fn := range Randperm {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) { runKernel(t, 4, fn) })
+	}
+}
+
+// Exact permutation check: gather every PE's local piece and verify it is
+// precisely a permutation of 0..N·P-1.
+func TestRandpermExactPermutation(t *testing.T) {
+	impls := map[string]RandpermFunc{
+		"exstack":     RandpermExstack,
+		"exstack2":    RandpermExstack2,
+		"conveyor":    RandpermConveyor,
+		"selector":    RandpermSelector,
+		"array-darts": RandpermArrayDarts,
+		"am-dart":     RandpermAMDart,
+		"am-dart-opt": RandpermAMDartOpt,
+		"am-push":     RandpermAMPush,
+	}
+	for name, fn := range impls {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			const pes = 3
+			p := testParams()
+			var mu sync.Mutex
+			var all []uint64
+			cfg := runtime.Config{PEs: pes, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem}
+			err := runtime.Run(cfg, func(w *runtime.World) {
+				perm, kerr := fn(w, p.WithDefaults(), nil)
+				if kerr != nil {
+					panic(kerr)
+				}
+				mu.Lock()
+				all = append(all, perm...)
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := p.DartsPerPE * pes
+			if len(all) != total {
+				t.Fatalf("permutation has %d elements, want %d", len(all), total)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			for i, v := range all {
+				if v != uint64(i) {
+					t.Fatalf("element %d missing or duplicated (saw %d)", i, v)
+				}
+			}
+		})
+	}
+}
+
+// Different PE counts, including 1 and non-powers of two.
+func TestKernelsVariousWorldSizes(t *testing.T) {
+	for _, pes := range []int{1, 2, 5} {
+		pes := pes
+		t.Run("histo-am", func(t *testing.T) { runKernel(t, pes, HistoLamellarAM) })
+		t.Run("histo-array", func(t *testing.T) { runKernel(t, pes, HistoLamellarArray) })
+		t.Run("ig-conveyor", func(t *testing.T) { runKernel(t, pes, IGConveyor) })
+		t.Run("rp-exstack", func(t *testing.T) { runKernel(t, pes, RPExstack) })
+	}
+}
+
+// The sim lamellae (ring transport + cost model) must agree with shmem.
+func TestKernelsOnSimLamellae(t *testing.T) {
+	p := testParams()
+	for _, name := range []string{"lamellar-am", "lamellar-array", "exstack2", "chapel"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := runtime.Config{PEs: 4, WorkersPerPE: 2, Lamellae: runtime.LamellaeSim}
+			err := runtime.Run(cfg, func(w *runtime.World) {
+				if kerr := Histogram[name](w, p, nil); kerr != nil {
+					panic(kerr)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The TCP transport must agree with shmem/sim for a full kernel.
+func TestKernelsOnTCPLamellae(t *testing.T) {
+	p := testParams()
+	cfg := runtime.Config{PEs: 3, WorkersPerPE: 2, Lamellae: runtime.LamellaeTCP}
+	err := runtime.Run(cfg, func(w *runtime.World) {
+		if kerr := HistoLamellarAM(w, p, nil); kerr != nil {
+			panic(kerr)
+		}
+		if kerr := HistoLamellarArray(w, p, nil); kerr != nil {
+			panic(kerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,680 @@
+package kernels
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/bale/conveyor"
+	"repro/internal/bale/exstack"
+	"repro/internal/bale/exstack2"
+	"repro/internal/bale/selector"
+	"repro/internal/darc"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/serde"
+	"repro/internal/shmem"
+)
+
+// Randperm (§IV-B3): build a random permutation of 0..N·P-1 with the
+// "dart throwing" algorithm. Each PE owns DartsPerPE darts (the values
+// rank·N .. rank·N+N-1) and a slice of a target array TargetFactor times
+// larger. Darts thrown at occupied slots are re-thrown; once all stick,
+// collecting the target in slot order yields the permutation.
+//
+// Convention: target slots store value+1, 0 means empty. Each variant
+// returns its PE-local slice of the final permutation (by target-slot
+// order and PE rank) for exact verification by tests; benches discard it.
+
+// rpVerifyChecksum verifies sum/xor invariants of a permutation of
+// [0, total) whose local piece is perm.
+func rpVerifyChecksum(w *runtime.World, perm []uint64, total uint64) error {
+	var sum, xor uint64
+	for _, v := range perm {
+		sum += v
+		xor ^= v
+	}
+	gsum := w.Team().SumU64(sum)
+	gxor := w.Team().AllReduceU64(xor, func(a, b uint64) uint64 { return a ^ b })
+	glen := w.Team().SumU64(uint64(len(perm)))
+	var wantSum, wantXor uint64
+	for v := uint64(0); v < total; v++ {
+		wantSum += v
+		wantXor ^= v
+	}
+	if glen != total || gsum != wantSum || gxor != wantXor {
+		return fmt.Errorf("kernels: randperm: checksum mismatch (len %d/%d sum %d/%d xor %d/%d)",
+			glen, total, gsum, wantSum, gxor, wantXor)
+	}
+	return nil
+}
+
+// rpCollectLocal extracts the stuck darts of a local target slice in slot
+// order (values stored +1).
+func rpCollectLocal(target []uint64) []uint64 {
+	out := make([]uint64, 0, len(target)/2)
+	for _, v := range target {
+		if v != 0 {
+			out = append(out, v-1)
+		}
+	}
+	return out
+}
+
+// RandpermFunc runs one Randperm implementation, returning the PE-local
+// permutation piece.
+type RandpermFunc func(w *runtime.World, p Params, t *Timing) ([]uint64, error)
+
+// runRP adapts a RandpermFunc to the KernelFunc signature with checksum
+// verification.
+func runRP(f RandpermFunc) KernelFunc {
+	return func(w *runtime.World, p Params, t *Timing) error {
+		p = p.WithDefaults()
+		perm, err := f(w, p, t)
+		if err != nil {
+			return err
+		}
+		return rpVerifyChecksum(w, perm, uint64(p.DartsPerPE)*uint64(w.NumPEs()))
+	}
+}
+
+// Exported KernelFunc wrappers.
+var (
+	// RPExstack is the synchronous baseline.
+	RPExstack = runRP(RandpermExstack)
+	// RPExstack2 is the asynchronous baseline.
+	RPExstack2 = runRP(RandpermExstack2)
+	// RPConveyor is the two-hop baseline.
+	RPConveyor = runRP(RandpermConveyor)
+	// RPSelector is the actor baseline.
+	RPSelector = runRP(RandpermSelector)
+	// RPArrayDarts is the paper's "Array Darts" Lamellar variant.
+	RPArrayDarts = runRP(RandpermArrayDarts)
+	// RPAMDart is the paper's "AM Dart" Lamellar variant.
+	RPAMDart = runRP(RandpermAMDart)
+	// RPAMDartOpt is the paper's "AM Dart Opt" Lamellar variant.
+	RPAMDartOpt = runRP(RandpermAMDartOpt)
+	// RPAMPush is the paper's "AM Push" Lamellar variant.
+	RPAMPush = runRP(RandpermAMPush)
+)
+
+// ----- baselines -------------------------------------------------------------
+
+// RandpermExstack: throw via one exstack, failures return via a second.
+func RandpermExstack(w *runtime.World, p Params, t *Timing) ([]uint64, error) {
+	c := shmem.New(w)
+	targetPerPE := p.DartsPerPE * p.TargetFactor
+	target := make([]uint64, targetPerPE)
+	rng := rngFor(p, c.MyPE(), 3)
+	span := targetPerPE * c.NPEs()
+	// pending darts to throw (dart values)
+	pending := make([]uint64, p.DartsPerPE)
+	for i := range pending {
+		pending[i] = uint64(c.MyPE()*p.DartsPerPE + i)
+	}
+	throw := exstack.New(c, 2, p.BufItems) // [slotOff, dartVal]
+	fail := exstack.New(c, 2, p.BufItems)  // [dartVal, _]
+
+	c.Barrier()
+	t.start()
+	for throw.Proceed(len(pending) == 0) {
+		for len(pending) > 0 {
+			dart := pending[len(pending)-1]
+			g := rng.Intn(span)
+			pe, off := placeOf(uint64(g), targetPerPE)
+			if !throw.Push(pe, []uint64{uint64(off), dart}) {
+				break
+			}
+			pending = pending[:len(pending)-1]
+		}
+		throw.Exchange()
+		for {
+			src, item, ok := throw.Pop()
+			if !ok {
+				break
+			}
+			if target[item[0]] == 0 {
+				target[item[0]] = item[1] + 1
+			} else if !fail.Push(src, []uint64{item[1], 0}) {
+				return nil, fmt.Errorf("kernels: randperm fail buffer overflow")
+			}
+		}
+		fail.Exchange()
+		for {
+			_, item, ok := fail.Pop()
+			if !ok {
+				break
+			}
+			pending = append(pending, item[0])
+		}
+	}
+	c.Barrier()
+	t.stop()
+	return rpCollectLocal(target), nil
+}
+
+// rpState is the shared state of the asynchronous variants: local target
+// slice, pending (re)throws, and a global stuck-dart counter hosted on
+// PE0 used for asynchronous termination: a dart is always either stuck,
+// in some PE's pending list, or inside a message; when the global stuck
+// count reaches the dart total, no dart-related message can still be in
+// flight (each dart's messages are consumed before its next throw), so
+// every PE may stop serving.
+type rpState struct {
+	c       *shmem.Ctx
+	target  []uint64
+	pending []uint64
+	ctr     *shmem.SymAtomic
+	stuckLo uint64 // locally accumulated sticks not yet published
+}
+
+func newRPState(c *shmem.Ctx, p Params) *rpState {
+	st := &rpState{
+		c:      c,
+		target: make([]uint64, p.DartsPerPE*p.TargetFactor),
+		ctr:    shmem.AllocAtomic(c, 1),
+	}
+	st.pending = make([]uint64, p.DartsPerPE)
+	for i := range st.pending {
+		st.pending[i] = uint64(c.MyPE()*p.DartsPerPE + i)
+	}
+	return st
+}
+
+// stick records a successful dart placement, batching counter updates to
+// bound remote-atomic traffic.
+func (st *rpState) stick(off, dart uint64) bool {
+	if st.target[off] != 0 {
+		return false
+	}
+	st.target[off] = dart + 1
+	st.stuckLo++
+	if st.stuckLo >= 256 {
+		st.publish()
+	}
+	return true
+}
+
+func (st *rpState) publish() {
+	if st.stuckLo > 0 {
+		st.ctr.Add(0, 0, st.stuckLo)
+		st.stuckLo = 0
+	}
+}
+
+// done polls the global counter (one remote atomic read).
+func (st *rpState) done(total uint64) bool {
+	st.publish()
+	return st.ctr.Load(0, 0) == total
+}
+
+// RandpermExstack2: asynchronous throw/fail planes with counter-based
+// termination.
+func RandpermExstack2(w *runtime.World, p Params, t *Timing) ([]uint64, error) {
+	c := shmem.New(w)
+	targetPerPE := p.DartsPerPE * p.TargetFactor
+	span := targetPerPE * c.NPEs()
+	rng := rngFor(p, c.MyPE(), 3)
+	st := newRPState(c, p)
+	total := uint64(p.DartsPerPE) * uint64(c.NPEs())
+
+	var throw, fail *exstack2.Exstack2
+	throw = exstack2.New(c, 2, p.BufItems, func(src int, item []uint64) {
+		if !st.stick(item[0], item[1]) {
+			fail.Push(src, []uint64{item[1], 0})
+		}
+	})
+	fail = exstack2.New(c, 2, p.BufItems, func(src int, item []uint64) {
+		st.pending = append(st.pending, item[0])
+	})
+	throw.SetCoProgress(func() { fail.Advance() })
+	fail.SetCoProgress(func() { throw.Advance() })
+
+	c.Barrier()
+	t.start()
+	idle := 0
+	for {
+		threw := false
+		for len(st.pending) > 0 {
+			dart := st.pending[len(st.pending)-1]
+			st.pending = st.pending[:len(st.pending)-1]
+			g := rng.Intn(span)
+			pe, off := placeOf(uint64(g), targetPerPE)
+			if pe == c.MyPE() {
+				if !st.stick(uint64(off), dart) {
+					st.pending = append(st.pending, dart) // immediate local retry
+					continue
+				}
+			} else {
+				throw.Push(pe, []uint64{uint64(off), dart})
+			}
+			threw = true
+		}
+		throw.FlushAll()
+		fail.FlushAll()
+		moved := throw.Advance()
+		moved = fail.Advance() || moved
+		if threw || moved {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle%64 == 0 && st.done(total) {
+			break
+		}
+		if idle%4 == 0 {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	c.Barrier()
+	t.stop()
+	return rpCollectLocal(st.target), nil
+}
+
+// RandpermConveyor: the two-hop baseline with the same protocol; fail
+// items carry the dart back to its owner through the grid.
+func RandpermConveyor(w *runtime.World, p Params, t *Timing) ([]uint64, error) {
+	c := shmem.New(w)
+	targetPerPE := p.DartsPerPE * p.TargetFactor
+	span := targetPerPE * c.NPEs()
+	rng := rngFor(p, c.MyPE(), 3)
+	st := newRPState(c, p)
+	total := uint64(p.DartsPerPE) * uint64(c.NPEs())
+
+	var throw, fail *conveyor.Conveyor
+	// throw item: [slotOff, dartVal, owner]
+	throw = conveyor.New(c, 3, p.BufItems, func(item []uint64) {
+		if !st.stick(item[0], item[1]) {
+			fail.Push(int(item[2]), []uint64{item[1]})
+		}
+	})
+	fail = conveyor.New(c, 1, p.BufItems, func(item []uint64) {
+		st.pending = append(st.pending, item[0])
+	})
+	throw.SetCoProgress(func() { fail.Advance() })
+	fail.SetCoProgress(func() { throw.Advance() })
+
+	c.Barrier()
+	t.start()
+	idle := 0
+	for {
+		threw := false
+		for len(st.pending) > 0 {
+			dart := st.pending[len(st.pending)-1]
+			st.pending = st.pending[:len(st.pending)-1]
+			g := rng.Intn(span)
+			pe, off := placeOf(uint64(g), targetPerPE)
+			if pe == c.MyPE() {
+				if !st.stick(uint64(off), dart) {
+					st.pending = append(st.pending, dart)
+					continue
+				}
+			} else {
+				throw.Push(pe, []uint64{uint64(off), dart, uint64(c.MyPE())})
+			}
+			threw = true
+		}
+		throw.FlushAll()
+		fail.FlushAll()
+		moved := throw.Advance()
+		moved = fail.Advance() || moved
+		if threw || moved {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle%64 == 0 && st.done(total) {
+			break
+		}
+		if idle%4 == 0 {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	c.Barrier()
+	t.stop()
+	return rpCollectLocal(st.target), nil
+}
+
+// RandpermSelector: actor with THROW and FAIL mailboxes.
+func RandpermSelector(w *runtime.World, p Params, t *Timing) ([]uint64, error) {
+	c := shmem.New(w)
+	targetPerPE := p.DartsPerPE * p.TargetFactor
+	span := targetPerPE * c.NPEs()
+	rng := rngFor(p, c.MyPE(), 3)
+	st := newRPState(c, p)
+	total := uint64(p.DartsPerPE) * uint64(c.NPEs())
+
+	var s *selector.Selector
+	s = selector.New(c, 2, 2, p.BufItems, func(mbx, src int, item []uint64) {
+		switch mbx {
+		case 0: // throw [slotOff, dartVal]
+			if !st.stick(item[0], item[1]) {
+				s.Send(1, src, []uint64{item[1], 0})
+			}
+		case 1: // fail [dartVal, _]
+			st.pending = append(st.pending, item[0])
+		}
+	})
+
+	c.Barrier()
+	t.start()
+	idle := 0
+	for {
+		threw := false
+		for len(st.pending) > 0 {
+			dart := st.pending[len(st.pending)-1]
+			st.pending = st.pending[:len(st.pending)-1]
+			g := rng.Intn(span)
+			pe, off := placeOf(uint64(g), targetPerPE)
+			s.Send(0, pe, []uint64{uint64(off), dart})
+			threw = true
+		}
+		s.FlushAll()
+		moved := s.Advance()
+		if threw || moved {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle%64 == 0 && st.done(total) {
+			break
+		}
+		if idle%4 == 0 {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	c.Barrier()
+	t.stop()
+	return rpCollectLocal(st.target), nil
+}
+
+// ----- Lamellar implementations -------------------------------------------
+
+// dartAM carries a batch of darts; the handler CASes each into the local
+// target and returns the darts that failed (the origin re-throws),
+// mirroring the paper's "AM Dart" design.
+type dartAM struct {
+	Target *darc.Darc[[]uint64]
+	Offs   []uint64
+	Darts  []uint64
+	// Opt: on a collision, retry random slots on this PE instead of
+	// failing back (the paper's "AM Dart Opt"); only full PEs fail darts.
+	Opt bool
+}
+
+func (a *dartAM) MarshalLamellar(e *serde.Encoder) {
+	a.Target.MarshalLamellar(e)
+	serde.EncodeFixedSlice(e, a.Offs)
+	serde.EncodeFixedSlice(e, a.Darts)
+	e.PutBool(a.Opt)
+}
+
+func (a *dartAM) UnmarshalLamellar(d *serde.Decoder) error {
+	var err error
+	a.Target, err = darc.UnmarshalDarc[[]uint64](d)
+	if err != nil {
+		return err
+	}
+	a.Offs = serde.DecodeFixedSlice[uint64](d)
+	a.Darts = serde.DecodeFixedSlice[uint64](d)
+	a.Opt = d.Bool()
+	return d.Err()
+}
+
+func (a *dartAM) Exec(ctx *runtime.Context) any {
+	target := a.Target.Get()
+	var failed []uint64
+	tryCAS := func(off int, dart uint64) bool {
+		return atomic.CompareAndSwapUint64(&target[off], 0, dart+1)
+	}
+	for i, off := range a.Offs {
+		dart := a.Darts[i]
+		if tryCAS(int(off), dart) {
+			continue
+		}
+		if !a.Opt {
+			failed = append(failed, dart)
+			continue
+		}
+		// Opt: probe this PE's slots from a pseudo-random start.
+		n := uint64(len(target))
+		start := (dart*0x9E3779B97F4A7C15 + off) % n
+		placed := false
+		for k := uint64(0); k < n; k++ {
+			if tryCAS(int((start+k)%n), dart) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			failed = append(failed, dart) // PE full: origin re-throws
+		}
+	}
+	a.Target.Drop()
+	return failed
+}
+
+func init() {
+	runtime.RegisterAM[dartAM]("kernels.dartAM")
+}
+
+// rpAMRounds runs the round-based AM dart throw shared by AM Dart and AM
+// Dart Opt: throw all pending darts in destination batches, await the
+// failed darts from every batch, allreduce the global pending count, and
+// repeat (the lockstep-rounds structure makes global termination a simple
+// collective).
+func rpAMRounds(w *runtime.World, p Params, t *Timing, opt bool) ([]uint64, error) {
+	team := w.Team()
+	targetPerPE := p.DartsPerPE * p.TargetFactor
+	local := make([]uint64, targetPerPE)
+	target := darc.New(team, local)
+	span := targetPerPE * w.NumPEs()
+	rng := rngFor(p, w.MyPE(), 3)
+
+	pending := make([]uint64, p.DartsPerPE)
+	for i := range pending {
+		pending[i] = uint64(w.MyPE()*p.DartsPerPE + i)
+	}
+
+	w.Barrier()
+	t.start()
+	for {
+		offs := make([][]uint64, w.NumPEs())
+		darts := make([][]uint64, w.NumPEs())
+		for _, dart := range pending {
+			g := rng.Intn(span)
+			pe, off := placeOf(uint64(g), targetPerPE)
+			offs[pe] = append(offs[pe], uint64(off))
+			darts[pe] = append(darts[pe], dart)
+		}
+		pending = pending[:0]
+		var futs []*scheduler.Future[[]uint64]
+		for pe := 0; pe < w.NumPEs(); pe++ {
+			for base := 0; base < len(offs[pe]); base += p.BufItems {
+				end := base + p.BufItems
+				if end > len(offs[pe]) {
+					end = len(offs[pe])
+				}
+				am := &dartAM{Target: target.Clone(), Offs: offs[pe][base:end], Darts: darts[pe][base:end], Opt: opt}
+				futs = append(futs, runtime.ExecTyped[[]uint64](w, pe, am))
+			}
+		}
+		for _, f := range futs {
+			failed, err := runtime.BlockOn(w, f)
+			if err != nil {
+				return nil, err
+			}
+			pending = append(pending, failed...)
+		}
+		if team.SumU64(uint64(len(pending))) == 0 {
+			break
+		}
+	}
+	w.Barrier()
+	t.stop()
+	perm := rpCollectLocal(local)
+	w.Barrier()
+	target.Drop()
+	return perm, nil
+}
+
+// RandpermAMDart is the paper's "AM Dart": manual aggregation, failures
+// return to the origin for re-throwing.
+func RandpermAMDart(w *runtime.World, p Params, t *Timing) ([]uint64, error) {
+	return rpAMRounds(w, p.WithDefaults(), t, false)
+}
+
+// RandpermAMDartOpt is "AM Dart Opt": collisions retry locally on the
+// target PE, removing nearly all failure traffic.
+func RandpermAMDartOpt(w *runtime.World, p Params, t *Timing) ([]uint64, error) {
+	return rpAMRounds(w, p.WithDefaults(), t, true)
+}
+
+// pushAM appends darts to the target PE's vector — "AM Push": a dart
+// throw never fails, minimizing communication; the permutation is the
+// concatenation of the per-PE vectors (randomized locally at the origin
+// before sending).
+type pushAM struct {
+	Vec   *darc.Darc[*rpPushVec]
+	Darts []uint64
+}
+
+// rpPushVec is a concurrent append-only vector.
+type rpPushVec struct {
+	buf []uint64
+	n   atomic.Int64
+}
+
+func (a *pushAM) MarshalLamellar(e *serde.Encoder) {
+	a.Vec.MarshalLamellar(e)
+	serde.EncodeFixedSlice(e, a.Darts)
+}
+
+func (a *pushAM) UnmarshalLamellar(d *serde.Decoder) error {
+	var err error
+	a.Vec, err = darc.UnmarshalDarc[*rpPushVec](d)
+	if err != nil {
+		return err
+	}
+	a.Darts = serde.DecodeFixedSlice[uint64](d)
+	return d.Err()
+}
+
+func (a *pushAM) Exec(ctx *runtime.Context) any {
+	v := a.Vec.Get()
+	base := v.n.Add(int64(len(a.Darts))) - int64(len(a.Darts))
+	if int(base)+len(a.Darts) > len(v.buf) {
+		a.Vec.Drop()
+		panic("kernels: AM Push target vector overflow")
+	}
+	copy(v.buf[base:], a.Darts)
+	a.Vec.Drop()
+	return nil
+}
+
+func init() {
+	runtime.RegisterAM[pushAM]("kernels.pushAM")
+}
+
+// RandpermAMPush is the paper's "AM Push" variant.
+func RandpermAMPush(w *runtime.World, p Params, t *Timing) ([]uint64, error) {
+	p = p.WithDefaults()
+	team := w.Team()
+	// Capacity: expected darts per PE is DartsPerPE; the target factor
+	// gives the same slack the other variants use.
+	vec := &rpPushVec{buf: make([]uint64, p.DartsPerPE*p.TargetFactor*2)}
+	d := darc.New(team, vec)
+	rng := rngFor(p, w.MyPE(), 3)
+
+	// local randomization of my darts (Fisher-Yates)
+	darts := make([]uint64, p.DartsPerPE)
+	for i := range darts {
+		darts[i] = uint64(w.MyPE()*p.DartsPerPE + i)
+	}
+	rng.Shuffle(len(darts), func(i, j int) { darts[i], darts[j] = darts[j], darts[i] })
+
+	w.Barrier()
+	t.start()
+	bufs := make([][]uint64, w.NumPEs())
+	flush := func(pe int) {
+		if len(bufs[pe]) == 0 {
+			return
+		}
+		w.ExecAM(pe, &pushAM{Vec: d.Clone(), Darts: bufs[pe]})
+		bufs[pe] = nil
+	}
+	for _, dart := range darts {
+		pe := rng.Intn(w.NumPEs())
+		bufs[pe] = append(bufs[pe], dart)
+		if len(bufs[pe]) >= p.BufItems {
+			flush(pe)
+		}
+	}
+	for pe := range bufs {
+		flush(pe)
+	}
+	w.WaitAll()
+	w.Barrier()
+	t.stop()
+	perm := make([]uint64, vec.n.Load())
+	copy(perm, vec.buf[:len(perm)])
+	w.Barrier()
+	d.Drop()
+	return perm, nil
+}
+
+// RandpermArrayDarts is the paper's "Array Darts": an AtomicArray target,
+// batch_compare_exchange throws, and the Collect iterator to gather the
+// permutation.
+func RandpermArrayDarts(w *runtime.World, p Params, t *Timing) ([]uint64, error) {
+	p = p.WithDefaults()
+	team := w.Team()
+	targetLen := p.DartsPerPE * p.TargetFactor * w.NumPEs()
+	target := array.NewAtomicArray[uint64](team, targetLen, array.Block)
+	span := targetLen
+	rng := rngFor(p, w.MyPE(), 3)
+
+	pending := make([]uint64, p.DartsPerPE)
+	for i := range pending {
+		pending[i] = uint64(w.MyPE()*p.DartsPerPE + i)
+	}
+
+	w.Barrier()
+	t.start()
+	for {
+		idxs := make([]int, len(pending))
+		news := make([]uint64, len(pending))
+		for i, dart := range pending {
+			idxs[i] = rng.Intn(span)
+			news[i] = dart + 1
+		}
+		prevs, err := runtime.BlockOn(w, target.BatchCompareExchange(idxs, 0, news))
+		if err != nil {
+			return nil, err
+		}
+		var failed []uint64
+		for i, prev := range prevs {
+			if prev != 0 { // slot was occupied: dart bounced
+				failed = append(failed, pending[i])
+			}
+		}
+		pending = failed
+		if team.SumU64(uint64(len(pending))) == 0 {
+			break
+		}
+	}
+	w.Barrier()
+	t.stop()
+
+	// Collect stuck darts (value-1) in slot order into the permutation.
+	it := array.Map(target.DistIter().Filter(func(v uint64) bool { return v != 0 }),
+		func(v uint64) uint64 { return v - 1 })
+	local, err := it.Collect().Await()
+	if err != nil {
+		return nil, err
+	}
+	w.Barrier()
+	target.Drop()
+	return local, nil
+}

@@ -1,0 +1,173 @@
+// Package selector reimplements the HClib "Selectors" actor model the
+// paper compares against (§II, §IV): each PE hosts one actor with a small
+// set of typed mailboxes; sends are fine-grained per-item messages that
+// the library aggregates per destination, handlers run message-driven on
+// the destination, may send further messages, and a distributed
+// termination protocol ends the epoch after every actor called Done and
+// all messages drained.
+package selector
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/shmem"
+)
+
+// Handler consumes one message in one mailbox of the actor.
+type Handler func(mbx int, src int, item []uint64)
+
+// Selector is one PE's actor handle.
+type Selector struct {
+	ctx       *shmem.Ctx
+	itemWords int
+	bufItems  int
+	nMbx      int
+	mbox      *shmem.Mailbox
+	term      *shmem.Terminator
+	out       [][]uint64
+	handler   Handler
+	flushing  bool // guards against re-entrant flush
+	advancing bool // breaks re-entrant Advance recursion
+}
+
+// New collectively creates a selector actor with nMailboxes logical
+// mailboxes, fixed item width, and a per-destination aggregation buffer.
+func New(ctx *shmem.Ctx, nMailboxes, itemWords, bufItems int, handler Handler) *Selector {
+	if nMailboxes < 1 || itemWords < 1 || bufItems < 1 {
+		panic("selector: bad geometry")
+	}
+	return &Selector{
+		ctx:       ctx,
+		itemWords: itemWords,
+		bufItems:  bufItems,
+		nMbx:      nMailboxes,
+		mbox:      shmem.NewMailbox(ctx, bufItems*(itemWords+1)),
+		term:      shmem.NewTerminator(ctx),
+		out:       make([][]uint64, ctx.NPEs()),
+		handler:   handler,
+	}
+}
+
+// Send delivers item to the mbx mailbox of the actor on dst. Local sends
+// still traverse the handler (actors are location-transparent).
+func (s *Selector) Send(mbx, dst int, item []uint64) {
+	if len(item) != s.itemWords {
+		panic(fmt.Sprintf("selector: item width %d, want %d", len(item), s.itemWords))
+	}
+	if mbx < 0 || mbx >= s.nMbx {
+		panic("selector: bad mailbox index")
+	}
+	s.term.NoteSent(1)
+	if dst == s.ctx.MyPE() {
+		s.handler(mbx, dst, item)
+		s.term.NoteRecv(1)
+		return
+	}
+	s.out[dst] = append(s.out[dst], uint64(mbx))
+	s.out[dst] = append(s.out[dst], item...)
+	if (len(s.out[dst])/(s.itemWords+1))%s.bufItems == 0 {
+		s.tryFlush(dst)
+	}
+	for !s.advancing && len(s.out[dst])/(s.itemWords+1) >= 8*s.bufItems {
+		if !s.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+		s.tryFlush(dst)
+	}
+}
+
+// tryFlush attempts a non-blocking chunked send (whole messages only);
+// whatever does not fit stays buffered. Reports whether it is now empty.
+func (s *Selector) tryFlush(dst int) bool {
+	if s.flushing {
+		return false
+	}
+	buf := s.out[dst]
+	if len(buf) == 0 {
+		return true
+	}
+	s.flushing = true
+	stride := s.itemWords + 1
+	maxWords := s.bufItems * stride
+	sent := 0
+	for sent < len(buf) {
+		n := min(len(buf)-sent, maxWords)
+		n -= n % stride
+		if n == 0 || !s.mbox.TrySend(dst, buf[sent:sent+n]) {
+			break
+		}
+		sent += n
+	}
+	if sent > 0 {
+		rest := copy(buf, buf[sent:])
+		s.out[dst] = buf[:rest]
+	}
+	s.flushing = false
+	return len(s.out[dst]) == 0
+}
+
+// tryFlushAll attempts a non-blocking flush of every buffer.
+func (s *Selector) tryFlushAll() bool {
+	all := true
+	for dst := range s.out {
+		if !s.tryFlush(dst) {
+			all = false
+		}
+	}
+	return all
+}
+
+// FlushAll pushes every non-empty aggregation buffer onto the wire,
+// running the message loop while destinations exert backpressure
+// (sleeping between retries rather than spinning).
+func (s *Selector) FlushAll() {
+	for !s.tryFlushAll() {
+		if !s.Advance() {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// Advance runs the actor's message loop once, dispatching every available
+// message to the handler.
+func (s *Selector) Advance() bool {
+	if s.advancing {
+		return false // re-entered through a co-progress cycle
+	}
+	s.advancing = true
+	defer func() { s.advancing = false }()
+	moved := false
+	s.mbox.Poll(func(src int, words []uint64) {
+		stride := s.itemWords + 1
+		n := len(words) / stride
+		for k := 0; k < n; k++ {
+			rec := words[k*stride : (k+1)*stride]
+			s.handler(int(rec[0]), src, rec[1:])
+			s.term.NoteRecv(1)
+			moved = true
+		}
+	})
+	s.tryFlushAll() // retry stranded buffers (incl. handler sends)
+	return moved
+}
+
+// Done declares this actor finished producing root messages and processes
+// traffic until global termination (hclib's done + wait-for-quiescence).
+// Handlers may keep sending during the drain; those messages are counted
+// and drained too.
+func (s *Selector) Done() {
+	s.FlushAll()
+	s.term.SetDone(true)
+	s.term.DrainUntilQuiet(s.Advance)
+	s.ctx.Barrier()
+}
+
+// Reset prepares for another epoch (collective).
+func (s *Selector) Reset() {
+	s.term.Reset()
+	for i := range s.out {
+		s.out[i] = s.out[i][:0]
+	}
+	s.ctx.Barrier()
+}

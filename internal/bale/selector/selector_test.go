@@ -1,0 +1,93 @@
+package selector
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/shmem"
+)
+
+func runWorld(t *testing.T, pes int, fn func(c *shmem.Ctx)) {
+	t.Helper()
+	cfg := runtime.Config{PEs: pes, WorkersPerPE: 1, Lamellae: runtime.LamellaeShmem}
+	if err := runtime.Run(cfg, func(w *runtime.World) { fn(shmem.New(w)) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectorHistogram(t *testing.T) {
+	var total atomic.Uint64
+	const updates = 1500
+	const tablePerPE = 32
+	runWorld(t, 4, func(c *shmem.Ctx) {
+		table := make([]uint64, tablePerPE)
+		s := New(c, 1, 1, 64, func(mbx, src int, item []uint64) {
+			table[item[0]]++
+		})
+		c.Barrier()
+		rng := rand.New(rand.NewSource(int64(c.MyPE())))
+		for i := 0; i < updates; i++ {
+			g := rng.Intn(tablePerPE * c.NPEs())
+			s.Send(0, g/tablePerPE, []uint64{uint64(g % tablePerPE)})
+			if i%64 == 0 {
+				s.Advance()
+			}
+		}
+		s.Done()
+		var local uint64
+		for _, v := range table {
+			local += v
+		}
+		total.Add(local)
+		c.Barrier()
+	})
+	if total.Load() != 4*updates {
+		t.Errorf("total = %d, want %d", total.Load(), 4*updates)
+	}
+}
+
+// Request/response across two mailboxes (the IndexGather actor pattern).
+func TestSelectorTwoMailboxes(t *testing.T) {
+	runWorld(t, 3, func(c *shmem.Ctx) {
+		const perPE = 50
+		data := make([]uint64, perPE)
+		for i := range data {
+			data[i] = uint64(c.MyPE()*1000 + i)
+		}
+		results := make([]uint64, perPE)
+		var got atomic.Int64
+		var s *Selector
+		s = New(c, 2, 3, 16, func(mbx, src int, item []uint64) {
+			switch mbx {
+			case 0: // request: [offset, requester, pos]
+				s.Send(1, int(item[1]), []uint64{item[2], data[item[0]], 0})
+			case 1: // response: [pos, value, _]
+				results[item[0]] = item[1]
+				got.Add(1)
+			}
+		})
+		c.Barrier()
+		rng := rand.New(rand.NewSource(int64(c.MyPE() + 9)))
+		want := make([]uint64, perPE)
+		for i := 0; i < perPE; i++ {
+			pe := rng.Intn(c.NPEs())
+			off := rng.Intn(perPE)
+			want[i] = uint64(pe*1000 + off)
+			s.Send(0, pe, []uint64{uint64(off), uint64(c.MyPE()), uint64(i)})
+			if i%16 == 0 {
+				s.Advance()
+			}
+		}
+		s.Done()
+		if got.Load() != perPE {
+			panic("missing responses")
+		}
+		for i := range want {
+			if results[i] != want[i] {
+				panic("wrong gathered value")
+			}
+		}
+	})
+}

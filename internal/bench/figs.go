@@ -1,0 +1,236 @@
+package bench
+
+import (
+	stdruntime "runtime"
+
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/bale/kernels"
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+)
+
+// kernelTimer implements the kernels.Timing hooks: the first Start after
+// the opening barrier snapshots, the last Stop after the closing barrier
+// closes the window.
+type kernelTimer struct {
+	prov    *fabric.Provider
+	pes     int
+	mu      sync.Mutex
+	started bool
+	stopped int
+	snap    Snapshot
+	win     Window
+	done    chan struct{}
+}
+
+func newKernelTimer(prov *fabric.Provider, pes int) *kernelTimer {
+	return &kernelTimer{prov: prov, pes: pes, done: make(chan struct{})}
+}
+
+func (k *kernelTimer) timing() *kernels.Timing {
+	return &kernels.Timing{
+		Start: func() {
+			k.mu.Lock()
+			if !k.started {
+				k.started = true
+				stdruntime.GC() // setup garbage must not land in the window
+				k.snap = Take(k.prov)
+			}
+			k.mu.Unlock()
+		},
+		Stop: func() {
+			k.mu.Lock()
+			k.stopped++
+			if k.stopped == k.pes {
+				k.win = Since(k.prov, k.snap)
+				close(k.done)
+			}
+			k.mu.Unlock()
+		},
+	}
+}
+
+// KernelFigConfig controls the Fig. 3/4/5 sweeps. The x axis is *cores*
+// (the paper's unit): OpenSHMEM-based baselines run one PE per core, the
+// Lamellar implementations one PE per 4 cores with 4 worker threads (the
+// paper's best configuration: 1 PE per NUMA node, 1 thread per core), and
+// Chapel likewise uses a multi-core locale. Workloads are specified per
+// core, exactly as in §IV-B.
+type KernelFigConfig struct {
+	// PECounts is the x axis in cores (the paper's core counts, scaled
+	// down).
+	PECounts []int
+	// Impls selects series; empty means all registered implementations.
+	Impls []string
+	// Params is the per-CORE workload (scaled down by default).
+	Params kernels.Params
+	// WorkersPerPE overrides the Lamellar/Chapel threads-per-PE (default
+	// 4, the paper's best configuration).
+	WorkersPerPE int
+	// RackSize enables the cross-rack latency factor above this many
+	// cores per rack (0 disables; Fig. 5 discusses the topology effect).
+	RackSize int
+	// CSV additionally emits CSV.
+	CSV bool
+}
+
+// WithDefaults fills scaled-down defaults.
+func (c KernelFigConfig) WithDefaults() KernelFigConfig {
+	if len(c.PECounts) == 0 {
+		c.PECounts = []int{4, 8, 16, 32, 64}
+	}
+	if c.WorkersPerPE <= 0 {
+		c.WorkersPerPE = 4
+	}
+	c.Params = c.Params.WithDefaults()
+	return c
+}
+
+// coresPerPE maps an implementation to its per-PE core count: the
+// multithreaded runtimes (Lamellar, Chapel) pack multiple cores per PE,
+// the OpenSHMEM libraries run one PE per core.
+func coresPerPE(name string, cores, workers int) int {
+	switch name {
+	case "lamellar-am", "lamellar-array", "chapel",
+		"array-darts", "am-dart", "am-dart-opt", "am-push":
+		if cores >= workers {
+			return workers
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// scalePerCore converts per-core workload parameters to per-PE values for
+// a PE spanning cpp cores (the paper keeps per-core work constant across
+// configurations).
+func scalePerCore(p kernels.Params, cpp int) kernels.Params {
+	p.TablePerPE *= cpp
+	p.UpdatesPerPE *= cpp
+	p.DartsPerPE *= cpp
+	return p
+}
+
+// runOneKernel executes one (implementation, core count) cell and returns
+// the measured window.
+func runOneKernel(fn kernels.KernelFunc, name string, cores int, cfg KernelFigConfig) (Window, kernels.Params, error) {
+	cpp := coresPerPE(name, cores, cfg.WorkersPerPE)
+	pes := cores / cpp
+	if pes < 1 {
+		pes = 1
+	}
+	params := scalePerCore(cfg.Params, cpp)
+	cost := fabric.DefaultCostModel()
+	if cfg.RackSize > 0 {
+		cost.RackSize = cfg.RackSize / cpp // racks hold cores, not PEs
+		if cost.RackSize < 1 {
+			cost.RackSize = 1
+		}
+	}
+	workers := 1 // OpenSHMEM baselines: the PE goroutine does the work
+	if cpp > 1 {
+		workers = cpp
+	}
+	rcfg := runtime.Config{
+		PEs:            pes,
+		WorkersPerPE:   workers,
+		Lamellae:       runtime.LamellaeSim,
+		Cost:           cost,
+		ArrayBatchSize: params.BufItems,
+	}
+	var timer *kernelTimer
+	err := runtime.Run(rcfg, func(w *runtime.World) {
+		if w.MyPE() == 0 {
+			timer = newKernelTimer(w.Provider(), pes)
+		}
+		w.Barrier() // timer published via the shared provider barrier
+		t := w.PeerWorld(0).SharedExtState("bench.timer", func() any { return timer }).(*kernelTimer)
+		// warmup pass (untimed): heap growth, page faults and code paths
+		// settle before the measured pass
+		if kerr := fn(w, params, nil); kerr != nil {
+			panic(kerr)
+		}
+		w.Barrier()
+		if kerr := fn(w, params, t.timing()); kerr != nil {
+			panic(kerr)
+		}
+	})
+	if err != nil {
+		return Window{}, params, err
+	}
+	if timer == nil || timer.stopped < pes {
+		return Window{}, params, fmt.Errorf("bench: kernel timing incomplete")
+	}
+	win := timer.win
+	// CPU normalization is per *core*: a multithreaded PE spans cpp cores.
+	win.PEs = pes * workers
+	return win, params, nil
+}
+
+func implNames(m map[string]kernels.KernelFunc, want []string) []string {
+	if len(want) > 0 {
+		return want
+	}
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunKernelFig produces Fig. 3 ("histo", MUPS), Fig. 4 ("ig", MUPS) or
+// Fig. 5 ("randperm", seconds).
+func RunKernelFig(fig string, cfg KernelFigConfig, out io.Writer) error {
+	cfg = cfg.WithDefaults()
+	var impls map[string]kernels.KernelFunc
+	var table *Table
+	rate := true
+	switch fig {
+	case "histo":
+		impls = kernels.Histogram
+		table = NewTable("FIG3 Histogram", "cores", "MUPS (higher is better)")
+	case "ig":
+		impls = kernels.IndexGather
+		table = NewTable("FIG4 IndexGather", "cores", "MUPS (higher is better)")
+	case "randperm":
+		impls = kernels.Randperm
+		table = NewTable("FIG5 Randperm", "cores", "sim-seconds (lower is better)")
+		rate = false
+	default:
+		return fmt.Errorf("bench: unknown kernel figure %q", fig)
+	}
+	for _, cores := range cfg.PECounts {
+		for _, name := range implNames(impls, cfg.Impls) {
+			fn, ok := impls[name]
+			if !ok {
+				return fmt.Errorf("bench: unknown implementation %q", name)
+			}
+			win, _, err := runOneKernel(fn, name, cores, cfg)
+			if err != nil {
+				return fmt.Errorf("%s/%s@%d cores: %w", fig, name, cores, err)
+			}
+			x := fmt.Sprintf("%d", cores)
+			if rate {
+				// ops are defined per core, so totals match across configs
+				ops := uint64(cfg.Params.UpdatesPerPE) * uint64(cores)
+				table.Add(x, name, win.RateMPerSec(ops))
+			} else {
+				table.Add(x, name, win.SimNs()/1e9)
+			}
+			fmt.Fprintf(out, "  done %s %-14s cores=%-3d  wall=%.2fs cpu=%.1fms/pe net=%.1fms msgs=%d\n",
+				fig, name, cores, float64(win.WallNs)/1e9,
+				float64(win.CPUNs)/float64(win.PEs)/1e6, float64(win.NetMaxNs)/1e6, win.Msgs)
+		}
+	}
+	table.Render(out)
+	if cfg.CSV {
+		table.RenderCSV(out)
+	}
+	return nil
+}

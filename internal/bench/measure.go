@@ -1,0 +1,193 @@
+// Package bench implements the measurement harness that regenerates the
+// paper's evaluation (Figs. 2–5) on the simulated substrate.
+//
+// Metric model (see DESIGN.md §2): the simulator cannot reproduce absolute
+// testbed numbers, so each measured window combines
+//
+//   - real CPU work: the process-wide rusage CPU time consumed in the
+//     window divided by the number of PEs — a load-independent estimate
+//     of per-PE compute, immune to core oversubscription; and
+//   - modeled network time: the maximum over PEs of the fabric's
+//     accumulated per-operation model (latency + size/bandwidth +
+//     per-message gap).
+//
+// Simulated elapsed time is max(cpuPerPE, netMax): the bulk-parallel
+// bottleneck approximation. Rates derived from it preserve the *shape* of
+// the paper's results — who wins, by what factor, where crossovers fall —
+// which is the reproduction target.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"syscall"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// cpuNow returns the process CPU time (user+system) in nanoseconds.
+func cpuNow() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}
+
+// Snapshot captures a measurement starting point.
+type Snapshot struct {
+	wall  time.Time
+	cpuNs int64
+	perPE []fabric.Counters
+}
+
+// Take snapshots the current wall clock, CPU time and fabric counters.
+func Take(prov *fabric.Provider) Snapshot {
+	return Snapshot{
+		wall:  time.Now(),
+		cpuNs: cpuNow(),
+		perPE: prov.SnapshotAll(),
+	}
+}
+
+// Window is the measurement of one timed region.
+type Window struct {
+	WallNs   int64
+	CPUNs    int64 // process-wide CPU consumed
+	NetMaxNs uint64
+	Msgs     uint64
+	Bytes    uint64
+	PEs      int
+}
+
+// Since computes the window from a starting snapshot.
+func Since(prov *fabric.Provider, start Snapshot) Window {
+	w := Window{
+		WallNs: time.Since(start.wall).Nanoseconds(),
+		CPUNs:  cpuNow() - start.cpuNs,
+		PEs:    prov.NumPEs(),
+	}
+	for pe := 0; pe < prov.NumPEs(); pe++ {
+		d := prov.CountersFor(pe).Sub(start.perPE[pe])
+		w.Msgs += d.Msgs
+		w.Bytes += d.Bytes
+		if d.ModeledNs > w.NetMaxNs {
+			w.NetMaxNs = d.ModeledNs
+		}
+	}
+	return w
+}
+
+// SimNs returns the simulated elapsed nanoseconds of the window.
+func (w Window) SimNs() float64 {
+	cpuPerPE := float64(w.CPUNs) / float64(w.PEs)
+	net := float64(w.NetMaxNs)
+	if net > cpuPerPE {
+		return net
+	}
+	if cpuPerPE <= 0 {
+		return 1
+	}
+	return cpuPerPE
+}
+
+// RateMPerSec converts ops in the window to millions per simulated second.
+func (w Window) RateMPerSec(ops uint64) float64 {
+	return float64(ops) / w.SimNs() * 1e3 // ops/ns * 1e9 / 1e6
+}
+
+// BandwidthMBs converts transferred bytes to MB/s of simulated time.
+func (w Window) BandwidthMBs(bytes uint64) float64 {
+	return float64(bytes) / w.SimNs() * 1e9 / 1e6
+}
+
+// Table accumulates a labeled series table and renders it aligned, with
+// one row per x value and one column per series, plus an optional CSV.
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Series  []string
+	rows    []tableRow
+	byX     map[string]*tableRow
+	xsOrder []string
+}
+
+type tableRow struct {
+	x    string
+	vals map[string]float64
+}
+
+// NewTable creates an empty result table.
+func NewTable(title, xLabel, yLabel string) *Table {
+	return &Table{Title: title, XLabel: xLabel, YLabel: yLabel, byX: map[string]*tableRow{}}
+}
+
+// Add records one (x, series) measurement.
+func (t *Table) Add(x, series string, val float64) {
+	row, ok := t.byX[x]
+	if !ok {
+		row = &tableRow{x: x, vals: map[string]float64{}}
+		t.byX[x] = row
+		t.xsOrder = append(t.xsOrder, x)
+		t.rows = append(t.rows, tableRow{})
+	}
+	if _, seen := row.vals[series]; !seen {
+		found := false
+		for _, s := range t.Series {
+			if s == series {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Series = append(t.Series, series)
+		}
+	}
+	row.vals[series] = val
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(out io.Writer) {
+	fmt.Fprintf(out, "\n# %s\n# %s vs %s (simulated substrate; shapes, not absolute testbed numbers)\n",
+		t.Title, t.YLabel, t.XLabel)
+	fmt.Fprintf(out, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(out, " %16s", s)
+	}
+	fmt.Fprintln(out)
+	for _, x := range t.xsOrder {
+		row := t.byX[x]
+		fmt.Fprintf(out, "%-12s", x)
+		for _, s := range t.Series {
+			if v, ok := row.vals[s]; ok {
+				fmt.Fprintf(out, " %16.3f", v)
+			} else {
+				fmt.Fprintf(out, " %16s", "-")
+			}
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// RenderCSV writes the table as CSV.
+func (t *Table) RenderCSV(out io.Writer) {
+	fmt.Fprintf(out, "%s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(out, ",%s", s)
+	}
+	fmt.Fprintln(out)
+	for _, x := range t.xsOrder {
+		row := t.byX[x]
+		fmt.Fprintf(out, "%s", x)
+		for _, s := range t.Series {
+			if v, ok := row.vals[s]; ok {
+				fmt.Fprintf(out, ",%g", v)
+			} else {
+				fmt.Fprintf(out, ",")
+			}
+		}
+		fmt.Fprintln(out)
+	}
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bale/kernels"
+	"repro/internal/fabric"
+)
+
+type kernelsParamsAlias = kernels.Params
+
+func TestWindowSimNsPicksBottleneck(t *testing.T) {
+	w := Window{CPUNs: 100e6, NetMaxNs: 10e6, PEs: 4}
+	// cpu per PE = 25ms > net 10ms
+	if got := w.SimNs(); got != 25e6 {
+		t.Errorf("SimNs = %v, want 25e6", got)
+	}
+	w = Window{CPUNs: 8e6, NetMaxNs: 10e6, PEs: 4}
+	if got := w.SimNs(); got != 10e6 {
+		t.Errorf("SimNs = %v, want 10e6 (net bound)", got)
+	}
+	// degenerate window never divides by zero or returns zero
+	w = Window{PEs: 2}
+	if got := w.SimNs(); got <= 0 {
+		t.Errorf("SimNs = %v, want positive", got)
+	}
+}
+
+func TestWindowRates(t *testing.T) {
+	w := Window{CPUNs: 2e9, PEs: 2, NetMaxNs: 0} // 1s simulated
+	if got := w.RateMPerSec(5_000_000); got != 5 {
+		t.Errorf("RateMPerSec = %v, want 5", got)
+	}
+	if got := w.BandwidthMBs(100e6); got != 100 {
+		t.Errorf("BandwidthMBs = %v, want 100", got)
+	}
+}
+
+func TestSnapshotWindow(t *testing.T) {
+	prov := fabric.New(2, fabric.DefaultCostModel())
+	seg := prov.AllocSegment(1024, 1)
+	start := Take(prov)
+	prov.Put(0, 1, seg, 0, make([]byte, 512))
+	prov.AtomicAdd(1, 0, seg, 0, 1)
+	// burn a little CPU so the window registers some
+	x := 0.0
+	deadline := time.Now().Add(2 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		x += 1.0
+	}
+	_ = x
+	win := Since(prov, start)
+	if win.Msgs != 2 {
+		t.Errorf("Msgs = %d", win.Msgs)
+	}
+	if win.Bytes != 512+8 {
+		t.Errorf("Bytes = %d", win.Bytes)
+	}
+	if win.NetMaxNs == 0 {
+		t.Error("no modeled time")
+	}
+	if win.WallNs <= 0 || win.CPUNs <= 0 {
+		t.Errorf("wall/cpu not measured: %+v", win)
+	}
+	if win.PEs != 2 {
+		t.Errorf("PEs = %d", win.PEs)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("T", "x", "y")
+	tab.Add("1", "a", 1.5)
+	tab.Add("1", "b", 2.5)
+	tab.Add("2", "a", 3.5)
+	var sb, csv strings.Builder
+	tab.Render(&sb)
+	tab.RenderCSV(&csv)
+	out := sb.String()
+	if !strings.Contains(out, "1.500") || !strings.Contains(out, "3.500") {
+		t.Errorf("render missing values:\n%s", out)
+	}
+	// missing (2, b) renders as '-'
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing cell not marked:\n%s", out)
+	}
+	cs := csv.String()
+	if !strings.HasPrefix(cs, "x,a,b\n") {
+		t.Errorf("csv header wrong: %q", cs)
+	}
+	if !strings.Contains(cs, "1,1.5,2.5") {
+		t.Errorf("csv row wrong: %q", cs)
+	}
+}
+
+func TestCoresPerPEMapping(t *testing.T) {
+	if got := coresPerPE("lamellar-am", 32, 4); got != 4 {
+		t.Errorf("lamellar-am cpp = %d", got)
+	}
+	if got := coresPerPE("exstack", 32, 4); got != 1 {
+		t.Errorf("exstack cpp = %d", got)
+	}
+	if got := coresPerPE("lamellar-am", 2, 4); got != 1 {
+		t.Errorf("small-world cpp = %d", got)
+	}
+	p := scalePerCore(benchDefaultParams(), 4)
+	if p.UpdatesPerPE != 4*benchDefaultParams().UpdatesPerPE {
+		t.Error("updates not scaled per core")
+	}
+}
+
+func benchDefaultParams() (p kernelsParamsAlias) {
+	return kernelsParamsAlias{TablePerPE: 10, UpdatesPerPE: 100, BufItems: 10, DartsPerPE: 50, TargetFactor: 2, Seed: 1}
+}

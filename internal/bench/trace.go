@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+
+	"repro/internal/bale/kernels"
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+)
+
+// Trace collects a communication profile from the fabric hook: operation
+// counts by kind, a log2 message-size histogram, and a PE×PE traffic
+// matrix. It is the runtime-engineer's view of what a kernel does on the
+// wire — the data behind statements like "small message all-to-all" in
+// §IV-B1 — and backs the lamellar-trace command.
+type Trace struct {
+	mu      sync.Mutex
+	npes    int
+	kinds   [4]uint64
+	kindsB  [4]uint64
+	sizeLog [32]uint64 // histogram buckets: [2^i, 2^(i+1))
+	matrix  []uint64   // npes*npes bytes moved
+}
+
+// NewTrace creates a collector for a world of npes PEs.
+func NewTrace(npes int) *Trace {
+	return &Trace{npes: npes, matrix: make([]uint64, npes*npes)}
+}
+
+// Hook returns the fabric hook feeding this collector.
+func (t *Trace) Hook() fabric.Hook {
+	return func(kind fabric.OpKind, initiator, target, nbytes int) {
+		t.mu.Lock()
+		t.kinds[kind]++
+		t.kindsB[kind] += uint64(nbytes)
+		if nbytes > 0 {
+			t.sizeLog[bits.Len(uint(nbytes))-1]++
+		}
+		if initiator < t.npes && target < t.npes {
+			t.matrix[initiator*t.npes+target] += uint64(nbytes)
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Ops reports the operation count of one kind.
+func (t *Trace) Ops(kind fabric.OpKind) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kinds[kind]
+}
+
+// TotalBytes reports all payload bytes observed.
+func (t *Trace) TotalBytes() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, b := range t.kindsB {
+		n += b
+	}
+	return n
+}
+
+// MatrixBytes reports bytes moved from src to dst.
+func (t *Trace) MatrixBytes(src, dst int) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.matrix[src*t.npes+dst]
+}
+
+// Render writes a human-readable communication profile.
+func (t *Trace) Render(out io.Writer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	fmt.Fprintf(out, "\n# communication profile (%d PEs)\n", t.npes)
+	fmt.Fprintf(out, "%-10s %12s %14s\n", "op", "count", "bytes")
+	for k := fabric.OpPut; k <= fabric.OpBarrier; k++ {
+		fmt.Fprintf(out, "%-10s %12d %14d\n", k, t.kinds[k], t.kindsB[k])
+	}
+
+	fmt.Fprintf(out, "\nmessage-size histogram (log2 buckets)\n")
+	hi := 0
+	for i, c := range t.sizeLog {
+		if c > 0 {
+			hi = i
+		}
+	}
+	var maxC uint64
+	for _, c := range t.sizeLog[:hi+1] {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i := 0; i <= hi; i++ {
+		c := t.sizeLog[i]
+		barLen := 0
+		if maxC > 0 {
+			barLen = int(c * 40 / maxC)
+		}
+		fmt.Fprintf(out, "%8d-%-8d %10d %s\n", 1<<i, 1<<(i+1)-1, c, bar(barLen))
+	}
+
+	if t.npes <= 16 {
+		fmt.Fprintf(out, "\ntraffic matrix (KB, src rows -> dst cols)\n      ")
+		for d := 0; d < t.npes; d++ {
+			fmt.Fprintf(out, "%8d", d)
+		}
+		fmt.Fprintln(out)
+		for s := 0; s < t.npes; s++ {
+			fmt.Fprintf(out, "PE%-4d", s)
+			for d := 0; d < t.npes; d++ {
+				fmt.Fprintf(out, "%8d", t.matrix[s*t.npes+d]/1024)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+}
+
+func bar(n int) string {
+	const full = "########################################"
+	if n > len(full) {
+		n = len(full)
+	}
+	return full[:n]
+}
+
+// RunTrace executes one kernel implementation under the trace collector
+// and renders the profile.
+func RunTrace(fig, impl string, cores int, cfg KernelFigConfig, out io.Writer) error {
+	cfg = cfg.WithDefaults()
+	var fn func() error
+	switch fig {
+	case "histo":
+		k, ok := kernelsHistogram()[impl]
+		if !ok {
+			return fmt.Errorf("bench: unknown histogram implementation %q", impl)
+		}
+		fn = func() error { return traceOne(k, impl, cores, cfg, out) }
+	case "ig":
+		k, ok := kernelsIndexGather()[impl]
+		if !ok {
+			return fmt.Errorf("bench: unknown indexgather implementation %q", impl)
+		}
+		fn = func() error { return traceOne(k, impl, cores, cfg, out) }
+	case "randperm":
+		k, ok := kernelsRandperm()[impl]
+		if !ok {
+			return fmt.Errorf("bench: unknown randperm implementation %q", impl)
+		}
+		fn = func() error { return traceOne(k, impl, cores, cfg, out) }
+	default:
+		return fmt.Errorf("bench: unknown kernel %q", fig)
+	}
+	return fn()
+}
+
+// kernel map accessors keep the import local to this file's users.
+func kernelsHistogram() map[string]kernels.KernelFunc   { return kernels.Histogram }
+func kernelsIndexGather() map[string]kernels.KernelFunc { return kernels.IndexGather }
+func kernelsRandperm() map[string]kernels.KernelFunc    { return kernels.Randperm }
+
+// traceOne runs impl once with the collector installed.
+func traceOne(fn kernels.KernelFunc, name string, cores int, cfg KernelFigConfig, out io.Writer) error {
+	cpp := coresPerPE(name, cores, cfg.WorkersPerPE)
+	pes := cores / cpp
+	if pes < 1 {
+		pes = 1
+	}
+	params := scalePerCore(cfg.Params, cpp)
+	workers := 1
+	if cpp > 1 {
+		workers = cpp
+	}
+	rcfg := runtime.Config{
+		PEs:            pes,
+		WorkersPerPE:   workers,
+		Lamellae:       runtime.LamellaeSim,
+		Cost:           fabric.DefaultCostModel(),
+		ArrayBatchSize: params.BufItems,
+	}
+	tr := NewTrace(pes)
+	err := runtime.Run(rcfg, func(w *runtime.World) {
+		w.Barrier()
+		if w.MyPE() == 0 {
+			w.Provider().SetHook(tr.Hook())
+		}
+		w.Barrier()
+		if kerr := fn(w, params, nil); kerr != nil {
+			panic(kerr)
+		}
+		w.Barrier()
+		if w.MyPE() == 0 {
+			w.Provider().SetHook(nil)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "kernel=%s impl=%s cores=%d (PEs=%d x %d workers)\n", "trace", name, cores, pes, workers)
+	tr.Render(out)
+	return nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bale/kernels"
+	"repro/internal/fabric"
+)
+
+func TestTraceCollector(t *testing.T) {
+	tr := NewTrace(2)
+	h := tr.Hook()
+	h(fabric.OpPut, 0, 1, 100)
+	h(fabric.OpPut, 0, 1, 28)
+	h(fabric.OpGet, 1, 0, 4096)
+	h(fabric.OpAtomic, 0, 1, 8)
+	h(fabric.OpBarrier, 0, 0, 0)
+	if tr.Ops(fabric.OpPut) != 2 || tr.Ops(fabric.OpGet) != 1 {
+		t.Errorf("op counts wrong")
+	}
+	if tr.TotalBytes() != 100+28+4096+8 {
+		t.Errorf("bytes = %d", tr.TotalBytes())
+	}
+	if tr.MatrixBytes(0, 1) != 136 || tr.MatrixBytes(1, 0) != 4096 {
+		t.Errorf("matrix wrong: %d %d", tr.MatrixBytes(0, 1), tr.MatrixBytes(1, 0))
+	}
+	var sb strings.Builder
+	tr.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"put", "get", "atomic", "barrier", "traffic matrix", "4096-8191"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceEndToEnd(t *testing.T) {
+	cfg := KernelFigConfig{
+		Params: kernels.Params{
+			TablePerPE: 100, UpdatesPerPE: 2000, BufItems: 200,
+			DartsPerPE: 500, TargetFactor: 2, Seed: 3,
+		},
+		WorkersPerPE: 2,
+	}
+	var sb strings.Builder
+	if err := RunTrace("histo", "exstack2", 4, cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "communication profile (4 PEs)") {
+		t.Errorf("unexpected trace output:\n%s", sb.String())
+	}
+	// unknown implementation errors cleanly
+	if err := RunTrace("histo", "no-such", 4, cfg, &sb); err == nil {
+		t.Error("expected error for unknown impl")
+	}
+	if err := RunTrace("bogus", "exstack", 4, cfg, &sb); err == nil {
+		t.Error("expected error for unknown kernel")
+	}
+}

@@ -1,0 +1,332 @@
+// Package darc implements Distributed Atomic Reference Counting — the
+// paper's Darc layer (§III-E). A Darc is the distributed extension of an
+// Arc/shared_ptr: every PE of the constructing team holds its own
+// *independent* instance of the inner object, the Darc provides access to
+// them, and the pointed-to objects stay alive on every PE as long as any
+// PE (or any in-flight AM) still holds a reference anywhere in the world.
+//
+// Lifetime protocol:
+//
+//   - Clone/Drop adjust the PE-local count.
+//   - Serializing a Darc into an AM takes an extra local reference (the
+//     in-flight reference); deserializing on the destination adds a local
+//     reference there and sends a release AM back to the sender, which
+//     drops the in-flight reference. A live reference therefore exists
+//     continuously somewhere, so counts can never be globally zero while
+//     the object is reachable.
+//   - When a PE's count reaches zero it notifies the team root. The root
+//     polls every member (counts plus monotonic transfer counters); two
+//     identical all-zero rounds prove global death (no transfer could
+//     have moved a hidden reference between the rounds), and the root
+//     broadcasts the asynchronous deallocation AM, mirroring the paper's
+//     "status bits ... and an AM does the actual deallocation".
+package darc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/runtime"
+	"repro/internal/serde"
+)
+
+// entry is one PE's registry record for a Darc id.
+type entry struct {
+	item       any
+	team       *runtime.Team
+	refs       atomic.Int64
+	xfers      atomic.Uint64 // serialize + deserialize events on this PE
+	final      func(any)
+	dropped    chan struct{}
+	checking   atomic.Bool   // root-only: a death check is running
+	zeroEvents atomic.Uint64 // root-only: zero notifications received
+}
+
+// registry is the per-PE Darc table.
+type registry struct {
+	mu sync.Mutex
+	m  map[uint64]*entry
+}
+
+var nextID atomic.Uint64
+
+func regFor(w *runtime.World) *registry {
+	return w.ExtState("darc", func() any {
+		return &registry{m: make(map[uint64]*entry)}
+	}).(*registry)
+}
+
+func (r *registry) get(id uint64) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[id]
+}
+
+func (r *registry) mustGet(id uint64) *entry {
+	e := r.get(id)
+	if e == nil {
+		panic(fmt.Sprintf("darc: use of dropped or unknown darc %d", id))
+	}
+	return e
+}
+
+// Darc is a handle to a distributed reference-counted object of type T.
+// Handles are PE-specific; embed them in AMs via MarshalLamellar /
+// UnmarshalDarc to move access across PEs.
+type Darc[T any] struct {
+	id   uint64
+	w    *runtime.World
+	team *runtime.Team
+}
+
+// New collectively creates a Darc on team. Every member passes its own
+// instance of the inner object (instances are independent per PE, as in
+// the paper). Optional finalizers run on each PE at global destruction.
+func New[T any](team *runtime.Team, item T, finalizer ...func(T)) *Darc[T] {
+	w := team.World()
+	id := team.CollectiveKind("darc.new", func() any { return nextID.Add(1) }).(uint64)
+	e := &entry{item: item, team: team, dropped: make(chan struct{})}
+	e.refs.Store(1)
+	if len(finalizer) > 0 && finalizer[0] != nil {
+		f := finalizer[0]
+		e.final = func(v any) { f(v.(T)) }
+	}
+	reg := regFor(w)
+	reg.mu.Lock()
+	if _, dup := reg.m[id]; dup {
+		reg.mu.Unlock()
+		panic(fmt.Sprintf("darc: id %d already registered on PE%d", id, w.MyPE()))
+	}
+	reg.m[id] = e
+	reg.mu.Unlock()
+	return &Darc[T]{id: id, w: w, team: team}
+}
+
+// ID returns the Darc's global identifier.
+func (d *Darc[T]) ID() uint64 { return d.id }
+
+// Team returns the constructing team (calling PE's handle).
+func (d *Darc[T]) Team() *runtime.Team { return d.team }
+
+// Get returns this PE's instance of the inner object. As with the paper's
+// Darcs, inner mutability is the user's concern: use types that are safe
+// to share (atomics, mutex-guarded state).
+func (d *Darc[T]) Get() T {
+	return regFor(d.w).mustGet(d.id).item.(T)
+}
+
+// Clone takes an additional local reference and returns a new handle.
+func (d *Darc[T]) Clone() *Darc[T] {
+	regFor(d.w).mustGet(d.id).refs.Add(1)
+	return &Darc[T]{id: d.id, w: d.w, team: d.team}
+}
+
+// Drop releases this handle's reference. When the local count reaches
+// zero the global death check may run; destruction is asynchronous.
+func (d *Darc[T]) Drop() {
+	releaseRef(d.w, d.id)
+}
+
+// DroppedChan returns a channel closed when the object is globally
+// deallocated on this PE (for tests and finalization barriers).
+func (d *Darc[T]) DroppedChan() <-chan struct{} {
+	return regFor(d.w).mustGet(d.id).dropped
+}
+
+// LocalRefs reports this PE's current reference count (introspection).
+func (d *Darc[T]) LocalRefs() int64 {
+	e := regFor(d.w).get(d.id)
+	if e == nil {
+		return 0
+	}
+	return e.refs.Load()
+}
+
+func releaseRef(w *runtime.World, id uint64) {
+	e := regFor(w).mustGet(id)
+	n := e.refs.Add(-1)
+	switch {
+	case n < 0:
+		panic(fmt.Sprintf("darc: over-release of darc %d on PE%d", id, w.MyPE()))
+	case n == 0:
+		// Notify the team root that this PE might be the last holder.
+		root := e.team.WorldPE(0)
+		w.ExecAM(root, &maybeDeadAM{ID: id})
+	}
+}
+
+// MarshalLamellar serializes the handle into an AM with *move* semantics:
+// the handle's reference is repurposed as the in-flight reference, keeping
+// the sender's count nonzero until the receiver attaches and releases it.
+// Do not Drop or use a handle after embedding it in a sent AM — Clone
+// first if you need to keep local access (mirroring Rust's move of the AM
+// struct into exec_am_*).
+func (d *Darc[T]) MarshalLamellar(e *serde.Encoder) {
+	w, ok := e.Ctx.(*runtime.World)
+	if !ok {
+		panic("darc: Darc serialized outside an AM payload")
+	}
+	if w != d.w {
+		panic("darc: handle serialized by a different PE than it belongs to")
+	}
+	ent := regFor(w).mustGet(d.id)
+	ent.xfers.Add(1)
+	e.PutUvarint(d.id)
+	e.PutUvarint(uint64(w.MyPE()))
+}
+
+// UnmarshalDarc reads a Darc handle on the receiving PE, adding a local
+// reference and releasing the sender's in-flight reference.
+func UnmarshalDarc[T any](dec *serde.Decoder) (*Darc[T], error) {
+	ctx, ok := dec.Ctx.(*runtime.Context)
+	if !ok {
+		return nil, fmt.Errorf("darc: Darc deserialized outside an AM context")
+	}
+	id := dec.Uvarint()
+	sender := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	w := ctx.World
+	e := regFor(w).get(id)
+	if e == nil {
+		return nil, fmt.Errorf("darc: PE%d received unknown darc %d", w.MyPE(), id)
+	}
+	e.refs.Add(1)
+	e.xfers.Add(1)
+	w.ExecAM(sender, &releaseAM{ID: id})
+	return &Darc[T]{id: id, w: w, team: e.team}, nil
+}
+
+// ----- protocol AMs -------------------------------------------------------
+
+// releaseAM drops the sender-side in-flight reference after a transfer.
+type releaseAM struct{ ID uint64 }
+
+func (a *releaseAM) MarshalLamellar(e *serde.Encoder)         { e.PutUvarint(a.ID) }
+func (a *releaseAM) UnmarshalLamellar(d *serde.Decoder) error { a.ID = d.Uvarint(); return d.Err() }
+func (a *releaseAM) Exec(ctx *runtime.Context) any {
+	releaseRef(ctx.World, a.ID)
+	return nil
+}
+
+// maybeDeadAM tells the team root a PE's count hit zero.
+type maybeDeadAM struct{ ID uint64 }
+
+func (a *maybeDeadAM) MarshalLamellar(e *serde.Encoder)         { e.PutUvarint(a.ID) }
+func (a *maybeDeadAM) UnmarshalLamellar(d *serde.Decoder) error { a.ID = d.Uvarint(); return d.Err() }
+func (a *maybeDeadAM) Exec(ctx *runtime.Context) any {
+	w := ctx.World
+	e := regFor(w).get(a.ID)
+	if e == nil {
+		return nil // already deallocated
+	}
+	e.zeroEvents.Add(1)
+	if e.checking.CompareAndSwap(false, true) {
+		w.Pool().Submit(func() { checkLoop(w, a.ID) })
+	}
+	return nil
+}
+
+// checkLoop runs death checks until the darc either dies or no new zero
+// notification arrived during the last check (so no wakeup can be lost:
+// any notification racing with the hand-back restarts the loop).
+func checkLoop(w *runtime.World, id uint64) {
+	e := regFor(w).get(id)
+	if e == nil {
+		return
+	}
+	for {
+		seen := e.zeroEvents.Load()
+		if runDeathCheck(w, id) {
+			return
+		}
+		e.checking.Store(false)
+		if e.zeroEvents.Load() == seen {
+			return
+		}
+		if !e.checking.CompareAndSwap(false, true) {
+			return
+		}
+	}
+}
+
+// pollAM reports a PE's (refs, xfers) for a Darc.
+type pollAM struct{ ID uint64 }
+
+func (a *pollAM) MarshalLamellar(e *serde.Encoder)         { e.PutUvarint(a.ID) }
+func (a *pollAM) UnmarshalLamellar(d *serde.Decoder) error { a.ID = d.Uvarint(); return d.Err() }
+func (a *pollAM) Exec(ctx *runtime.Context) any {
+	e := regFor(ctx.World).get(a.ID)
+	if e == nil {
+		return []uint64{0, 0, 1} // gone: counts as dead and stable
+	}
+	return []uint64{uint64(e.refs.Load()), e.xfers.Load(), 0}
+}
+
+// deallocAM performs the per-PE deallocation.
+type deallocAM struct{ ID uint64 }
+
+func (a *deallocAM) MarshalLamellar(e *serde.Encoder)         { e.PutUvarint(a.ID) }
+func (a *deallocAM) UnmarshalLamellar(d *serde.Decoder) error { a.ID = d.Uvarint(); return d.Err() }
+func (a *deallocAM) Exec(ctx *runtime.Context) any {
+	w := ctx.World
+	reg := regFor(w)
+	reg.mu.Lock()
+	e := reg.m[a.ID]
+	delete(reg.m, a.ID)
+	reg.mu.Unlock()
+	if e != nil {
+		if e.final != nil {
+			e.final(e.item)
+		}
+		close(e.dropped)
+	}
+	return nil
+}
+
+// runDeathCheck runs on the team root: two identical all-zero polling
+// rounds prove global death. Reports whether deallocation was issued.
+func runDeathCheck(w *runtime.World, id uint64) bool {
+	e := regFor(w).get(id)
+	if e == nil {
+		return true
+	}
+	team := e.team
+	poll := func() (allZero bool, xferSum uint64) {
+		allZero = true
+		for r := 0; r < team.Size(); r++ {
+			res, err := runtime.BlockOn(w, runtime.ExecTyped[[]uint64](w, team.WorldPE(r), &pollAM{ID: id}))
+			if err != nil || len(res) < 3 {
+				return false, 0
+			}
+			if res[2] == 0 && res[0] != 0 {
+				allZero = false
+			}
+			xferSum += res[1]
+		}
+		return allZero, xferSum
+	}
+	z1, x1 := poll()
+	if !z1 {
+		return false
+	}
+	z2, x2 := poll()
+	if !z2 || x1 != x2 {
+		// A reference moved or revived between rounds; a future zero
+		// notification will retrigger the check.
+		return false
+	}
+	for r := 0; r < team.Size(); r++ {
+		w.ExecAM(team.WorldPE(r), &deallocAM{ID: id})
+	}
+	return true
+}
+
+func init() {
+	runtime.RegisterAM[releaseAM]("darc.release")
+	runtime.RegisterAM[maybeDeadAM]("darc.maybeDead")
+	runtime.RegisterAM[pollAM]("darc.poll")
+	runtime.RegisterAM[deallocAM]("darc.dealloc")
+}

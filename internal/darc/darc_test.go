@@ -1,0 +1,230 @@
+package darc
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/serde"
+)
+
+// carrierAM embeds a Darc handle, exercising transfer counting.
+type carrierAM struct {
+	D     *Darc[*atomic.Int64]
+	Delta int64
+	Hold  bool // if set, keep (leak) the received handle — must NOT free
+}
+
+func (a *carrierAM) MarshalLamellar(e *serde.Encoder) {
+	a.D.MarshalLamellar(e)
+	e.PutVarint(a.Delta)
+	e.PutBool(a.Hold)
+}
+
+func (a *carrierAM) UnmarshalLamellar(d *serde.Decoder) error {
+	var err error
+	a.D, err = UnmarshalDarc[*atomic.Int64](d)
+	if err != nil {
+		return err
+	}
+	a.Delta = d.Varint()
+	a.Hold = d.Bool()
+	return d.Err()
+}
+
+func (a *carrierAM) Exec(ctx *runtime.Context) any {
+	a.D.Get().Add(a.Delta)
+	if !a.Hold {
+		a.D.Drop()
+	}
+	return nil
+}
+
+func init() {
+	runtime.RegisterAM[carrierAM]("darctest.carrier")
+}
+
+func cfg(pes int) runtime.Config {
+	return runtime.Config{PEs: pes, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem}
+}
+
+func TestLocalCloneDrop(t *testing.T) {
+	var finalized atomic.Int64
+	err := runtime.Run(cfg(2), func(w *runtime.World) {
+		d := New(w.Team(), new(atomic.Int64), func(v *atomic.Int64) { finalized.Add(1) })
+		if d.LocalRefs() != 1 {
+			panic("initial refs != 1")
+		}
+		c := d.Clone()
+		if d.LocalRefs() != 2 {
+			panic("clone did not bump refs")
+		}
+		c.Drop()
+		w.Barrier()
+		d.Drop()
+		// Wait for async global destruction.
+		select {
+		case <-d.DroppedChan():
+		case <-time.After(10 * time.Second):
+			panic(fmt.Sprintf("PE%d: darc never dropped", w.MyPE()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalized.Load() != 2 {
+		t.Errorf("finalizers ran %d times, want 2", finalized.Load())
+	}
+}
+
+func TestPerPEInstancesAreIndependent(t *testing.T) {
+	err := runtime.Run(cfg(3), func(w *runtime.World) {
+		d := New(w.Team(), new(atomic.Int64))
+		d.Get().Store(int64(w.MyPE() * 100))
+		w.Barrier()
+		if d.Get().Load() != int64(w.MyPE()*100) {
+			panic("instance not independent")
+		}
+		w.Barrier()
+		d.Drop()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDarcTravelsInAM(t *testing.T) {
+	err := runtime.Run(cfg(4), func(w *runtime.World) {
+		d := New(w.Team(), new(atomic.Int64))
+		w.Barrier()
+		if w.MyPE() == 0 {
+			// Send the darc to every other PE; each adds to ITS OWN instance.
+			for pe := 1; pe < w.NumPEs(); pe++ {
+				w.ExecAM(pe, &carrierAM{D: d.Clone(), Delta: 7})
+			}
+			// The clones' references are dropped by the handlers; wait.
+			w.WaitAll()
+		}
+		w.Barrier()
+		if w.MyPE() != 0 {
+			if got := d.Get().Load(); got != 7 {
+				panic(fmt.Sprintf("PE%d: instance = %d, want 7", w.MyPE(), got))
+			}
+		}
+		w.Barrier()
+		d.Drop()
+		select {
+		case <-d.DroppedChan():
+		case <-time.After(10 * time.Second):
+			panic(fmt.Sprintf("PE%d: darc with travel never dropped", w.MyPE()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteHolderKeepsAlive(t *testing.T) {
+	var finalized atomic.Int64
+	err := runtime.Run(cfg(2), func(w *runtime.World) {
+		d := New(w.Team(), new(atomic.Int64), func(*atomic.Int64) { finalized.Add(1) })
+		w.Barrier()
+		if w.MyPE() == 0 {
+			// PE1 will HOLD the received reference.
+			w.ExecAM(1, &carrierAM{D: d.Clone(), Delta: 1, Hold: true})
+			w.WaitAll()
+		}
+		w.Barrier()
+		// Everyone drops their original handle; PE1's held AM reference
+		// must keep the object alive everywhere.
+		d.Drop()
+		time.Sleep(20 * time.Millisecond)
+		if finalized.Load() != 0 {
+			panic("object finalized while a remote reference exists")
+		}
+		w.Barrier()
+		// Now PE1 releases the held reference.
+		if w.MyPE() == 1 {
+			releaseRef(w, d.ID())
+		}
+		select {
+		case <-waitDropped(w, d.ID()):
+		case <-time.After(10 * time.Second):
+			panic(fmt.Sprintf("PE%d: never dropped after final release", w.MyPE()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalized.Load() != 2 {
+		t.Errorf("finalizers = %d, want 2", finalized.Load())
+	}
+}
+
+// waitDropped returns a channel that closes when id disappears from the
+// local registry (works even after the entry is deleted).
+func waitDropped(w *runtime.World, id uint64) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		for regFor(w).get(id) != nil {
+			time.Sleep(time.Millisecond)
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+func TestUseAfterDropPanics(t *testing.T) {
+	err := runtime.Run(cfg(1), func(w *runtime.World) {
+		d := New(w.Team(), new(atomic.Int64))
+		d.Drop()
+		<-waitDropped(w, d.ID())
+		defer func() {
+			if recover() == nil {
+				panic("expected panic on use-after-drop")
+			}
+		}()
+		d.Get()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyDarcsStress(t *testing.T) {
+	var finalized atomic.Int64
+	const n = 40
+	err := runtime.Run(cfg(4), func(w *runtime.World) {
+		ds := make([]*Darc[*atomic.Int64], n)
+		for i := range ds {
+			ds[i] = New(w.Team(), new(atomic.Int64), func(*atomic.Int64) { finalized.Add(1) })
+		}
+		w.Barrier()
+		for i, d := range ds {
+			dst := (w.MyPE() + 1 + i) % w.NumPEs()
+			if dst != w.MyPE() {
+				w.ExecAM(dst, &carrierAM{D: d.Clone(), Delta: 1})
+			}
+		}
+		w.WaitAll()
+		w.Barrier()
+		for _, d := range ds {
+			d.Drop()
+		}
+		for _, d := range ds {
+			select {
+			case <-waitDropped(w, d.ID()):
+			case <-time.After(20 * time.Second):
+				panic("stress darc never dropped")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalized.Load() != n*4 {
+		t.Errorf("finalized = %d, want %d", finalized.Load(), n*4)
+	}
+}

@@ -1,0 +1,506 @@
+// Package fabric simulates the RDMA network substrate that Lamellar's ROFI
+// transport layer provides on real hardware (libfabric over InfiniBand).
+//
+// The paper's ROFI exposes exactly: initialization, PE ids, RDMA memory
+// region (de)allocation, one-sided PUT/GET of raw bytes, and a barrier.
+// This package reproduces that surface for goroutine-PEs living in one
+// process:
+//
+//   - Segments are symmetric byte buffers (one per PE per allocation) with
+//     an adjacent array of atomic control words used for flag protocols.
+//   - Put/Get copy bytes between PEs' segments. Visibility across PEs must
+//     be established the same way real RDMA requires it: by polling atomic
+//     control words (AtomicStore/AtomicLoad create the happens-before
+//     edges, exactly mirroring a NIC's completion/flag discipline).
+//   - Remote atomics (load/store/add/cas on 64-bit control words) model
+//     fi_atomic operations.
+//   - A barrier with log2(P) modeled message rounds models ofi collectives.
+//
+// Because no InfiniBand hardware is available, every operation *accounts*
+// modeled network time on its initiating PE according to a configurable
+// cost model (latency + bytes/bandwidth + per-message gap, with an inject
+// threshold mirroring the fi_inject_write/fi_write switch the paper
+// observes at 256 B, and an optional cross-rack latency factor mirroring
+// the topology effect discussed for Fig. 5). Benchmarks combine these
+// modeled times with genuinely measured CPU time; see DESIGN.md §2.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// CostModel parameterizes the modeled network.
+type CostModel struct {
+	// LatencyNs is the one-way wire latency per message in nanoseconds.
+	LatencyNs float64
+	// BandwidthBytesPerNs is the peak link bandwidth (12.5 GB/s = 12.5 B/ns
+	// matches the paper's HDR-100 network).
+	BandwidthBytesPerNs float64
+	// InjectThresholdBytes: messages at or below this size use the cheap
+	// inject path (InjectGapNs per message); larger messages pay MsgGapNs.
+	InjectThresholdBytes int
+	// InjectGapNs is the per-message initiator gap for inject-size messages.
+	InjectGapNs float64
+	// MsgGapNs is the per-message initiator gap for regular messages.
+	MsgGapNs float64
+	// RackSize is the number of PEs per rack; 0 disables topology effects.
+	// Messages between PEs in different racks multiply latency by RackFactor.
+	RackSize int
+	// RackFactor scales latency for cross-rack messages (>= 1).
+	RackFactor float64
+	// AtomicNs is the modeled cost of one remote atomic operation.
+	AtomicNs float64
+}
+
+// DefaultCostModel mirrors the paper's testbed: HDR-100 InfiniBand,
+// 12.5 GB/s peak, ~1.5 us small-message latency, 256 B inject threshold.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		LatencyNs:            1500,
+		BandwidthBytesPerNs:  12.5,
+		InjectThresholdBytes: 256,
+		InjectGapNs:          150,
+		MsgGapNs:             600,
+		RackSize:             0,
+		RackFactor:           1.6,
+		AtomicNs:             500,
+	}
+}
+
+// xferNs returns the modeled initiator-side *throughput* cost of one
+// transfer: the per-message injection gap plus serialization time on the
+// wire. Wire latency is deliberately not accumulated — put/get streams
+// pipeline on real fabrics, so latency bounds round trips (modeled in
+// barriers and atomics), not sustained bandwidth. Cross-rack messages pay
+// a gap penalty reflecting the longer store-and-forward path under load.
+func (c *CostModel) xferNs(src, dst, nbytes int) float64 {
+	if src == dst {
+		return 0
+	}
+	gap := c.MsgGapNs
+	if nbytes <= c.InjectThresholdBytes {
+		gap = c.InjectGapNs
+	}
+	if c.RackSize > 0 && src/c.RackSize != dst/c.RackSize {
+		gap *= c.RackFactor
+	}
+	bw := c.BandwidthBytesPerNs
+	if bw <= 0 {
+		bw = math.Inf(1)
+	}
+	return gap + float64(nbytes)/bw
+}
+
+// Counters aggregates traffic observed on one PE (or the whole provider).
+type Counters struct {
+	Msgs      uint64 // number of put/get/atomic operations initiated
+	Bytes     uint64 // payload bytes moved
+	ModeledNs uint64 // modeled network nanoseconds accumulated
+	Barriers  uint64 // barrier episodes
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Msgs += other.Msgs
+	c.Bytes += other.Bytes
+	c.ModeledNs += other.ModeledNs
+	c.Barriers += other.Barriers
+}
+
+// Sub returns c minus other (for windowed measurements).
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		Msgs:      c.Msgs - other.Msgs,
+		Bytes:     c.Bytes - other.Bytes,
+		ModeledNs: c.ModeledNs - other.ModeledNs,
+		Barriers:  c.Barriers - other.Barriers,
+	}
+}
+
+type peCounters struct {
+	msgs      atomic.Uint64
+	bytes     atomic.Uint64
+	modeledNs atomic.Uint64
+	barriers  atomic.Uint64
+}
+
+// OpKind identifies a fabric operation for fault hooks and tracing.
+type OpKind uint8
+
+// Operation kinds passed to fault hooks.
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpAtomic
+	OpBarrier
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpAtomic:
+		return "atomic"
+	case OpBarrier:
+		return "barrier"
+	default:
+		return "unknown"
+	}
+}
+
+// Hook observes (and may delay) every fabric operation; used by tests for
+// fault injection and by tracing tools.
+type Hook func(kind OpKind, initiator, target, nbytes int)
+
+// SegmentID names a symmetric allocation.
+type SegmentID int32
+
+// segment is a symmetric region: one data buffer and one control-word
+// array per PE. Control words are the only memory with cross-PE atomic
+// semantics, mirroring RDMA-atomic-capable registered memory.
+type segment struct {
+	data  [][]byte
+	words [][]atomic.Uint64
+}
+
+// Provider is the simulated fabric for one world of PEs.
+type Provider struct {
+	npes int
+	cost CostModel
+
+	segments sync.Map // SegmentID -> *segment; lock-free on the data path
+	nextSeg  atomic.Int32
+
+	counters []peCounters
+	hook     atomic.Pointer[Hook]
+
+	barrier *GroupBarrier
+}
+
+// New creates a provider for npes PEs with the given cost model.
+func New(npes int, cost CostModel) *Provider {
+	if npes <= 0 {
+		panic("fabric: npes must be positive")
+	}
+	p := &Provider{
+		npes:     npes,
+		cost:     cost,
+		counters: make([]peCounters, npes),
+	}
+	p.barrier = p.NewGroupBarrier(npes)
+	return p
+}
+
+// NumPEs reports the number of PEs in the world.
+func (p *Provider) NumPEs() int { return p.npes }
+
+// Cost returns the provider's cost model.
+func (p *Provider) Cost() CostModel { return p.cost }
+
+// SetHook installs a fault/tracing hook (nil clears it).
+func (p *Provider) SetHook(h Hook) {
+	if h == nil {
+		p.hook.Store(nil)
+		return
+	}
+	p.hook.Store(&h)
+}
+
+func (p *Provider) callHook(kind OpKind, initiator, target, nbytes int) {
+	if hp := p.hook.Load(); hp != nil {
+		(*hp)(kind, initiator, target, nbytes)
+	}
+}
+
+func (p *Provider) account(initiator, target, nbytes int, kind OpKind) {
+	c := &p.counters[initiator]
+	c.msgs.Add(1)
+	c.bytes.Add(uint64(nbytes))
+	var ns float64
+	if kind == OpAtomic {
+		if initiator != target {
+			ns = p.cost.AtomicNs
+		}
+	} else {
+		ns = p.cost.xferNs(initiator, target, nbytes)
+	}
+	if ns > 0 {
+		c.modeledNs.Add(uint64(ns))
+	}
+	p.callHook(kind, initiator, target, nbytes)
+}
+
+// CountersFor snapshots the traffic counters of one PE.
+func (p *Provider) CountersFor(pe int) Counters {
+	c := &p.counters[pe]
+	return Counters{
+		Msgs:      c.msgs.Load(),
+		Bytes:     c.bytes.Load(),
+		ModeledNs: c.modeledNs.Load(),
+		Barriers:  c.barriers.Load(),
+	}
+}
+
+// Snapshot sums traffic counters across all PEs.
+func (p *Provider) Snapshot() Counters {
+	var total Counters
+	for pe := 0; pe < p.npes; pe++ {
+		total.Add(p.CountersFor(pe))
+	}
+	return total
+}
+
+// MaxModeledNs returns the maximum modeled network time across PEs since
+// the provided baseline snapshots (one per PE), approximating the modeled
+// elapsed time of a bulk-parallel phase.
+func (p *Provider) MaxModeledNs(base []Counters) uint64 {
+	var maxNs uint64
+	for pe := 0; pe < p.npes; pe++ {
+		cur := p.CountersFor(pe)
+		d := cur.ModeledNs - base[pe].ModeledNs
+		if d > maxNs {
+			maxNs = d
+		}
+	}
+	return maxNs
+}
+
+// SnapshotAll returns one counter snapshot per PE.
+func (p *Provider) SnapshotAll() []Counters {
+	out := make([]Counters, p.npes)
+	for pe := range out {
+		out[pe] = p.CountersFor(pe)
+	}
+	return out
+}
+
+// AllocSegment collectively allocates a symmetric segment: nbytes of data
+// and nwords atomic control words on every PE. In the real runtime this is
+// a collective call; here any caller may allocate and share the id.
+func (p *Provider) AllocSegment(nbytes, nwords int) SegmentID {
+	if nbytes < 0 || nwords < 0 {
+		panic("fabric: negative segment size")
+	}
+	s := &segment{
+		data:  make([][]byte, p.npes),
+		words: make([][]atomic.Uint64, p.npes),
+	}
+	for pe := 0; pe < p.npes; pe++ {
+		s.data[pe] = make([]byte, nbytes)
+		s.words[pe] = make([]atomic.Uint64, nwords)
+	}
+	id := SegmentID(p.nextSeg.Add(1))
+	p.segments.Store(id, s)
+	return id
+}
+
+// FreeSegment releases a segment on all PEs.
+func (p *Provider) FreeSegment(id SegmentID) {
+	p.segments.Delete(id)
+}
+
+func (p *Provider) seg(id SegmentID) *segment {
+	v, ok := p.segments.Load(id)
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown segment %d", id))
+	}
+	return v.(*segment)
+}
+
+// LocalData returns pe's view of a segment's data bytes. Access rules are
+// the RDMA rules: concurrent remote writes to bytes you are reading are
+// races unless ordered through control words or a barrier.
+func (p *Provider) LocalData(pe int, id SegmentID) []byte {
+	return p.seg(id).data[pe]
+}
+
+// Put copies data into target's view of the segment at dstOff. One-sided:
+// only the initiator participates. Completion is immediate from the
+// initiator's perspective (ROFI's blocking put); remote visibility still
+// requires a flag or barrier, as on real hardware.
+func (p *Provider) Put(initiator, target int, id SegmentID, dstOff int, data []byte) {
+	s := p.seg(id)
+	dst := s.data[target]
+	if dstOff < 0 || dstOff+len(data) > len(dst) {
+		panic(fmt.Sprintf("fabric: put out of bounds: off=%d len=%d seg=%d", dstOff, len(data), len(dst)))
+	}
+	copy(dst[dstOff:], data)
+	p.account(initiator, target, len(data), OpPut)
+}
+
+// Get copies bytes from target's view of the segment at srcOff into buf.
+func (p *Provider) Get(initiator, target int, id SegmentID, srcOff int, buf []byte) {
+	s := p.seg(id)
+	src := s.data[target]
+	if srcOff < 0 || srcOff+len(buf) > len(src) {
+		panic(fmt.Sprintf("fabric: get out of bounds: off=%d len=%d seg=%d", srcOff, len(buf), len(src)))
+	}
+	copy(buf, src[srcOff:])
+	p.account(initiator, target, len(buf), OpGet)
+}
+
+// AtomicLoad reads control word w of target's segment view.
+func (p *Provider) AtomicLoad(initiator, target int, id SegmentID, w int) uint64 {
+	v := p.seg(id).words[target][w].Load()
+	p.account(initiator, target, 8, OpAtomic)
+	return v
+}
+
+// AtomicStore writes control word w of target's segment view.
+func (p *Provider) AtomicStore(initiator, target int, id SegmentID, w int, v uint64) {
+	p.seg(id).words[target][w].Store(v)
+	p.account(initiator, target, 8, OpAtomic)
+}
+
+// AtomicAdd atomically adds delta to control word w and returns the new value.
+func (p *Provider) AtomicAdd(initiator, target int, id SegmentID, w int, delta uint64) uint64 {
+	v := p.seg(id).words[target][w].Add(delta)
+	p.account(initiator, target, 8, OpAtomic)
+	return v
+}
+
+// AtomicCAS performs compare-and-swap on control word w.
+func (p *Provider) AtomicCAS(initiator, target int, id SegmentID, w int, old, new uint64) bool {
+	ok := p.seg(id).words[target][w].CompareAndSwap(old, new)
+	p.account(initiator, target, 8, OpAtomic)
+	return ok
+}
+
+// LocalAtomicLoad reads a control word on the caller's own view without
+// traffic accounting; used by polling progress loops (a local poll is a
+// cache read, not a network operation).
+func (p *Provider) LocalAtomicLoad(pe int, id SegmentID, w int) uint64 {
+	return p.seg(id).words[pe][w].Load()
+}
+
+// LocalAtomicStore writes a local control word without traffic accounting.
+func (p *Provider) LocalAtomicStore(pe int, id SegmentID, w int, v uint64) {
+	p.seg(id).words[pe][w].Store(v)
+}
+
+// LocalAtomicAdd adds to a local control word without traffic accounting.
+func (p *Provider) LocalAtomicAdd(pe int, id SegmentID, w int, delta uint64) uint64 {
+	return p.seg(id).words[pe][w].Add(delta)
+}
+
+// Words is a cached handle on a segment's atomic control words: the data
+// path skips the segment-table lookup, like keeping a registered memory
+// key on real hardware. Accounting matches the Provider methods.
+type Words struct {
+	p *Provider
+	s *segment
+}
+
+// Words returns a cached handle for the segment's control words.
+func (p *Provider) Words(id SegmentID) Words {
+	return Words{p: p, s: p.seg(id)}
+}
+
+// Load reads control word w of target's view (remote atomic cost).
+func (a Words) Load(initiator, target, w int) uint64 {
+	v := a.s.words[target][w].Load()
+	a.p.account(initiator, target, 8, OpAtomic)
+	return v
+}
+
+// Store writes control word w of target's view (remote atomic cost).
+func (a Words) Store(initiator, target, w int, v uint64) {
+	a.s.words[target][w].Store(v)
+	a.p.account(initiator, target, 8, OpAtomic)
+}
+
+// Add atomically adds delta, returning the new value (remote atomic cost).
+func (a Words) Add(initiator, target, w int, delta uint64) uint64 {
+	v := a.s.words[target][w].Add(delta)
+	a.p.account(initiator, target, 8, OpAtomic)
+	return v
+}
+
+// CAS compare-and-swaps (remote atomic cost).
+func (a Words) CAS(initiator, target, w int, old, new uint64) bool {
+	ok := a.s.words[target][w].CompareAndSwap(old, new)
+	a.p.account(initiator, target, 8, OpAtomic)
+	return ok
+}
+
+// LocalLoad reads the caller's own word: a local poll, free of cost.
+func (a Words) LocalLoad(pe, w int) uint64 { return a.s.words[pe][w].Load() }
+
+// LocalStore writes the caller's own word without cost accounting.
+func (a Words) LocalStore(pe, w int, v uint64) { a.s.words[pe][w].Store(v) }
+
+// LocalAdd adds to the caller's own word without cost accounting.
+func (a Words) LocalAdd(pe, w int, delta uint64) uint64 { return a.s.words[pe][w].Add(delta) }
+
+// Barrier blocks until every PE in the world has entered it. The modeled
+// cost is a dissemination barrier: ceil(log2 P) rounds of small messages.
+func (p *Provider) Barrier(pe int) {
+	p.callHook(OpBarrier, pe, pe, 0)
+	p.accountBarrier(pe, p.npes)
+	p.barrier.Wait()
+}
+
+func (p *Provider) accountBarrier(pe, size int) {
+	if size <= 1 {
+		return
+	}
+	rounds := bits.Len(uint(size - 1)) // ceil(log2 size)
+	c := &p.counters[pe]
+	c.barriers.Add(1)
+	c.msgs.Add(uint64(rounds))
+	ns := float64(rounds) * (p.cost.LatencyNs + p.cost.InjectGapNs)
+	c.modeledNs.Add(uint64(ns))
+}
+
+// GroupBarrier is a reusable barrier for an arbitrary subset of PEs
+// (teams). Construction is collective by convention: every member must
+// share the same instance.
+type GroupBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+}
+
+// NewGroupBarrier creates a barrier for size participants.
+func (p *Provider) NewGroupBarrier(size int) *GroupBarrier {
+	b := &GroupBarrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// WaitFor enters the barrier as pe, accounting modeled cost, then blocks
+// until all participants arrive.
+func (p *Provider) WaitFor(pe int, b *GroupBarrier) {
+	p.callHook(OpBarrier, pe, pe, 0)
+	p.accountBarrier(pe, b.size)
+	b.Wait()
+}
+
+// Wait blocks until all participants arrive (no cost accounting).
+func (b *GroupBarrier) Wait() {
+	if b.size <= 1 {
+		return
+	}
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,330 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	p := New(4, DefaultCostModel())
+	seg := p.AllocSegment(128, 4)
+
+	data := []byte("hello fabric")
+	p.Put(0, 2, seg, 16, data)
+
+	buf := make([]byte, len(data))
+	p.Get(1, 2, seg, 16, buf)
+	if string(buf) != string(data) {
+		t.Errorf("got %q want %q", buf, data)
+	}
+	// other PEs' views untouched
+	if b := p.LocalData(3, seg); b[16] != 0 {
+		t.Errorf("PE3 view modified")
+	}
+}
+
+func TestLocalDataAliasesPut(t *testing.T) {
+	p := New(2, DefaultCostModel())
+	seg := p.AllocSegment(8, 0)
+	p.Put(0, 1, seg, 0, []byte{9})
+	if p.LocalData(1, seg)[0] != 9 {
+		t.Error("LocalData does not observe put")
+	}
+}
+
+func TestPutOutOfBoundsPanics(t *testing.T) {
+	p := New(2, DefaultCostModel())
+	seg := p.AllocSegment(8, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Put(0, 1, seg, 4, make([]byte, 8))
+}
+
+func TestAtomics(t *testing.T) {
+	p := New(3, DefaultCostModel())
+	seg := p.AllocSegment(0, 2)
+
+	p.AtomicStore(0, 1, seg, 0, 41)
+	if v := p.AtomicAdd(2, 1, seg, 0, 1); v != 42 {
+		t.Errorf("AtomicAdd = %d", v)
+	}
+	if v := p.AtomicLoad(0, 1, seg, 0); v != 42 {
+		t.Errorf("AtomicLoad = %d", v)
+	}
+	if !p.AtomicCAS(0, 1, seg, 0, 42, 100) {
+		t.Error("CAS should succeed")
+	}
+	if p.AtomicCAS(0, 1, seg, 0, 42, 5) {
+		t.Error("CAS should fail")
+	}
+	if v := p.LocalAtomicLoad(1, seg, 0); v != 100 {
+		t.Errorf("final = %d", v)
+	}
+}
+
+// TestFlagProtocolHappensBefore exercises the RDMA flag discipline the
+// runtime relies on: payload bytes written before an atomic flag store must
+// be visible to a reader that observed the flag. Run with -race.
+func TestFlagProtocolHappensBefore(t *testing.T) {
+	p := New(2, DefaultCostModel())
+	seg := p.AllocSegment(1024, 1)
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer on PE0 writing into PE1
+		defer wg.Done()
+		for i := 1; i <= rounds; i++ {
+			payload := make([]byte, 64)
+			for j := range payload {
+				payload[j] = byte(i)
+			}
+			p.Put(0, 1, seg, 0, payload)
+			p.AtomicStore(0, 1, seg, 0, uint64(i))
+			// wait for consumer ack before overwriting
+			for p.AtomicLoad(0, 0, seg, 0) != uint64(i) {
+			}
+		}
+	}()
+	go func() { // consumer on PE1
+		defer wg.Done()
+		buf := make([]byte, 64)
+		for i := 1; i <= rounds; i++ {
+			for p.LocalAtomicLoad(1, seg, 0) != uint64(i) {
+			}
+			p.Get(1, 1, seg, 0, buf)
+			for j := range buf {
+				if buf[j] != byte(i) {
+					t.Errorf("round %d: byte %d = %d", i, j, buf[j])
+					return
+				}
+			}
+			p.AtomicStore(1, 0, seg, 0, uint64(i)) // ack
+		}
+	}()
+	wg.Wait()
+}
+
+func TestBarrierAllArrive(t *testing.T) {
+	const n = 8
+	p := New(n, DefaultCostModel())
+	var phase atomic.Int64
+	var wg sync.WaitGroup
+	for pe := 0; pe < n; pe++ {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				phase.Add(1)
+				p.Barrier(pe)
+				// after the barrier every PE must have bumped phase
+				if got := phase.Load(); got < int64((round+1)*n) {
+					t.Errorf("round %d: phase = %d", round, got)
+					return
+				}
+				p.Barrier(pe)
+			}
+		}(pe)
+	}
+	wg.Wait()
+}
+
+func TestGroupBarrierSubset(t *testing.T) {
+	p := New(6, DefaultCostModel())
+	b := p.NewGroupBarrier(3)
+	var before atomic.Int64
+	var wg sync.WaitGroup
+	for _, pe := range []int{1, 3, 5} {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			before.Add(1)
+			p.WaitFor(pe, b)
+			if before.Load() != 3 {
+				t.Errorf("barrier released before all members arrived")
+			}
+		}(pe)
+	}
+	wg.Wait()
+}
+
+func TestCostModelInjectThreshold(t *testing.T) {
+	c := DefaultCostModel()
+	small := c.xferNs(0, 1, c.InjectThresholdBytes)
+	big := c.xferNs(0, 1, c.InjectThresholdBytes+1)
+	if big <= small {
+		t.Errorf("no inject-threshold step: small=%v big=%v", small, big)
+	}
+	if c.xferNs(0, 0, 1<<20) != 0 {
+		t.Error("local transfer should be free")
+	}
+}
+
+func TestCostModelRackPenalty(t *testing.T) {
+	c := DefaultCostModel()
+	c.RackSize = 4
+	intra := c.xferNs(0, 3, 8)
+	inter := c.xferNs(0, 4, 8)
+	if inter <= intra {
+		t.Errorf("no rack penalty: intra=%v inter=%v", intra, inter)
+	}
+}
+
+func TestCostModelMonotonicInSize(t *testing.T) {
+	c := DefaultCostModel()
+	err := quick.Check(func(a, b uint16) bool {
+		x, y := int(a)+257, int(b)+257 // above inject threshold
+		if x > y {
+			x, y = y, x
+		}
+		return c.xferNs(0, 1, x) <= c.xferNs(0, 1, y)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	p := New(2, DefaultCostModel())
+	seg := p.AllocSegment(64, 1)
+	base := p.CountersFor(0)
+
+	p.Put(0, 1, seg, 0, make([]byte, 32))
+	p.Get(0, 1, seg, 0, make([]byte, 16))
+	p.AtomicAdd(0, 1, seg, 0, 1)
+
+	d := p.CountersFor(0).Sub(base)
+	if d.Msgs != 3 {
+		t.Errorf("msgs = %d", d.Msgs)
+	}
+	if d.Bytes != 32+16+8 {
+		t.Errorf("bytes = %d", d.Bytes)
+	}
+	if d.ModeledNs == 0 {
+		t.Error("no modeled time accumulated")
+	}
+	// target PE initiated nothing
+	if c := p.CountersFor(1); c.Msgs != 0 {
+		t.Errorf("PE1 msgs = %d", c.Msgs)
+	}
+}
+
+func TestLocalOpsFree(t *testing.T) {
+	p := New(2, DefaultCostModel())
+	seg := p.AllocSegment(64, 1)
+	base := p.CountersFor(0)
+	p.Put(0, 0, seg, 0, make([]byte, 32))
+	d := p.CountersFor(0).Sub(base)
+	if d.ModeledNs != 0 {
+		t.Errorf("local put accrued modeled time %d", d.ModeledNs)
+	}
+}
+
+func TestHookObservesOps(t *testing.T) {
+	p := New(2, DefaultCostModel())
+	seg := p.AllocSegment(8, 1)
+	var puts, gets, atomics atomic.Int64
+	p.SetHook(func(kind OpKind, initiator, target, nbytes int) {
+		switch kind {
+		case OpPut:
+			puts.Add(1)
+		case OpGet:
+			gets.Add(1)
+		case OpAtomic:
+			atomics.Add(1)
+		}
+	})
+	p.Put(0, 1, seg, 0, []byte{1})
+	p.Get(0, 1, seg, 0, make([]byte, 1))
+	p.AtomicLoad(0, 1, seg, 0)
+	p.SetHook(nil)
+	p.Put(0, 1, seg, 0, []byte{1}) // not observed
+	if puts.Load() != 1 || gets.Load() != 1 || atomics.Load() != 1 {
+		t.Errorf("hook counts: put=%d get=%d atomic=%d", puts.Load(), gets.Load(), atomics.Load())
+	}
+}
+
+func TestTypedRegionRoundTrip(t *testing.T) {
+	p := New(3, DefaultCostModel())
+	r := AllocTyped[float64](p, 100)
+
+	src := make([]float64, 10)
+	for i := range src {
+		src[i] = float64(i) * 1.5
+	}
+	r.Put(0, 2, 50, src)
+
+	dst := make([]float64, 10)
+	r.Get(1, 2, 50, dst)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Errorf("elem %d = %v", i, dst[i])
+		}
+	}
+	if got := r.Local(2)[50]; got != 0.0 {
+		_ = got
+	}
+	if r.Local(0)[50] != 0 {
+		t.Error("PE0 view modified")
+	}
+}
+
+func TestTypedRegionAccountsElemSize(t *testing.T) {
+	p := New(2, DefaultCostModel())
+	r := AllocTyped[uint64](p, 16)
+	if r.ElemSize() != 8 {
+		t.Fatalf("ElemSize = %d", r.ElemSize())
+	}
+	base := p.CountersFor(0)
+	r.Put(0, 1, 0, make([]uint64, 4))
+	d := p.CountersFor(0).Sub(base)
+	if d.Bytes != 32 {
+		t.Errorf("bytes = %d want 32", d.Bytes)
+	}
+}
+
+func TestTypedRegionBounds(t *testing.T) {
+	p := New(2, DefaultCostModel())
+	r := AllocTyped[int32](p, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Put(0, 1, 2, make([]int32, 4))
+}
+
+func TestBarrierAccountsLogRounds(t *testing.T) {
+	p := New(8, DefaultCostModel())
+	base := p.CountersFor(0)
+	var wg sync.WaitGroup
+	for pe := 0; pe < 8; pe++ {
+		wg.Add(1)
+		go func(pe int) { defer wg.Done(); p.Barrier(pe) }(pe)
+	}
+	wg.Wait()
+	d := p.CountersFor(0).Sub(base)
+	if d.Barriers != 1 {
+		t.Errorf("barriers = %d", d.Barriers)
+	}
+	if d.Msgs != 3 { // log2(8)
+		t.Errorf("barrier msgs = %d want 3", d.Msgs)
+	}
+}
+
+func TestSegmentFree(t *testing.T) {
+	p := New(2, DefaultCostModel())
+	seg := p.AllocSegment(8, 0)
+	p.FreeSegment(seg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on freed segment")
+		}
+	}()
+	p.Put(0, 1, seg, 0, []byte{1})
+}

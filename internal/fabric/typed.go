@@ -1,0 +1,72 @@
+package fabric
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/serde"
+)
+
+// TypedRegion is a symmetric RDMA-registered region of numeric elements:
+// every PE holds elems elements. It backs Shared/OneSidedMemoryRegions and
+// the direct-RDMA paths of UnsafeArray/ReadOnlyArray. The element size
+// feeds the cost model so a put of 1000 float64 accounts 8000 bytes, as a
+// real fi_write of the same buffer would.
+//
+// Access discipline is RDMA's: remote Put/Get concurrent with local access
+// to the same elements is a data race; order through control words,
+// barriers, or higher-level safe abstractions.
+type TypedRegion[T serde.Number] struct {
+	prov     *Provider
+	elems    int
+	elemSize int
+	local    [][]T
+}
+
+// AllocTyped collectively allocates a symmetric typed region holding elems
+// elements of T on every PE.
+func AllocTyped[T serde.Number](p *Provider, elems int) *TypedRegion[T] {
+	if elems < 0 {
+		panic("fabric: negative region size")
+	}
+	var zero T
+	r := &TypedRegion[T]{
+		prov:     p,
+		elems:    elems,
+		elemSize: int(reflect.TypeOf(zero).Size()),
+		local:    make([][]T, p.NumPEs()),
+	}
+	for pe := range r.local {
+		r.local[pe] = make([]T, elems)
+	}
+	return r
+}
+
+// Len reports the per-PE element count.
+func (r *TypedRegion[T]) Len() int { return r.elems }
+
+// ElemSize reports the element size in bytes used for cost accounting.
+func (r *TypedRegion[T]) ElemSize() int { return r.elemSize }
+
+// Local returns pe's slice of the region. The caller owns synchronization.
+func (r *TypedRegion[T]) Local(pe int) []T { return r.local[pe] }
+
+// Put copies src into target's view starting at element dstOff.
+func (r *TypedRegion[T]) Put(initiator, target, dstOff int, src []T) {
+	dst := r.local[target]
+	if dstOff < 0 || dstOff+len(src) > len(dst) {
+		panic(fmt.Sprintf("fabric: typed put out of bounds: off=%d n=%d len=%d", dstOff, len(src), len(dst)))
+	}
+	copy(dst[dstOff:], src)
+	r.prov.account(initiator, target, len(src)*r.elemSize, OpPut)
+}
+
+// Get copies elements from target's view starting at srcOff into dst.
+func (r *TypedRegion[T]) Get(initiator, target, srcOff int, dst []T) {
+	src := r.local[target]
+	if srcOff < 0 || srcOff+len(dst) > len(src) {
+		panic(fmt.Sprintf("fabric: typed get out of bounds: off=%d n=%d len=%d", srcOff, len(dst), len(src)))
+	}
+	copy(dst, src[srcOff:])
+	r.prov.account(initiator, target, len(dst)*r.elemSize, OpGet)
+}

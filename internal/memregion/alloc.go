@@ -1,0 +1,175 @@
+// Package memregion implements the RDMA memory-region layer of the stack:
+// a free-list heap allocator managing offsets inside a registered segment
+// (the paper's "one-sided dynamic heap" carved out of the large RDMA
+// region each PE allocates at startup), and the user-facing
+// SharedMemoryRegion / OneSidedMemoryRegion wrappers over fabric regions.
+package memregion
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied.
+var ErrOutOfMemory = errors.New("memregion: out of memory")
+
+// block is a free extent [off, off+size).
+type block struct {
+	off  int
+	size int
+}
+
+// Allocator hands out non-overlapping extents of an address space of the
+// given size using first-fit with immediate coalescing on free. It manages
+// offsets only; the bytes themselves live in a fabric segment. Safe for
+// concurrent use.
+type Allocator struct {
+	mu    sync.Mutex
+	size  int
+	free  []block     // sorted by offset, non-adjacent
+	live  map[int]int // offset -> size of live allocations
+	inUse int
+	peak  int
+}
+
+// NewAllocator creates an allocator over [0, size).
+func NewAllocator(size int) *Allocator {
+	if size < 0 {
+		panic("memregion: negative size")
+	}
+	a := &Allocator{size: size, live: make(map[int]int)}
+	if size > 0 {
+		a.free = []block{{0, size}}
+	}
+	return a
+}
+
+// Size reports the managed address-space size.
+func (a *Allocator) Size() int { return a.size }
+
+// InUse reports currently allocated bytes.
+func (a *Allocator) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// Peak reports the high-water mark of allocated bytes.
+func (a *Allocator) Peak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Alloc reserves n bytes aligned to align (a power of two; 0 or 1 means no
+// alignment) and returns the offset.
+func (a *Allocator) Alloc(n, align int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("memregion: invalid allocation size %d", n)
+	}
+	if align <= 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("memregion: alignment %d not a power of two", align)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, b := range a.free {
+		start := (b.off + align - 1) &^ (align - 1)
+		pad := start - b.off
+		if b.size < pad+n {
+			continue
+		}
+		// Carve [start, start+n) out of b; up to two remainder fragments.
+		var repl []block
+		if pad > 0 {
+			repl = append(repl, block{b.off, pad})
+		}
+		if rest := b.size - pad - n; rest > 0 {
+			repl = append(repl, block{start + n, rest})
+		}
+		a.free = append(a.free[:i], append(repl, a.free[i+1:]...)...)
+		a.live[start] = n
+		a.inUse += n
+		if a.inUse > a.peak {
+			a.peak = a.inUse
+		}
+		return start, nil
+	}
+	return 0, ErrOutOfMemory
+}
+
+// Free releases the allocation starting at off. Freeing an unknown offset
+// panics: it indicates heap corruption, the class of bug the paper's safe
+// abstractions exist to rule out.
+func (a *Allocator) Free(off int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n, ok := a.live[off]
+	if !ok {
+		panic(fmt.Sprintf("memregion: free of unallocated offset %d", off))
+	}
+	delete(a.live, off)
+	a.inUse -= n
+
+	// Insert keeping order, then coalesce with neighbors.
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= off })
+	a.free = append(a.free, block{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = block{off, n}
+
+	// Coalesce with next.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].size == a.free[i+1].off {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	// Coalesce with previous.
+	if i > 0 && a.free[i-1].off+a.free[i-1].size == a.free[i].off {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// FreeBlocks returns a copy of the free list (for tests and introspection).
+func (a *Allocator) FreeBlocks() []struct{ Off, Size int } {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]struct{ Off, Size int }, len(a.free))
+	for i, b := range a.free {
+		out[i] = struct{ Off, Size int }{b.off, b.size}
+	}
+	return out
+}
+
+// checkInvariants verifies the free list is sorted, in-bounds, and
+// non-adjacent, and that live allocations do not overlap free space.
+// Exported for property tests via CheckInvariants.
+func (a *Allocator) CheckInvariants() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prevEnd := -1
+	for _, b := range a.free {
+		if b.size <= 0 {
+			return fmt.Errorf("empty free block at %d", b.off)
+		}
+		if b.off <= prevEnd {
+			return fmt.Errorf("free list unsorted or adjacent at %d (prev end %d)", b.off, prevEnd)
+		}
+		if b.off+b.size > a.size {
+			return fmt.Errorf("free block out of bounds: %d+%d > %d", b.off, b.size, a.size)
+		}
+		prevEnd = b.off + b.size
+	}
+	// live allocations must not intersect free blocks
+	for off, n := range a.live {
+		for _, b := range a.free {
+			if off < b.off+b.size && b.off < off+n {
+				return fmt.Errorf("live [%d,%d) overlaps free [%d,%d)", off, off+n, b.off, b.off+b.size)
+			}
+		}
+	}
+	return nil
+}

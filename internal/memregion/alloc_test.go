@@ -1,0 +1,195 @@
+package memregion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := NewAllocator(100)
+	off1, err := a.Alloc(10, 1)
+	if err != nil || off1 != 0 {
+		t.Fatalf("alloc1 = %d, %v", off1, err)
+	}
+	off2, err := a.Alloc(20, 1)
+	if err != nil || off2 != 10 {
+		t.Fatalf("alloc2 = %d, %v", off2, err)
+	}
+	if a.InUse() != 30 {
+		t.Errorf("InUse = %d", a.InUse())
+	}
+	a.Free(off1)
+	if a.InUse() != 20 {
+		t.Errorf("InUse after free = %d", a.InUse())
+	}
+	// first fit reuses the hole
+	off3, err := a.Alloc(10, 1)
+	if err != nil || off3 != 0 {
+		t.Fatalf("alloc3 = %d, %v", off3, err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a := NewAllocator(256)
+	if _, err := a.Alloc(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	off, err := a.Alloc(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off%64 != 0 {
+		t.Errorf("off = %d not 64-aligned", off)
+	}
+	// the padding hole before the aligned block must be reusable
+	hole, err := a.Alloc(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hole >= off {
+		t.Errorf("padding hole not reused: got %d", hole)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocBadAlignment(t *testing.T) {
+	a := NewAllocator(64)
+	if _, err := a.Alloc(8, 3); err == nil {
+		t.Fatal("expected error for non-power-of-two alignment")
+	}
+	if _, err := a.Alloc(0, 1); err == nil {
+		t.Fatal("expected error for zero size")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := NewAllocator(64)
+	if _, err := a.Alloc(64, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1, 1); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestFreeCoalescing(t *testing.T) {
+	a := NewAllocator(100)
+	offs := make([]int, 5)
+	for i := range offs {
+		var err error
+		offs[i], err = a.Alloc(20, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// free in an order that exercises prev-, next-, and both-coalescing
+	a.Free(offs[1])
+	a.Free(offs[3])
+	a.Free(offs[2]) // merges with both neighbors
+	a.Free(offs[0])
+	a.Free(offs[4])
+	fb := a.FreeBlocks()
+	if len(fb) != 1 || fb[0].Off != 0 || fb[0].Size != 100 {
+		t.Fatalf("free list = %+v, want single [0,100)", fb)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := NewAllocator(64)
+	off, _ := a.Alloc(8, 1)
+	a.Free(off)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	a.Free(off)
+}
+
+// Property: a random interleaving of allocs and frees never violates the
+// allocator invariants, and allocations never overlap.
+func TestAllocatorProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAllocator(1 << 12)
+		type alloc struct{ off, size int }
+		var live []alloc
+		for step := 0; step < 300; step++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(live))
+				a.Free(live[i].off)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				size := 1 + rng.Intn(128)
+				align := 1 << rng.Intn(5)
+				off, err := a.Alloc(size, align)
+				if err != nil {
+					continue // exhaustion is fine
+				}
+				if off%align != 0 {
+					t.Errorf("misaligned: off=%d align=%d", off, align)
+					return false
+				}
+				for _, l := range live {
+					if off < l.off+l.size && l.off < off+size {
+						t.Errorf("overlap: [%d,%d) with [%d,%d)", off, off+size, l.off, l.off+l.size)
+						return false
+					}
+				}
+				live = append(live, alloc{off, size})
+			}
+			if err := a.CheckInvariants(); err != nil {
+				t.Error(err)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a := NewAllocator(1 << 16)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- true }()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var mine []int
+			for i := 0; i < 500; i++ {
+				if len(mine) > 4 || (len(mine) > 0 && rng.Intn(2) == 0) {
+					a.Free(mine[0])
+					mine = mine[1:]
+				} else if off, err := a.Alloc(1+rng.Intn(64), 8); err == nil {
+					mine = append(mine, off)
+				}
+			}
+			for _, off := range mine {
+				a.Free(off)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if a.InUse() != 0 {
+		t.Errorf("InUse = %d after all frees", a.InUse())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Peak() == 0 {
+		t.Error("peak never recorded")
+	}
+}

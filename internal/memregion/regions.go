@@ -1,0 +1,150 @@
+package memregion
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/serde"
+)
+
+// Handle represents a (possibly in-flight) one-sided transfer. On the
+// simulated fabric transfers complete inline, but the API mirrors ROFI's
+// split between non-blocking puts/gets (user calls Wait) and blocking ones
+// (runtime-provided completion detection), so code written against it
+// ports unchanged to a truly asynchronous provider.
+type Handle struct{ done bool }
+
+// Wait blocks until the transfer completes.
+func (h *Handle) Wait() {}
+
+// Done reports whether the transfer has completed.
+func (h *Handle) Done() bool { return h.done }
+
+var completed = &Handle{done: true}
+
+// Shared is a SharedMemoryRegion[T]: a symmetric RDMA region collectively
+// allocated by the PEs of a team, offering *unsafe* put/get to any member
+// PE's slice. It is a thin wrapper over the fabric, mirroring the paper's
+// "small wrapper around an RDMA Memory Region".
+//
+// Safety: as in the paper, nothing prevents a remote PE from writing to
+// the local slice while it is being read. Synchronize with barriers or
+// higher-level abstractions.
+type Shared[T serde.Number] struct {
+	reg   *fabric.TypedRegion[T]
+	prov  *fabric.Provider
+	myPE  int
+	elems int
+}
+
+// NewShared wraps an already collectively-allocated typed region for the
+// calling PE. All team members must wrap the same region instance.
+func NewShared[T serde.Number](prov *fabric.Provider, reg *fabric.TypedRegion[T], myPE int) *Shared[T] {
+	return &Shared[T]{reg: reg, prov: prov, myPE: myPE, elems: reg.Len()}
+}
+
+// Len reports the per-PE element count.
+func (s *Shared[T]) Len() int { return s.elems }
+
+// PE reports the calling PE baked into this handle.
+func (s *Shared[T]) PE() int { return s.myPE }
+
+// Put blocks until src has been written to destPE's slice at index.
+func (s *Shared[T]) Put(destPE, index int, src []T) {
+	s.reg.Put(s.myPE, destPE, index, src)
+}
+
+// PutNB starts a put and returns a Handle to wait on.
+func (s *Shared[T]) PutNB(destPE, index int, src []T) *Handle {
+	s.reg.Put(s.myPE, destPE, index, src)
+	return completed
+}
+
+// Get blocks until dst has been filled from srcPE's slice at index.
+func (s *Shared[T]) Get(srcPE, index int, dst []T) {
+	s.reg.Get(s.myPE, srcPE, index, dst)
+}
+
+// GetNB starts a get and returns a Handle to wait on.
+func (s *Shared[T]) GetNB(srcPE, index int, dst []T) *Handle {
+	s.reg.Get(s.myPE, srcPE, index, dst)
+	return completed
+}
+
+// Local returns the calling PE's slice. Unsafe in the paper's sense: there
+// is no protection against concurrent remote writes.
+func (s *Shared[T]) Local() []T { return s.reg.Local(s.myPE) }
+
+// LocalOf returns another PE's slice; intended for tests and SMP mode.
+func (s *Shared[T]) LocalOf(pe int) []T { return s.reg.Local(pe) }
+
+// Region exposes the underlying fabric region (runtime internal use).
+func (s *Shared[T]) Region() *fabric.TypedRegion[T] { return s.reg }
+
+// OneSided is a OneSidedMemoryRegion[T]: allocated by a single PE without
+// any collective call; puts/gets always address the originating PE's
+// memory, so no target PE argument exists in the API.
+type OneSided[T serde.Number] struct {
+	reg    *fabric.TypedRegion[T]
+	origin int
+	myPE   int
+	elems  int
+}
+
+// NewOneSided allocates elems elements owned by origin (the calling PE).
+// The allocation is satisfied from the provider directly, modelling the
+// runtime's internal RDMA heap, and involves no other PE.
+func NewOneSided[T serde.Number](prov *fabric.Provider, origin, elems int) *OneSided[T] {
+	return &OneSided[T]{
+		reg:    fabric.AllocTyped[T](prov, elems),
+		origin: origin,
+		myPE:   origin,
+		elems:  elems,
+	}
+}
+
+// Len reports the element count.
+func (o *OneSided[T]) Len() int { return o.elems }
+
+// Origin reports the PE that allocated the region.
+func (o *OneSided[T]) Origin() int { return o.origin }
+
+// View returns a handle bound to pe for use after the region was sent to
+// another PE inside an AM (OneSided regions are Darcs in the paper and may
+// travel). Transfers through the view are accounted to pe.
+func (o *OneSided[T]) View(pe int) *OneSided[T] {
+	v := *o
+	v.myPE = pe
+	return &v
+}
+
+// Put writes src into the origin PE's region at index.
+func (o *OneSided[T]) Put(index int, src []T) {
+	o.reg.Put(o.myPE, o.origin, index, src)
+}
+
+// PutNB starts a put and returns a Handle to wait on.
+func (o *OneSided[T]) PutNB(index int, src []T) *Handle {
+	o.Put(index, src)
+	return completed
+}
+
+// Get reads from the origin PE's region at index into dst.
+func (o *OneSided[T]) Get(index int, dst []T) {
+	o.reg.Get(o.myPE, o.origin, index, dst)
+}
+
+// GetNB starts a get and returns a Handle to wait on.
+func (o *OneSided[T]) GetNB(index int, dst []T) *Handle {
+	o.Get(index, dst)
+	return completed
+}
+
+// Local returns the origin's backing slice. Only meaningful on the origin
+// PE; calling it elsewhere panics, mirroring the Rust API's ownership rule.
+func (o *OneSided[T]) Local() []T {
+	if o.myPE != o.origin {
+		panic(fmt.Sprintf("memregion: Local() on OneSided view (pe %d, origin %d)", o.myPE, o.origin))
+	}
+	return o.reg.Local(o.origin)
+}

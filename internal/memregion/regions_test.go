@@ -1,0 +1,90 @@
+package memregion
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+func TestSharedPutGet(t *testing.T) {
+	prov := fabric.New(3, fabric.DefaultCostModel())
+	reg := fabric.AllocTyped[uint64](prov, 32)
+	s0 := NewShared(prov, reg, 0)
+	s2 := NewShared(prov, reg, 2)
+
+	s0.Put(2, 4, []uint64{7, 8, 9})
+	got := make([]uint64, 3)
+	s2.Get(2, 4, got) // PE2 reads its own slice via fabric
+	if got[0] != 7 || got[2] != 9 {
+		t.Errorf("got %v", got)
+	}
+	if s2.Local()[5] != 8 {
+		t.Errorf("Local view = %v", s2.Local()[:8])
+	}
+	if s0.Local()[4] != 0 {
+		t.Error("PE0's own slice should be untouched")
+	}
+	h := s0.PutNB(1, 0, []uint64{1})
+	h.Wait()
+	if !h.Done() {
+		t.Error("handle not done")
+	}
+	if s0.LocalOf(1)[0] != 1 {
+		t.Error("PutNB did not land")
+	}
+	if s0.Len() != 32 || s0.PE() != 0 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestOneSided(t *testing.T) {
+	prov := fabric.New(2, fabric.DefaultCostModel())
+	o := NewOneSided[float64](prov, 1, 16)
+	if o.Origin() != 1 || o.Len() != 16 {
+		t.Fatal("metadata wrong")
+	}
+	o.Put(3, []float64{2.5})
+	buf := make([]float64, 1)
+	o.Get(3, buf)
+	if buf[0] != 2.5 {
+		t.Errorf("got %v", buf[0])
+	}
+	if o.Local()[3] != 2.5 {
+		t.Error("Local mismatch")
+	}
+
+	// A view held by PE0 addresses the origin's memory.
+	v := o.View(0)
+	v.Put(5, []float64{1.25})
+	if o.Local()[5] != 1.25 {
+		t.Error("view put did not reach origin")
+	}
+	v.GetNB(5, buf).Wait()
+	if buf[0] != 1.25 {
+		t.Error("view get wrong")
+	}
+}
+
+func TestOneSidedViewLocalPanics(t *testing.T) {
+	prov := fabric.New(2, fabric.DefaultCostModel())
+	o := NewOneSided[int64](prov, 1, 4)
+	v := o.View(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = v.Local()
+}
+
+func TestOneSidedAccountsToViewHolder(t *testing.T) {
+	prov := fabric.New(2, fabric.DefaultCostModel())
+	o := NewOneSided[uint64](prov, 1, 8)
+	v := o.View(0)
+	base := prov.CountersFor(0)
+	v.Put(0, []uint64{1, 2})
+	d := prov.CountersFor(0).Sub(base)
+	if d.Bytes != 16 {
+		t.Errorf("bytes accounted to viewer = %d", d.Bytes)
+	}
+}

@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// The aggregation layer must coalesce many small AMs into few network
+// messages (the whole point of §III-C's buffered queues).
+func TestSmallAMsAggregate(t *testing.T) {
+	testCounter.Store(0)
+	var sends atomic.Int64
+	err := Run(Config{PEs: 2, WorkersPerPE: 1, Lamellae: LamellaeSim}, func(w *World) {
+		if w.MyPE() == 0 {
+			w.Provider().SetHook(func(kind fabric.OpKind, initiator, target, nbytes int) {
+				// descriptor puts into the ring mark one wire message each
+				if kind == fabric.OpPut && initiator == 0 && nbytes == 16 {
+					sends.Add(1)
+				}
+			})
+			for i := 0; i < 5000; i++ {
+				w.ExecAM(1, &incrAM{Delta: 1})
+			}
+			w.WaitAll()
+			w.Provider().SetHook(nil)
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testCounter.Load() != 5000 {
+		t.Fatalf("counter = %d", testCounter.Load())
+	}
+	// 5000 tiny AMs (~10B each = ~50KB) must travel in a handful of
+	// buffers, not thousands of messages.
+	if got := sends.Load(); got > 64 {
+		t.Errorf("wire messages = %d; aggregation is not working", got)
+	}
+}
+
+// Crossing the aggregation threshold must trigger an immediate flush.
+func TestAggThresholdTriggersFlush(t *testing.T) {
+	var sends atomic.Int64
+	cfg := Config{PEs: 2, WorkersPerPE: 1, Lamellae: LamellaeSim, AggThresholdBytes: 4096,
+		FlushInterval: 1 << 30} // effectively disable the background flusher
+	err := Run(cfg, func(w *World) {
+		if w.MyPE() == 0 {
+			w.Provider().SetHook(func(kind fabric.OpKind, initiator, target, nbytes int) {
+				if kind == fabric.OpPut && initiator == 0 && nbytes == 16 {
+					sends.Add(1)
+				}
+			})
+			// each bigAM is ~1KB; after ~4 the 4KB threshold must flush
+			// without any explicit Flush/WaitAll
+			for i := 0; i < 16; i++ {
+				w.ExecAM(1, &bigAM{Data: make([]byte, 1024)})
+			}
+			for sends.Load() == 0 {
+			}
+			w.Provider().SetHook(nil)
+			w.WaitAll()
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sends.Load() < 3 {
+		t.Errorf("threshold flushes = %d", sends.Load())
+	}
+}
+
+// Collective property test: random sub-teams, roots and values agree with
+// a straightforward model.
+func TestCollectivePropertyRandomTeams(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			pes := 2 + trial
+			err := Run(Config{PEs: pes, WorkersPerPE: 1, Lamellae: LamellaeShmem}, func(w *World) {
+				stride := 1 + trial%2
+				sub := w.Team().SplitStrided(trial%2, stride)
+				if sub == nil {
+					w.Barrier()
+					return
+				}
+				// sum of squares of world ids
+				want := uint64(0)
+				for _, pe := range sub.Members() {
+					want += uint64(pe * pe)
+				}
+				if got := sub.SumU64(uint64(w.MyPE() * w.MyPE())); got != want {
+					panic(fmt.Sprintf("team sum = %d want %d", got, want))
+				}
+				// broadcast from every possible root in turn
+				for root := 0; root < sub.Size(); root++ {
+					var mine []byte
+					if sub.Rank() == root {
+						mine = []byte{byte(root * 3)}
+					}
+					got := sub.BroadcastBytes(root, mine)
+					if len(got) != 1 || got[0] != byte(root*3) {
+						panic(fmt.Sprintf("bcast root %d = %v", root, got))
+					}
+				}
+				// gather and verify per-rank payloads
+				gath := sub.AllGatherBytes([]byte(fmt.Sprintf("r%d", sub.Rank())))
+				for r, b := range gath {
+					if string(b) != fmt.Sprintf("r%d", r) {
+						panic(fmt.Sprintf("gather[%d] = %q", r, b))
+					}
+				}
+				w.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Ack piggybacking: wait_all must complete even when the only return
+// traffic is acks (no explicit responses), across both transports.
+func TestWaitAllAckOnly(t *testing.T) {
+	for _, tr := range transports {
+		tr := tr
+		t.Run(string(tr), func(t *testing.T) {
+			testCounter.Store(0)
+			err := Run(Config{PEs: 3, WorkersPerPE: 1, Lamellae: tr}, func(w *World) {
+				if w.MyPE() == 2 {
+					for i := 0; i < 257; i++ { // odd count, multiple flushes
+						w.ExecAM(i%2, &incrAM{Delta: 1})
+					}
+					w.WaitAll()
+					if got := testCounter.Load(); got != 257 {
+						panic(fmt.Sprintf("after WaitAll counter = %d", got))
+					}
+				}
+				w.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

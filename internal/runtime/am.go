@@ -1,0 +1,350 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/scheduler"
+	"repro/internal/serde"
+)
+
+// ActiveMessage is the interface user AM types implement — the analogue of
+// the paper's LamellarAM trait with `async fn exec(self)`. Exec runs on
+// the destination PE inside its thread pool; ctx identifies the executing
+// world and the originating PE. The returned value (nil for none) is
+// serialized back when the AM was launched with a *Return variant; if the
+// returned value is itself an ActiveMessage it executes on the origin PE
+// and its own result resolves the origin's future (the paper's "returning
+// AMs" capability).
+//
+// AM types must be registered with RegisterAM (hand-written codec) or
+// RegisterAMGob (reflection-based), the stand-in for the #[AmData]/#[am]
+// procedural macros. Do not mutate an AM value after launching it: the
+// local fast path executes the same instance without serialization, just
+// as Rust's move semantics would.
+type ActiveMessage interface {
+	Exec(ctx *Context) any
+}
+
+// Context carries the execution environment into an AM handler.
+type Context struct {
+	// World is the executing PE's world handle (Lamellar::world).
+	World *World
+	// Src is the PE that launched this AM.
+	Src int
+}
+
+// CurrentPE reports the PE executing the handler (Lamellar::current_pe).
+func (c *Context) CurrentPE() int { return c.World.MyPE() }
+
+// NumPEs reports the world size.
+func (c *Context) NumPEs() int { return c.World.NumPEs() }
+
+// RegisterAM registers an AM type with a hand-written codec. *T must
+// implement ActiveMessage, serde.Marshaler and serde.Unmarshaler.
+func RegisterAM[T any](name string) {
+	var zero T
+	if _, ok := any(&zero).(ActiveMessage); !ok {
+		panic(fmt.Sprintf("runtime: *%T does not implement ActiveMessage", zero))
+	}
+	serde.Register[T](name)
+}
+
+// RegisterAMGob registers an AM type using the gob fallback codec.
+func RegisterAMGob[T any](name string) {
+	var zero T
+	if _, ok := any(&zero).(ActiveMessage); !ok {
+		panic(fmt.Sprintf("runtime: *%T does not implement ActiveMessage", zero))
+	}
+	serde.RegisterGob[T](name)
+}
+
+// Envelope kinds on the wire.
+const (
+	envExec   = 0 // uvarint reqID (0 = fire-and-forget), EncodeAny(am)
+	envReturn = 1 // uvarint reqID, bool isErr, (string | EncodeAny(val))
+	envAck    = 2 // uvarint count of completed AMs
+)
+
+// ----- launch API -------------------------------------------------------
+
+// ExecAM launches am on pe without expecting a return value; completion is
+// observable through WaitAll (world.exec_am_pe).
+func (w *World) ExecAM(pe int, am ActiveMessage) {
+	w.launch(pe, am, 0)
+}
+
+// ExecAMReturn launches am on pe and returns a future resolving with the
+// handler's return value.
+func (w *World) ExecAMReturn(pe int, am ActiveMessage) *scheduler.Future[any] {
+	p, f := scheduler.NewPromise[any](w.pool)
+	req := w.nextReq.Add(1)
+	w.retMu.Lock()
+	w.returns[req] = func(v any, err error) {
+		if err != nil {
+			p.CompleteErr(err)
+		} else {
+			p.Complete(v)
+		}
+	}
+	w.retMu.Unlock()
+	w.launch(pe, am, req)
+	return f
+}
+
+// ExecAMAll launches am on every PE in the world (world.exec_am_all).
+func (w *World) ExecAMAll(am ActiveMessage) {
+	for pe := 0; pe < w.NumPEs(); pe++ {
+		w.launch(pe, am, 0)
+	}
+}
+
+// ExecAMAllReturn launches am on every PE and resolves with the return
+// values indexed by PE.
+func (w *World) ExecAMAllReturn(am ActiveMessage) *scheduler.Future[[]any] {
+	fs := make([]*scheduler.Future[any], w.NumPEs())
+	for pe := 0; pe < w.NumPEs(); pe++ {
+		fs[pe] = w.ExecAMReturn(pe, am)
+	}
+	return scheduler.All(w.pool, fs)
+}
+
+// ExecTyped launches an AM expecting a return of type R.
+func ExecTyped[R any](w *World, pe int, am ActiveMessage) *scheduler.Future[R] {
+	return scheduler.Map(w.ExecAMReturn(pe, am), func(v any) R {
+		if v == nil {
+			var zero R
+			return zero
+		}
+		return v.(R)
+	})
+}
+
+// launch routes an AM to pe. req 0 means no return expected.
+func (w *World) launch(pe int, am ActiveMessage, req uint64) {
+	w.issued.Add(1)
+	if pe == w.pe {
+		// Local fast path: no serialization, mirroring the SMP Lamellae and
+		// the local arm of exec_am_* on distributed lamellae.
+		w.pool.Submit(func() {
+			v, err := w.runHandler(am, w.pe)
+			w.completed.Add(1)
+			if req != 0 {
+				w.resolveReturn(w.pe, req, v, err)
+			}
+		})
+		return
+	}
+	body := serde.NewEncoder(128)
+	body.Ctx = w
+	body.PutU8(envExec)
+	body.PutUvarint(req)
+	if err := serde.EncodeAny(body, am); err != nil {
+		panic(fmt.Sprintf("runtime: AM type not registered: %v", err))
+	}
+	w.enqueue(pe, body.Bytes())
+}
+
+// runHandler executes an AM with panic containment, converting panics to
+// errors so origin-side futures and wait_all cannot hang.
+func (w *World) runHandler(am ActiveMessage, src int) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("lamellar: AM %T panicked on PE%d: %v", am, w.pe, r)
+			fmt.Println(err)
+		}
+	}()
+	v = am.Exec(&Context{World: w, Src: src})
+	return v, nil
+}
+
+// resolveReturn completes the origin-side future for req. If the returned
+// value is itself an AM, it executes here (on the origin) first.
+func (w *World) resolveReturn(src int, req uint64, v any, err error) {
+	w.retMu.Lock()
+	cb := w.returns[req]
+	delete(w.returns, req)
+	w.retMu.Unlock()
+	if cb == nil {
+		fmt.Printf("lamellar: PE%d: return for unknown request %d\n", w.pe, req)
+		return
+	}
+	if err == nil {
+		if ram, ok := v.(ActiveMessage); ok {
+			w.pool.Submit(func() {
+				rv, rerr := w.runHandler(ram, src)
+				cb(rv, rerr)
+			})
+			return
+		}
+	}
+	cb(v, err)
+}
+
+// ----- aggregation and wire handling ------------------------------------
+
+// enqueue appends an envelope body to dst's aggregation queue, flushing
+// when the buffer crosses the aggregation threshold or the op cap.
+func (w *World) enqueue(dst int, body []byte) {
+	w.envSent.Add(1)
+	q := w.queues[dst]
+	cfg := w.env.cfg
+	q.mu.Lock()
+	q.enc.PutUvarint(uint64(len(body)))
+	q.enc.PutRawBytes(body)
+	q.count++
+	full := q.enc.Len() >= cfg.AggThresholdBytes || (cfg.AggMaxOps > 0 && q.count >= cfg.AggMaxOps)
+	var out []byte
+	if full {
+		out = q.enc.Bytes()
+		q.enc = serde.NewEncoder(4096)
+		q.count = 0
+	}
+	q.mu.Unlock()
+	if full {
+		w.env.lam.send(w.pe, dst, out)
+	}
+}
+
+// flush drains dst's queue (and owed acks) onto the wire.
+func (w *World) flush(dst int) {
+	if acks := w.pendingAcks[dst].Swap(0); acks > 0 {
+		w.envSent.Add(1)
+		body := serde.NewEncoder(16)
+		body.PutU8(envAck)
+		body.PutUvarint(acks)
+		q := w.queues[dst]
+		q.mu.Lock()
+		q.enc.PutUvarint(uint64(body.Len()))
+		q.enc.PutRawBytes(body.Bytes())
+		q.count++
+		q.mu.Unlock()
+	}
+	q := w.queues[dst]
+	q.mu.Lock()
+	if q.count == 0 {
+		q.mu.Unlock()
+		return
+	}
+	out := q.enc.Bytes()
+	q.enc = serde.NewEncoder(4096)
+	q.count = 0
+	q.mu.Unlock()
+	w.env.lam.send(w.pe, dst, out)
+}
+
+// flushAll drains every destination queue.
+func (w *World) flushAll() {
+	for dst := 0; dst < w.NumPEs(); dst++ {
+		if dst == w.pe {
+			continue
+		}
+		w.flush(dst)
+	}
+}
+
+// flushLoop is the background flusher bounding sparse-traffic latency.
+func (w *World) flushLoop() {
+	defer w.env.flushWG.Done()
+	ticker := time.NewTicker(w.env.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.env.stopFlush:
+			w.flushAll()
+			return
+		case <-ticker.C:
+			w.flushAll()
+		}
+	}
+}
+
+// receiveBatch is the lamellae delivery callback: it schedules an
+// asynchronous communication task that walks the batch, spawning one task
+// per AM (deserialize + execute + return results), mirroring §III-C.
+func (w *World) receiveBatch(src int, batch []byte) {
+	w.pool.SubmitGlobal(func() {
+		dec := serde.NewDecoder(batch)
+		for dec.Remaining() > 0 {
+			n := dec.Uvarint()
+			body := dec.RawBytes(int(n))
+			if dec.Err() != nil {
+				fmt.Printf("lamellar: PE%d: corrupt batch from PE%d: %v\n", w.pe, src, dec.Err())
+				return
+			}
+			w.handleEnvelope(src, body)
+		}
+	})
+}
+
+func (w *World) handleEnvelope(src int, body []byte) {
+	dec := serde.NewDecoder(body)
+	switch kind := dec.U8(); kind {
+	case envExec:
+		req := dec.Uvarint()
+		rest := dec.RawBytes(dec.Remaining())
+		w.pool.Submit(func() {
+			rd := serde.NewDecoder(rest)
+			rd.Ctx = &Context{World: w, Src: src}
+			v, err := serde.DecodeAny(rd)
+			if err != nil {
+				w.finishRemote(src, req, nil, fmt.Errorf("lamellar: PE%d: decode AM from PE%d: %w", w.pe, src, err))
+				return
+			}
+			am, ok := v.(ActiveMessage)
+			if !ok {
+				w.finishRemote(src, req, nil, fmt.Errorf("lamellar: PE%d: %T is not an ActiveMessage", w.pe, v))
+				return
+			}
+			rv, rerr := w.runHandler(am, src)
+			w.finishRemote(src, req, rv, rerr)
+		})
+	case envReturn:
+		req := dec.Uvarint()
+		isErr := dec.Bool()
+		if isErr {
+			msg := dec.String()
+			w.resolveReturn(src, req, nil, errors.New(msg))
+		} else {
+			dec.Ctx = &Context{World: w, Src: src}
+			v, err := serde.DecodeAny(dec)
+			w.resolveReturn(src, req, v, err)
+		}
+		w.envProcessed.Add(1)
+	case envAck:
+		n := dec.Uvarint()
+		w.completed.Add(n)
+		w.envProcessed.Add(1)
+	default:
+		fmt.Printf("lamellar: PE%d: unknown envelope kind %d from PE%d\n", w.pe, kind, src)
+		w.envProcessed.Add(1)
+	}
+}
+
+// finishRemote records completion of a remotely-launched AM: owes an ack
+// to src and, when requested, sends the return value (or error) back.
+func (w *World) finishRemote(src int, req uint64, v any, err error) {
+	if req != 0 {
+		body := serde.NewEncoder(64)
+		body.Ctx = w
+		body.PutU8(envReturn)
+		body.PutUvarint(req)
+		if err != nil {
+			body.PutBool(true)
+			body.PutString(err.Error())
+		} else {
+			body.PutBool(false)
+			if eerr := serde.EncodeAny(body, v); eerr != nil {
+				body.Reset()
+				body.PutU8(envReturn)
+				body.PutUvarint(req)
+				body.PutBool(true)
+				body.PutString(fmt.Sprintf("lamellar: return type not registered: %v", eerr))
+			}
+		}
+		w.enqueue(src, body.Bytes())
+	}
+	w.pendingAcks[src].Add(1)
+	w.envProcessed.Add(1)
+}

@@ -1,0 +1,274 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	stdruntime "runtime"
+	"sort"
+
+	"repro/internal/fabric"
+	"repro/internal/serde"
+)
+
+// Collective data movement over the fabric. The implementation is a
+// binomial-tree reduce to team-rank 0 followed by a binomial-tree
+// broadcast, which is correct for any team size and costs 2·ceil(log2 n)
+// message rounds — the modeled cost the evaluation attributes to
+// runtime collectives. Slots are reused across episodes with a
+// flag/ack word pair per slot so back-to-back collectives cannot race.
+
+// collState is the per-team fabric scratch for collectives.
+type collState struct {
+	env     *worldEnv
+	seg     fabric.SegmentID
+	slotCap int
+	rounds  int // max rounds supported (world-size bound)
+}
+
+// slot r of phase p (0=reduce, 1=bcast) lives at data offset
+// ((p*rounds)+r)*slotCap; its flag/ack words are 2*((p*rounds)+r) and +1.
+func newCollState(env *worldEnv, teamSize int) *collState {
+	rounds := roundsFor(teamSize)
+	if rounds == 0 {
+		rounds = 1
+	}
+	c := &collState{
+		env:     env,
+		slotCap: env.cfg.CollectiveSlotBytes,
+		rounds:  rounds,
+	}
+	c.seg = env.prov.AllocSegment(2*rounds*c.slotCap, 4*rounds)
+	return c
+}
+
+func (c *collState) slotOff(phase, r int) int  { return (phase*c.rounds + r) * c.slotCap }
+func (c *collState) flagWord(phase, r int) int { return 2 * (phase*c.rounds + r) }
+func (c *collState) ackWord(phase, r int) int  { return 2*(phase*c.rounds+r) + 1 }
+
+// Slot protocol: each slot has a flag word (sequence written) and an ack
+// word (sequence consumed). A slot is free when flag == ack. Collective
+// episodes end with a team barrier (see the public ops), so at most one
+// write per slot is ever outstanding and the pair of words fully orders
+// producer and consumer regardless of which PE writes a given slot in a
+// given episode (broadcast roots vary).
+
+// sendSlot writes val into dstPE's (phase, r) slot once it is free.
+func (c *collState) sendSlot(myPE, dstPE, phase, r int, val []byte) {
+	if len(val)+4 > c.slotCap {
+		panic(fmt.Sprintf("runtime: collective payload %d exceeds slot cap %d", len(val), c.slotCap-4))
+	}
+	prov := c.env.prov
+	var seq uint64
+	for {
+		seq = prov.AtomicLoad(myPE, dstPE, c.seg, c.flagWord(phase, r))
+		ack := prov.AtomicLoad(myPE, dstPE, c.seg, c.ackWord(phase, r))
+		if seq == ack {
+			break
+		}
+		stdruntime.Gosched()
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(val)))
+	prov.Put(myPE, dstPE, c.seg, c.slotOff(phase, r), hdr[:])
+	if len(val) > 0 {
+		prov.Put(myPE, dstPE, c.seg, c.slotOff(phase, r)+4, val)
+	}
+	prov.AtomicStore(myPE, dstPE, c.seg, c.flagWord(phase, r), seq+1)
+}
+
+// recvSlot waits for data in my (phase, r) slot, returns a copy, and acks
+// so the slot can be reused.
+func (c *collState) recvSlot(myPE, phase, r int) []byte {
+	prov := c.env.prov
+	var seq uint64
+	for {
+		seq = prov.LocalAtomicLoad(myPE, c.seg, c.flagWord(phase, r))
+		ack := prov.LocalAtomicLoad(myPE, c.seg, c.ackWord(phase, r))
+		if seq != ack {
+			break
+		}
+		stdruntime.Gosched()
+	}
+	var hdr [4]byte
+	prov.Get(myPE, myPE, c.seg, c.slotOff(phase, r), hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	buf := make([]byte, n)
+	if n > 0 {
+		prov.Get(myPE, myPE, c.seg, c.slotOff(phase, r)+4, buf)
+	}
+	prov.LocalAtomicStore(myPE, c.seg, c.ackWord(phase, r), seq)
+	return buf
+}
+
+// AllReduceBytes reduces every member's contribution with combine (which
+// must be associative; contributions may combine in any order) and
+// returns the result on every member. Collective.
+func (t *Team) AllReduceBytes(mine []byte, combine func(a, b []byte) []byte) []byte {
+	n := t.Size()
+	if n == 1 {
+		return mine
+	}
+	c := t.shared.coll
+	acc := mine
+
+	// Phase 0: binomial-tree reduce toward team rank 0.
+	for r := 0; 1<<r < n; r++ {
+		if t.myRank%(1<<(r+1)) == 0 {
+			child := t.myRank + 1<<r
+			if child < n {
+				data := c.recvSlot(t.myPE, 0, r)
+				acc = combine(acc, data)
+			}
+		} else {
+			parent := t.myRank - 1<<r
+			c.sendSlot(t.myPE, t.WorldPE(parent), 0, r, acc)
+			break
+		}
+	}
+
+	// Phase 1: binomial-tree broadcast of the total from rank 0.
+	have := t.myRank == 0
+	for r := roundsFor(n) - 1; r >= 0; r-- {
+		if have {
+			peer := t.myRank + 1<<r
+			if peer < n && t.myRank%(1<<(r+1)) == 0 {
+				c.sendSlot(t.myPE, t.WorldPE(peer), 1, r, acc)
+			}
+		} else if t.myRank%(1<<r) == 0 && t.myRank%(1<<(r+1)) != 0 {
+			acc = c.recvSlot(t.myPE, 1, r)
+			have = true
+		}
+	}
+	// Serialize collective episodes so at most one write per slot is ever
+	// outstanding (see slot protocol above).
+	t.shared.barrier.Wait()
+	return acc
+}
+
+// BroadcastBytes distributes root's (team rank) value to every member.
+// Collective; non-root inputs are ignored.
+func (t *Team) BroadcastBytes(root int, mine []byte) []byte {
+	n := t.Size()
+	if n == 1 {
+		return mine
+	}
+	c := t.shared.coll
+	// Virtual ranks rotate root to 0 so the binomial tree applies as-is.
+	vrank := func(rank int) int { return (rank - root + n) % n }
+	prank := func(v int) int { return (v + root) % n }
+	myV := vrank(t.myRank)
+	acc := mine
+	have := myV == 0
+	for r := roundsFor(n) - 1; r >= 0; r-- {
+		if have {
+			peer := myV + 1<<r
+			if peer < n && myV%(1<<(r+1)) == 0 {
+				c.sendSlot(t.myPE, t.WorldPE(prank(peer)), 1, r, acc)
+			}
+		} else if myV%(1<<r) == 0 && myV%(1<<(r+1)) != 0 {
+			acc = c.recvSlot(t.myPE, 1, r)
+			have = true
+		}
+	}
+	t.shared.barrier.Wait()
+	return acc
+}
+
+// AllGatherBytes returns every member's contribution, indexed by team
+// rank. Collective. The combined payload must fit the collective slot cap.
+func (t *Team) AllGatherBytes(mine []byte) [][]byte {
+	type tagged struct {
+		rank int
+		data []byte
+	}
+	encode := func(items []tagged) []byte {
+		e := serde.NewEncoder(64)
+		e.PutUvarint(uint64(len(items)))
+		for _, it := range items {
+			e.PutUvarint(uint64(it.rank))
+			e.PutBytes(it.data)
+		}
+		return e.Bytes()
+	}
+	decode := func(b []byte) []tagged {
+		d := serde.NewDecoder(b)
+		n := int(d.Uvarint())
+		out := make([]tagged, 0, n)
+		for i := 0; i < n; i++ {
+			r := int(d.Uvarint())
+			out = append(out, tagged{rank: r, data: d.BytesCopy()})
+		}
+		if d.Err() != nil {
+			panic(fmt.Sprintf("runtime: allgather decode: %v", d.Err()))
+		}
+		return out
+	}
+	res := t.AllReduceBytes(encode([]tagged{{t.myRank, mine}}), func(a, b []byte) []byte {
+		return encode(append(decode(a), decode(b)...))
+	})
+	items := decode(res)
+	sort.Slice(items, func(i, j int) bool { return items[i].rank < items[j].rank })
+	out := make([][]byte, t.Size())
+	for _, it := range items {
+		out[it.rank] = it.data
+	}
+	return out
+}
+
+// AllReduceU64 reduces a uint64 with op across the team.
+func (t *Team) AllReduceU64(v uint64, op func(a, b uint64) uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	res := t.AllReduceBytes(buf[:], func(a, b []byte) []byte {
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:],
+			op(binary.LittleEndian.Uint64(a), binary.LittleEndian.Uint64(b)))
+		return out[:]
+	})
+	return binary.LittleEndian.Uint64(res)
+}
+
+// SumU64 all-reduces a sum.
+func (t *Team) SumU64(v uint64) uint64 {
+	return t.AllReduceU64(v, func(a, b uint64) uint64 { return a + b })
+}
+
+// MaxU64 all-reduces a maximum.
+func (t *Team) MaxU64(v uint64) uint64 {
+	return t.AllReduceU64(v, func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// MinU64 all-reduces a minimum.
+func (t *Team) MinU64(v uint64) uint64 {
+	return t.AllReduceU64(v, func(a, b uint64) uint64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// SumF64 all-reduces a float64 sum.
+func (t *Team) SumF64(v float64) float64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	res := t.AllReduceBytes(buf[:], func(a, b []byte) []byte {
+		var out [8]byte
+		s := math.Float64frombits(binary.LittleEndian.Uint64(a)) +
+			math.Float64frombits(binary.LittleEndian.Uint64(b))
+		binary.LittleEndian.PutUint64(out[:], math.Float64bits(s))
+		return out[:]
+	})
+	return math.Float64frombits(binary.LittleEndian.Uint64(res))
+}
+
+// allReduceSumU64 is the world-team sum used by finalize's quiescence.
+func (w *World) allReduceSumU64(v uint64) uint64 {
+	return w.worldTeam.SumU64(v)
+}

@@ -1,0 +1,127 @@
+// Package runtime implements the core of the Lamellar reproduction: the
+// Lamellae transport abstraction with its three implementations (sim/rofi,
+// shmem, smp), the per-PE World with its work-stealing executor, teams,
+// active messages with destination aggregation and double-buffered message
+// queues, completion accounting (wait_all), distributed quiescence, and
+// team collectives.
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// LamellaeKind selects the transport backing a world.
+type LamellaeKind string
+
+// The three Lamellae implementations described in the paper (§III-A).
+const (
+	// LamellaeSim is the ROFI-like transport: serialized messages travel
+	// through ring buffers and staging heaps inside fabric segments using
+	// the flag-based protocol, with modeled network costs.
+	LamellaeSim LamellaeKind = "sim"
+	// LamellaeShmem mirrors the paper's POSIX-shared-memory Lamellae: the
+	// same serialization and delivery semantics, but messages move through
+	// process-shared queues with no modeled network cost.
+	LamellaeShmem LamellaeKind = "shmem"
+	// LamellaeSMP is the single-PE transport: no serialization, no data
+	// transfer; only valid for worlds with one PE.
+	LamellaeSMP LamellaeKind = "smp"
+	// LamellaeTCP moves batches over real loopback TCP sockets — genuine
+	// network I/O through the same interface (no modeled cost; wall time
+	// includes real kernel networking).
+	LamellaeTCP LamellaeKind = "tcp"
+)
+
+// Config parameterizes a world. Zero values select documented defaults.
+type Config struct {
+	// PEs is the number of processing elements in the world.
+	PEs int
+	// WorkersPerPE sizes each PE's thread pool (the paper's best
+	// configuration uses 4 threads per PE).
+	WorkersPerPE int
+	// Lamellae selects the transport; default LamellaeSim (LamellaeSMP for
+	// single-PE worlds built via WorldBuilder).
+	Lamellae LamellaeKind
+	// Cost is the network cost model for the sim lamellae.
+	Cost fabric.CostModel
+	// AggThresholdBytes is the aggregation buffer size; a destination
+	// queue flushes when it exceeds this. The paper's default is 100 KB.
+	AggThresholdBytes int
+	// AggMaxOps flushes a destination queue after this many queued
+	// envelopes regardless of size (the BALE experiments cap buffers at
+	// 10 000 operations). 0 disables the op cap.
+	AggMaxOps int
+	// FlushInterval is the background flusher period that bounds the
+	// latency of sparse traffic.
+	FlushInterval time.Duration
+	// StagingBytes sizes each PE's send-staging heap in the sim lamellae.
+	StagingBytes int
+	// RingSlots is the per-source descriptor ring depth in the sim
+	// lamellae.
+	RingSlots int
+	// CollectiveSlotBytes caps the per-PE payload of fabric collectives.
+	CollectiveSlotBytes int
+	// ArrayBatchSize is the maximum operations per sub-batch when the
+	// array layer splits batched element operations by destination (the
+	// BALE experiments limit aggregation to 10 000 operations).
+	ArrayBatchSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PEs <= 0 {
+		c.PEs = 1
+	}
+	if c.WorkersPerPE <= 0 {
+		c.WorkersPerPE = 4
+	}
+	if c.Lamellae == "" {
+		if c.PEs == 1 {
+			c.Lamellae = LamellaeSMP
+		} else {
+			c.Lamellae = LamellaeSim
+		}
+	}
+	if c.Cost == (fabric.CostModel{}) {
+		if c.Lamellae == LamellaeSim {
+			c.Cost = fabric.DefaultCostModel()
+		}
+		// shmem/smp keep the zero model: local transports are free.
+	}
+	if c.AggThresholdBytes <= 0 {
+		c.AggThresholdBytes = 100_000
+	}
+	if c.AggMaxOps < 0 {
+		c.AggMaxOps = 0
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 200 * time.Microsecond
+	}
+	if c.StagingBytes <= 0 {
+		c.StagingBytes = 16 << 20
+	}
+	if c.RingSlots <= 0 {
+		c.RingSlots = 128
+	}
+	if c.CollectiveSlotBytes <= 0 {
+		c.CollectiveSlotBytes = 64 << 10
+	}
+	if c.ArrayBatchSize <= 0 {
+		c.ArrayBatchSize = 10_000
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Lamellae == LamellaeSMP && c.PEs != 1 {
+		return fmt.Errorf("runtime: smp lamellae requires exactly 1 PE, got %d", c.PEs)
+	}
+	switch c.Lamellae {
+	case LamellaeSim, LamellaeShmem, LamellaeSMP, LamellaeTCP:
+	default:
+		return fmt.Errorf("runtime: unknown lamellae %q", c.Lamellae)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package runtime
+
+import "sync"
+
+// Extension state: higher layers of the stack (Darcs, LamellarArrays)
+// attach per-PE and per-world registries to the runtime without the
+// runtime importing them, keeping the dependency order of the paper's
+// stack diagram (Fig. 1) intact.
+
+type extMap struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+func (e *extMap) get(key string, build func() any) any {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.m == nil {
+		e.m = make(map[string]any)
+	}
+	if v, ok := e.m[key]; ok {
+		return v
+	}
+	v := build()
+	e.m[key] = v
+	return v
+}
+
+// ExtState returns this PE's extension state for key, building it on
+// first use. Each PE has its own instance.
+func (w *World) ExtState(key string, build func() any) any {
+	return w.ext.get(key, build)
+}
+
+// SharedExtState returns world-wide (cross-PE) extension state for key,
+// building it once per world.
+func (w *World) SharedExtState(key string, build func() any) any {
+	return w.env.ext.get(key, build)
+}

@@ -1,0 +1,110 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// Failure injection: the fabric hook delays random operations, simulating
+// a slow or congested NIC; all protocols must remain correct.
+func TestRandomDelaysDoNotBreakProtocols(t *testing.T) {
+	testCounter.Store(0)
+	cfg := Config{PEs: 4, WorkersPerPE: 2, Lamellae: LamellaeSim, RingSlots: 4}
+	err := Run(cfg, func(w *World) {
+		if w.MyPE() == 0 {
+			// the hook fires concurrently from every PE's goroutines; the
+			// top-level rand functions are goroutine-safe
+			w.Provider().SetHook(func(kind fabric.OpKind, initiator, target, nbytes int) {
+				// delay ~2% of operations
+				if rand.Int63()%50 == 0 {
+					time.Sleep(200 * time.Microsecond)
+				}
+			})
+		}
+		w.Barrier()
+		for i := 0; i < 200; i++ {
+			w.ExecAM((w.MyPE()+1+i)%w.NumPEs(), &incrAM{Delta: 1})
+		}
+		w.WaitAll()
+		w.Barrier()
+		if w.MyPE() == 0 {
+			w.Provider().SetHook(nil)
+			if got := testCounter.Load(); got != 800 {
+				panic(fmt.Sprintf("counter = %d, want 800", got))
+			}
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Severe resource pressure: a tiny staging heap and a shallow ring force
+// constant backpressure, fragmentation and reclamation in the sim
+// lamellae; correctness must hold.
+func TestTinyStagingBackpressure(t *testing.T) {
+	testCounter.Store(0)
+	cfg := Config{
+		PEs:          3,
+		WorkersPerPE: 2,
+		Lamellae:     LamellaeSim,
+		StagingBytes: 8 << 10, // 8 KB total staging per PE
+		RingSlots:    2,
+	}
+	err := Run(cfg, func(w *World) {
+		// messages larger than staging/4 to force fragmentation too
+		payload := make([]byte, 5<<10)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		var want uint64
+		for _, b := range payload {
+			want += uint64(b)
+		}
+		for i := 0; i < 20; i++ {
+			dst := (w.MyPE() + 1) % w.NumPEs()
+			v, err := BlockOn(w, ExecTyped[uint64](w, dst, &bigAM{Data: payload}))
+			if err != nil {
+				panic(err)
+			}
+			if v != want {
+				panic(fmt.Sprintf("checksum %d want %d", v, want))
+			}
+			w.ExecAM(dst, &incrAM{Delta: 1})
+		}
+		w.WaitAll()
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testCounter.Load(); got != 60 {
+		t.Errorf("counter = %d, want 60", got)
+	}
+}
+
+// A panicking AM must not poison subsequent traffic on the same queues.
+func TestPanicDoesNotPoisonQueues(t *testing.T) {
+	testCounter.Store(0)
+	err := Run(Config{PEs: 2, WorkersPerPE: 2, Lamellae: LamellaeSim}, func(w *World) {
+		if w.MyPE() == 0 {
+			for i := 0; i < 10; i++ {
+				w.ExecAM(1, &panicAM{})
+				w.ExecAM(1, &incrAM{Delta: 1})
+			}
+			w.WaitAll()
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testCounter.Load(); got != 10 {
+		t.Errorf("counter = %d, want 10", got)
+	}
+}

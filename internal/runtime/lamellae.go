@@ -1,0 +1,348 @@
+package runtime
+
+import (
+	"encoding/binary"
+	stdruntime "runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/memregion"
+)
+
+// lamellae is the transport interface between the runtime and the network
+// (the paper's Lamellae Trait). Implementations move opaque byte batches
+// from PE to PE and invoke the delivery callback on the destination.
+type lamellae interface {
+	// send delivers msg to dst asynchronously. The callee owns msg.
+	send(src, dst int, msg []byte)
+	// close stops progress engines after the world quiesces.
+	close()
+	name() LamellaeKind
+}
+
+// deliverFn is invoked on the destination side with a received batch.
+type deliverFn func(dst, src int, msg []byte)
+
+// ---------------------------------------------------------------------------
+// sim lamellae: the ROFI-like transport.
+//
+// Wire protocol per (src → dst) pair, all inside one fabric segment:
+//
+//   - src serializes the batch into its own staging heap (registered
+//     memory), possibly as multiple fragments;
+//   - src RDMA-Puts a 16-byte descriptor {offset, len|FRAG} into the
+//     descriptor ring that dst hosts for src, then remote-atomically
+//     bumps dst's head counter — the paper's "flag" telling dst that data
+//     is ready;
+//   - dst's progress engine polls head counters, RDMA-Gets the payload
+//     from src's staging heap, reassembles fragments, hands the batch to
+//     the runtime, and remote-atomically bumps src's release counter so
+//     src can reclaim staging space (the paper's "free to release
+//     resources" signal).
+//
+// Staging allocations are reclaimed strictly in send order per pair, which
+// matches the FIFO ring. Each pair is serialized by a source-side mutex;
+// different destinations proceed in parallel (double buffering lives in
+// the aggregation layer above).
+// ---------------------------------------------------------------------------
+
+const descBytes = 16
+
+// fragFlag marks a descriptor as a non-final fragment of a larger message.
+const fragFlag = uint64(1) << 63
+
+type simLamellae struct {
+	prov    *fabric.Provider
+	npes    int
+	seg     fabric.SegmentID
+	slots   int
+	ringSz  int // bytes of one ring (slots * descBytes)
+	stageLo int // staging heap offset within segment data
+	deliver deliverFn
+
+	alloc []*memregion.Allocator // per-PE staging allocator
+	pairs [][]*simPair           // [src][dst]
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// simPair is source-side state for one (src,dst) stream.
+type simPair struct {
+	mu       sync.Mutex
+	sent     uint64 // descriptors written
+	released uint64 // releases observed and freed
+	pending  []int  // staging offsets awaiting release, FIFO
+}
+
+// word layout per PE's word array: [0,npes) head counters indexed by src;
+// [npes, 2*npes) release counters indexed by dst.
+func headWord(src int) int          { return src }
+func releaseWord(npes, dst int) int { return npes + dst }
+
+func newSimLamellae(prov *fabric.Provider, cfg Config, deliver deliverFn) *simLamellae {
+	npes := prov.NumPEs()
+	s := &simLamellae{
+		prov:    prov,
+		npes:    npes,
+		slots:   cfg.RingSlots,
+		ringSz:  cfg.RingSlots * descBytes,
+		deliver: deliver,
+		stop:    make(chan struct{}),
+	}
+	s.stageLo = npes * s.ringSz
+	dataBytes := s.stageLo + cfg.StagingBytes
+	s.seg = prov.AllocSegment(dataBytes, 2*npes)
+	s.alloc = make([]*memregion.Allocator, npes)
+	s.pairs = make([][]*simPair, npes)
+	for pe := 0; pe < npes; pe++ {
+		s.alloc[pe] = memregion.NewAllocator(cfg.StagingBytes)
+		s.pairs[pe] = make([]*simPair, npes)
+		for d := 0; d < npes; d++ {
+			s.pairs[pe][d] = &simPair{}
+		}
+	}
+	for pe := 0; pe < npes; pe++ {
+		s.wg.Add(1)
+		go s.progress(pe)
+	}
+	return s
+}
+
+func (s *simLamellae) name() LamellaeKind { return LamellaeSim }
+
+// reclaim frees staging space for descriptors dst has released.
+func (s *simLamellae) reclaim(src int, pair *simPair, dst int) {
+	rel := s.prov.LocalAtomicLoad(src, s.seg, releaseWord(s.npes, dst))
+	for pair.released < rel {
+		off := pair.pending[0]
+		pair.pending = pair.pending[1:]
+		s.alloc[src].Free(off)
+		pair.released++
+	}
+}
+
+// reclaimAll sweeps releases for every destination pair of src; invoked
+// under heap pressure so space pinned by streams that stopped sending
+// still gets recovered. Other pairs are TryLocked: a pair busy sending
+// will reclaim itself.
+func (s *simLamellae) reclaimAll(src, holding int) {
+	for d := 0; d < s.npes; d++ {
+		if d == holding {
+			s.reclaim(src, s.pairs[src][d], d)
+			continue
+		}
+		p := s.pairs[src][d]
+		if p.mu.TryLock() {
+			s.reclaim(src, p, d)
+			p.mu.Unlock()
+		}
+	}
+}
+
+// stageAlloc reserves staging space, waiting on releases under pressure.
+func (s *simLamellae) stageAlloc(src int, pair *simPair, dst, n int) int {
+	for {
+		off, err := s.alloc[src].Alloc(n, 8)
+		if err == nil {
+			return off
+		}
+		s.reclaimAll(src, dst)
+		stdruntime.Gosched()
+	}
+}
+
+func (s *simLamellae) send(src, dst int, msg []byte) {
+	// Fragment so that no staging allocation exceeds a quarter of the heap,
+	// keeping very large user payloads (bandwidth tests move tens of MB)
+	// from deadlocking against the fixed-size staging region.
+	maxFrag := s.alloc[src].Size() / 4
+	if maxFrag < 1024 {
+		maxFrag = 1024
+	}
+	pair := s.pairs[src][dst]
+	pair.mu.Lock()
+	defer pair.mu.Unlock()
+	for base := 0; base < len(msg) || (len(msg) == 0 && base == 0); base += maxFrag {
+		end := base + maxFrag
+		last := true
+		if end < len(msg) {
+			last = false
+		} else {
+			end = len(msg)
+		}
+		s.sendFrag(src, dst, pair, msg[base:end], last)
+		if end == len(msg) {
+			break
+		}
+	}
+}
+
+func (s *simLamellae) sendFrag(src, dst int, pair *simPair, frag []byte, last bool) {
+	// Backpressure: do not overrun unconsumed ring slots.
+	for pair.sent-pair.released >= uint64(s.slots) {
+		s.reclaim(src, pair, dst)
+		if pair.sent-pair.released < uint64(s.slots) {
+			break
+		}
+		stdruntime.Gosched()
+	}
+	n := len(frag)
+	stageOff := 0
+	if n > 0 {
+		stageOff = s.stageAlloc(src, pair, dst, n)
+		// Local write into our own registered staging memory (free).
+		copy(s.prov.LocalData(src, s.seg)[s.stageLo+stageOff:], frag)
+	} else {
+		// zero-length messages still need a staging slot entry for the
+		// in-order release bookkeeping; use a 1-byte placeholder
+		stageOff = s.stageAlloc(src, pair, dst, 1)
+	}
+	pair.pending = append(pair.pending, stageOff)
+
+	lenWord := uint64(n)
+	if !last {
+		lenWord |= fragFlag
+	}
+	var desc [descBytes]byte
+	binary.LittleEndian.PutUint64(desc[0:], uint64(s.stageLo+stageOff))
+	binary.LittleEndian.PutUint64(desc[8:], lenWord)
+
+	slot := int(pair.sent) % s.slots
+	ringOff := src*s.ringSz + slot*descBytes
+	// RDMA-put the descriptor into dst's ring, then flag via remote atomic.
+	s.prov.Put(src, dst, s.seg, ringOff, desc[:])
+	s.prov.AtomicAdd(src, dst, s.seg, headWord(src), 1)
+	pair.sent++
+}
+
+// progress is dst-side: polls every source's head counter, pulls payloads,
+// reassembles fragments, delivers, and releases staging space.
+func (s *simLamellae) progress(pe int) {
+	defer s.wg.Done()
+	tails := make([]uint64, s.npes)
+	partial := make([][]byte, s.npes) // fragment reassembly per source
+	idle := 0
+	for {
+		advanced := false
+		for src := 0; src < s.npes; src++ {
+			head := s.prov.LocalAtomicLoad(pe, s.seg, headWord(src))
+			for tails[src] < head {
+				slot := int(tails[src]) % s.slots
+				ringOff := src*s.ringSz + slot*descBytes
+				ring := s.prov.LocalData(pe, s.seg)[ringOff : ringOff+descBytes]
+				off := binary.LittleEndian.Uint64(ring[0:])
+				lenWord := binary.LittleEndian.Uint64(ring[8:])
+				n := int(lenWord &^ fragFlag)
+				buf := make([]byte, n)
+				if n > 0 {
+					// RDMA-get the payload out of src's staging heap.
+					s.prov.Get(pe, src, s.seg, int(off), buf)
+				}
+				// Release src's staging slot (remote atomic on src's words).
+				s.prov.AtomicAdd(pe, src, s.seg, releaseWord(s.npes, pe), 1)
+				tails[src]++
+				advanced = true
+				if lenWord&fragFlag != 0 {
+					partial[src] = append(partial[src], buf...)
+					continue
+				}
+				if partial[src] != nil {
+					buf = append(partial[src], buf...)
+					partial[src] = nil
+				}
+				s.deliver(pe, src, buf)
+			}
+		}
+		if advanced {
+			idle = 0
+			continue
+		}
+		idle++
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if idle < 8 {
+			stdruntime.Gosched()
+		} else {
+			// Long idle: sleep instead of burning a core; the background
+			// flusher interval already bounds added latency.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+func (s *simLamellae) close() {
+	close(s.stop)
+	s.wg.Wait()
+	s.prov.FreeSegment(s.seg)
+}
+
+// ---------------------------------------------------------------------------
+// shmem lamellae: serialized messages delivered through process-shared
+// queues. Semantically identical to sim (including serialization, so
+// applications behave identically when switching transports, as the paper
+// requires) but with no modeled network cost and an independent transport
+// implementation, which cross-validates the ring protocol in tests.
+// ---------------------------------------------------------------------------
+
+type shmemMsg struct {
+	src int
+	buf []byte
+}
+
+type shmemLamellae struct {
+	queues  []chan shmemMsg
+	deliver deliverFn
+	wg      sync.WaitGroup
+}
+
+func newShmemLamellae(npes int, deliver deliverFn) *shmemLamellae {
+	s := &shmemLamellae{
+		queues:  make([]chan shmemMsg, npes),
+		deliver: deliver,
+	}
+	for pe := 0; pe < npes; pe++ {
+		s.queues[pe] = make(chan shmemMsg, 1024)
+		s.wg.Add(1)
+		go func(pe int) {
+			defer s.wg.Done()
+			for m := range s.queues[pe] {
+				s.deliver(pe, m.src, m.buf)
+			}
+		}(pe)
+	}
+	return s
+}
+
+func (s *shmemLamellae) name() LamellaeKind { return LamellaeShmem }
+
+func (s *shmemLamellae) send(src, dst int, msg []byte) {
+	s.queues[dst] <- shmemMsg{src: src, buf: msg}
+}
+
+func (s *shmemLamellae) close() {
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// smp lamellae: single PE, no transport at all. send must never be called
+// (the runtime's local fast path handles self-sends before reaching the
+// lamellae).
+// ---------------------------------------------------------------------------
+
+type smpLamellae struct{}
+
+func (smpLamellae) name() LamellaeKind { return LamellaeSMP }
+
+func (smpLamellae) send(src, dst int, msg []byte) {
+	panic("runtime: smp lamellae cannot send between PEs")
+}
+
+func (smpLamellae) close() {}

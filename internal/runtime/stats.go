@@ -1,0 +1,97 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// Stats reports one PE's runtime activity; useful for tuning aggregation
+// and verifying communication patterns in tests and benchmarks.
+type Stats struct {
+	// PE is the reporting PE.
+	PE int
+	// Issued is the number of AMs this PE launched.
+	Issued uint64
+	// Completed is how many of those finished (locally or acked).
+	Completed uint64
+	// EnvelopesSent counts envelopes enqueued for remote delivery
+	// (AM bodies, returns, acks).
+	EnvelopesSent uint64
+	// EnvelopesProcessed counts remote envelopes fully handled here.
+	EnvelopesProcessed uint64
+	// PoolExecuted / PoolStolen / PoolBusy describe the executor.
+	PoolExecuted uint64
+	PoolStolen   uint64
+	PoolBusy     time.Duration
+	// Fabric is this PE's traffic counters (messages, bytes, modeled ns).
+	Fabric fabric.Counters
+}
+
+// Stats snapshots the calling PE's runtime counters.
+func (w *World) Stats() Stats {
+	exec, stolen, busy := w.pool.Stats()
+	return Stats{
+		PE:                 w.pe,
+		Issued:             w.issued.Load(),
+		Completed:          w.completed.Load(),
+		EnvelopesSent:      w.envSent.Load(),
+		EnvelopesProcessed: w.envProcessed.Load(),
+		PoolExecuted:       exec,
+		PoolStolen:         stolen,
+		PoolBusy:           busy,
+		Fabric:             w.env.prov.CountersFor(w.pe),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"PE%d: ams=%d/%d env=%d/%d pool(exec=%d stolen=%d busy=%v) net(msgs=%d bytes=%d modeled=%v)",
+		s.PE, s.Completed, s.Issued, s.EnvelopesProcessed, s.EnvelopesSent,
+		s.PoolExecuted, s.PoolStolen, s.PoolBusy,
+		s.Fabric.Msgs, s.Fabric.Bytes, time.Duration(s.Fabric.ModeledNs))
+}
+
+// ApplyEnv overlays LAMELLAR_* environment variables onto a Config,
+// mirroring the runtime knobs the Rust implementation reads from the
+// environment:
+//
+//	LAMELLAR_THREADS     workers per PE
+//	LAMELLAR_AGG_SIZE    aggregation buffer threshold in bytes
+//	LAMELLAR_OP_BATCH    array-operation sub-batch size
+//	LAMELLAR_LAMELLAE    sim | shmem | smp
+//	LAMELLAR_RING_SLOTS  descriptor ring depth (sim lamellae)
+func (c Config) ApplyEnv() Config {
+	if v, ok := envInt("LAMELLAR_THREADS"); ok {
+		c.WorkersPerPE = v
+	}
+	if v, ok := envInt("LAMELLAR_AGG_SIZE"); ok {
+		c.AggThresholdBytes = v
+	}
+	if v, ok := envInt("LAMELLAR_OP_BATCH"); ok {
+		c.ArrayBatchSize = v
+	}
+	if v := os.Getenv("LAMELLAR_LAMELLAE"); v != "" {
+		c.Lamellae = LamellaeKind(v)
+	}
+	if v, ok := envInt("LAMELLAR_RING_SLOTS"); ok {
+		c.RingSlots = v
+	}
+	return c
+}
+
+func envInt(name string) (int, bool) {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamellar: ignoring %s=%q: %v\n", name, v, err)
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,65 @@
+package runtime
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestStatsCounters(t *testing.T) {
+	err := Run(Config{PEs: 2, WorkersPerPE: 1, Lamellae: LamellaeSim}, func(w *World) {
+		if w.MyPE() == 0 {
+			for i := 0; i < 10; i++ {
+				w.ExecAM(1, &incrAM{Delta: 1})
+			}
+			w.WaitAll()
+			s := w.Stats()
+			if s.Issued != 10 || s.Completed != 10 {
+				panic("issued/completed mismatch")
+			}
+			if s.EnvelopesSent < 10 {
+				panic("envelope count too low")
+			}
+			if s.Fabric.Msgs == 0 {
+				panic("no fabric traffic recorded")
+			}
+			if !strings.Contains(s.String(), "PE0") {
+				panic("String() malformed")
+			}
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyEnv(t *testing.T) {
+	set := func(k, v string) {
+		old, had := os.LookupEnv(k)
+		os.Setenv(k, v)
+		t.Cleanup(func() {
+			if had {
+				os.Setenv(k, old)
+			} else {
+				os.Unsetenv(k)
+			}
+		})
+	}
+	set("LAMELLAR_THREADS", "7")
+	set("LAMELLAR_AGG_SIZE", "12345")
+	set("LAMELLAR_OP_BATCH", "99")
+	set("LAMELLAR_LAMELLAE", "shmem")
+	set("LAMELLAR_RING_SLOTS", "33")
+	c := Config{}.ApplyEnv()
+	if c.WorkersPerPE != 7 || c.AggThresholdBytes != 12345 || c.ArrayBatchSize != 99 ||
+		c.Lamellae != LamellaeShmem || c.RingSlots != 33 {
+		t.Errorf("env not applied: %+v", c)
+	}
+	// malformed values are ignored
+	set("LAMELLAR_THREADS", "not-a-number")
+	c2 := Config{WorkersPerPE: 3}.ApplyEnv()
+	if c2.WorkersPerPE != 3 {
+		t.Errorf("malformed env overwrote value: %+v", c2)
+	}
+}

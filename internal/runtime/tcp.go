@@ -1,0 +1,154 @@
+package runtime
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpLamellae is a transport that moves batches over real loopback TCP
+// sockets — genuine network I/O through the same Lamellae interface as
+// the simulated fabric. It demonstrates that the runtime is transport-
+// agnostic (the paper's future work replaces ROFI with other providers)
+// and provides an integration point for true multi-process deployment:
+// the wire protocol is self-contained length-prefixed frames.
+//
+// Wire format per frame: u32 srcPE, u32 length, payload bytes.
+type tcpLamellae struct {
+	npes    int
+	deliver deliverFn
+	lns     []net.Listener
+
+	mu    sync.Mutex
+	conns map[[2]int]*tcpConn // (src,dst) -> outbound connection
+
+	wg      sync.WaitGroup
+	closing sync.Once
+	done    chan struct{}
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+func newTCPLamellae(npes int, deliver deliverFn) (*tcpLamellae, error) {
+	t := &tcpLamellae{
+		npes:    npes,
+		deliver: deliver,
+		lns:     make([]net.Listener, npes),
+		conns:   make(map[[2]int]*tcpConn),
+		done:    make(chan struct{}),
+	}
+	for pe := 0; pe < npes; pe++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("runtime: tcp lamellae listen: %w", err)
+		}
+		t.lns[pe] = ln
+		pe := pe
+		t.wg.Add(1)
+		go t.accept(pe, ln)
+	}
+	return t, nil
+}
+
+func (t *tcpLamellae) name() LamellaeKind { return LamellaeTCP }
+
+func (t *tcpLamellae) accept(pe int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.serve(pe, conn)
+	}
+}
+
+// serve reads frames from one inbound connection and delivers them.
+func (t *tcpLamellae) serve(pe int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 256<<10)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		src := int(binary.LittleEndian.Uint32(hdr[0:]))
+		n := int(binary.LittleEndian.Uint32(hdr[4:]))
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return
+		}
+		t.deliver(pe, src, buf)
+	}
+}
+
+// conn returns (dialing if needed) the outbound connection src→dst.
+func (t *tcpLamellae) conn(src, dst int) (*tcpConn, error) {
+	key := [2]int{src, dst}
+	t.mu.Lock()
+	tc := t.conns[key]
+	t.mu.Unlock()
+	if tc != nil {
+		return tc, nil
+	}
+	c, err := net.Dial("tcp", t.lns[dst].Addr().String())
+	if err != nil {
+		return nil, fmt.Errorf("runtime: tcp lamellae dial PE%d: %w", dst, err)
+	}
+	tc = &tcpConn{c: c, w: bufio.NewWriterSize(c, 256<<10)}
+	t.mu.Lock()
+	if existing := t.conns[key]; existing != nil {
+		t.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	t.conns[key] = tc
+	t.mu.Unlock()
+	return tc, nil
+}
+
+func (t *tcpLamellae) send(src, dst int, msg []byte) {
+	tc, err := t.conn(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(src))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(msg)))
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.w.Write(hdr[:]); err != nil {
+		panic(fmt.Sprintf("runtime: tcp lamellae write: %v", err))
+	}
+	if _, err := tc.w.Write(msg); err != nil {
+		panic(fmt.Sprintf("runtime: tcp lamellae write: %v", err))
+	}
+	// Flush per batch: the aggregation layer above already coalesced.
+	if err := tc.w.Flush(); err != nil {
+		panic(fmt.Sprintf("runtime: tcp lamellae flush: %v", err))
+	}
+}
+
+func (t *tcpLamellae) close() {
+	t.closing.Do(func() {
+		close(t.done)
+		for _, ln := range t.lns {
+			ln.Close()
+		}
+		t.mu.Lock()
+		for _, tc := range t.conns {
+			tc.c.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+}

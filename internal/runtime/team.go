@@ -1,0 +1,171 @@
+package runtime
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/scheduler"
+)
+
+// teamShared is the state common to every member's handle of one team.
+type teamShared struct {
+	id      uint64
+	members []int       // world PEs, sorted ascending; team rank = index
+	rankOf  map[int]int // world PE -> team rank
+	barrier *fabric.GroupBarrier
+	coll    *collState
+}
+
+// Team is one PE's handle on a team — a subset of the world's PEs (the
+// world itself is a team containing every PE). Handles are per-PE; all
+// members share the same underlying team state. Team collectives follow
+// SPMD discipline: every member calls them in the same order.
+type Team struct {
+	env    *worldEnv
+	shared *teamShared
+	myPE   int
+	myRank int
+
+	mu      sync.Mutex
+	collSeq uint64
+}
+
+func newTeamShared(env *worldEnv, members []int) *teamShared {
+	sorted := append([]int(nil), members...)
+	sort.Ints(sorted)
+	ts := &teamShared{
+		id:      env.teamIDs.Add(1),
+		members: sorted,
+		rankOf:  make(map[int]int, len(sorted)),
+		barrier: env.prov.NewGroupBarrier(len(sorted)),
+	}
+	for r, pe := range sorted {
+		ts.rankOf[pe] = r
+	}
+	ts.coll = newCollState(env, len(sorted))
+	return ts
+}
+
+// Size reports the number of member PEs.
+func (t *Team) Size() int { return len(t.shared.members) }
+
+// Rank reports the calling PE's rank within the team.
+func (t *Team) Rank() int { return t.myRank }
+
+// ID reports the team identifier (stable across member handles).
+func (t *Team) ID() uint64 { return t.shared.id }
+
+// Members returns the world PEs in the team, ordered by team rank.
+func (t *Team) Members() []int { return append([]int(nil), t.shared.members...) }
+
+// WorldPE maps a team rank to its world PE.
+func (t *Team) WorldPE(rank int) int { return t.shared.members[rank] }
+
+// RankOf maps a world PE to its team rank (-1 if not a member).
+func (t *Team) RankOf(pe int) int {
+	if r, ok := t.shared.rankOf[pe]; ok {
+		return r
+	}
+	return -1
+}
+
+// World returns the calling PE's world handle.
+func (t *Team) World() *World { return t.env.worlds[t.myPE] }
+
+// Barrier synchronizes the team's members (collective).
+func (t *Team) Barrier() {
+	t.World().flushAll()
+	t.env.prov.WaitFor(t.myPE, t.shared.barrier)
+}
+
+// ExecAM launches am on the team member with the given rank.
+func (t *Team) ExecAM(rank int, am ActiveMessage) {
+	t.World().ExecAM(t.WorldPE(rank), am)
+}
+
+// ExecAMAll launches am on every member of the team.
+func (t *Team) ExecAMAll(am ActiveMessage) {
+	for _, pe := range t.shared.members {
+		t.World().ExecAM(pe, am)
+	}
+}
+
+// ExecAMReturn launches am on the member with the given rank and returns
+// a future resolving with the handler's return value.
+func (t *Team) ExecAMReturn(rank int, am ActiveMessage) *scheduler.Future[any] {
+	return t.World().ExecAMReturn(t.WorldPE(rank), am)
+}
+
+// ExecAMAllReturn launches am on every member, resolving with the return
+// values indexed by team rank.
+func (t *Team) ExecAMAllReturn(am ActiveMessage) *scheduler.Future[[]any] {
+	fs := make([]*scheduler.Future[any], t.Size())
+	for r := range fs {
+		fs[r] = t.ExecAMReturn(r, am)
+	}
+	return scheduler.All(t.World().Pool(), fs)
+}
+
+// Collective rendezvouses all members on constructing one shared object;
+// the first arriver runs build, every member receives the same value. It
+// blocks only the calling goroutine (the PE's pool keeps running), like
+// the paper's collective allocations.
+func (t *Team) Collective(build func() any) any {
+	return t.CollectiveKind("anonymous", build)
+}
+
+// CollectiveKind is Collective with a kind tag: if team members disagree
+// on which collective call is being made at the same sequence position,
+// the runtime panics with a diagnostic (mismatched collective sequences
+// otherwise corrupt shared state in ways that are very hard to debug;
+// see §III-A3's runtime analysis).
+func (t *Team) CollectiveKind(kind string, build func() any) any {
+	t.mu.Lock()
+	t.collSeq++
+	seq := t.collSeq
+	t.mu.Unlock()
+	key := fmt.Sprintf("t%d.c%d", t.shared.id, seq)
+	return t.env.collective(key, kind, len(t.shared.members), build)
+}
+
+// Split collectively creates a sub-team from the given world PEs (which
+// must all belong to this team). Every member of the parent team must
+// call Split with the same list; members receive their handle, PEs not in
+// the list receive nil.
+func (t *Team) Split(members []int) *Team {
+	for _, pe := range members {
+		if t.RankOf(pe) < 0 {
+			panic(fmt.Sprintf("runtime: Split member PE%d not in parent team", pe))
+		}
+	}
+	shared := t.CollectiveKind("team.split", func() any { return newTeamShared(t.env, members) }).(*teamShared)
+	rank, ok := shared.rankOf[t.myPE]
+	if !ok {
+		return nil
+	}
+	return &Team{env: t.env, shared: shared, myPE: t.myPE, myRank: rank}
+}
+
+// SplitStrided creates the sub-team of every stride-th member starting at
+// team rank offset (a common pattern for NUMA-style groupings).
+func (t *Team) SplitStrided(offset, stride int) *Team {
+	if stride <= 0 {
+		panic("runtime: stride must be positive")
+	}
+	var members []int
+	for r := offset; r < t.Size(); r += stride {
+		members = append(members, t.WorldPE(r))
+	}
+	return t.Split(members)
+}
+
+// roundsFor returns ceil(log2 n).
+func roundsFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,322 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/scheduler"
+	"repro/internal/serde"
+)
+
+// worldEnv is the state shared by all PEs of one world (one simulated job).
+type worldEnv struct {
+	cfg    Config
+	prov   *fabric.Provider
+	lam    lamellae
+	worlds []*World
+
+	collMu sync.Mutex
+	coll   map[string]*collEntry
+
+	teamIDs atomic.Uint64
+	ext     extMap
+
+	stopFlush chan struct{}
+	flushWG   sync.WaitGroup
+	closed    atomic.Bool
+}
+
+type collEntry struct {
+	done    chan struct{}
+	val     any
+	kind    string
+	fetched int
+}
+
+// World is one PE's handle on the runtime, the analogue of the
+// LamellarWorld each SPMD rank holds. All methods are safe for use from
+// any goroutine belonging to that PE (worker tasks, AM handlers, main).
+type World struct {
+	env  *worldEnv
+	pe   int
+	pool *scheduler.Pool
+
+	queues      []*aggQueue
+	pendingAcks []atomic.Uint64 // acks owed, indexed by origin PE
+
+	issued    atomic.Uint64 // AMs launched by this PE
+	completed atomic.Uint64 // of which completed (locally or acked)
+
+	envSent      atomic.Uint64 // envelopes enqueued for remote delivery
+	envProcessed atomic.Uint64 // remote envelopes fully processed here
+
+	nextReq atomic.Uint64
+	retMu   sync.Mutex
+	returns map[uint64]func(any, error)
+
+	worldTeam *Team
+	ext       extMap
+}
+
+// aggQueue buffers envelopes destined to one PE. Flushing swaps the active
+// encoder out (the second buffer of the paper's double-buffered message
+// queue) so producers keep filling while the flushed buffer is in flight.
+type aggQueue struct {
+	mu      sync.Mutex
+	enc     *serde.Encoder
+	scratch *serde.Encoder
+	count   int
+}
+
+func newAggQueue() *aggQueue {
+	return &aggQueue{enc: serde.NewEncoder(4096), scratch: serde.NewEncoder(256)}
+}
+
+// WorldBuilder configures and builds a single-PE (SMP) world, mirroring
+// Listing 1's `LamellarWorldBuilder::new().build()`. Multi-PE worlds are
+// SPMD and launched with Run.
+type WorldBuilder struct{ cfg Config }
+
+// NewWorldBuilder returns a builder for an SMP world.
+func NewWorldBuilder() *WorldBuilder {
+	return &WorldBuilder{cfg: Config{PEs: 1, Lamellae: LamellaeSMP}}
+}
+
+// Workers sets the thread-pool size.
+func (b *WorldBuilder) Workers(n int) *WorldBuilder { b.cfg.WorkersPerPE = n; return b }
+
+// Build initializes the runtime and returns the world. Call Drop when done.
+func (b *WorldBuilder) Build() (*World, error) {
+	env, err := newEnv(b.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return env.worlds[0], nil
+}
+
+// Run launches an SPMD world: fn runs once per PE, each invocation
+// receiving that PE's World. Run returns after every PE's fn returned, all
+// in-flight AMs completed (the paper's implicit deinitialization: each PE
+// keeps serving AMs until every PE is ready), and the runtime shut down.
+func Run(cfg Config, fn func(w *World)) error {
+	env, err := newEnv(cfg)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for pe := 0; pe < env.cfg.PEs; pe++ {
+		wg.Add(1)
+		go func(w *World) {
+			defer wg.Done()
+			fn(w)
+			w.finalize()
+		}(env.worlds[pe])
+	}
+	wg.Wait()
+	env.close()
+	return nil
+}
+
+func newEnv(cfg Config) (*worldEnv, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	env := &worldEnv{
+		cfg:       cfg,
+		prov:      fabric.New(cfg.PEs, cfg.Cost),
+		coll:      make(map[string]*collEntry),
+		stopFlush: make(chan struct{}),
+	}
+	env.worlds = make([]*World, cfg.PEs)
+	for pe := 0; pe < cfg.PEs; pe++ {
+		w := &World{
+			env:         env,
+			pe:          pe,
+			pool:        scheduler.NewPool(cfg.WorkersPerPE),
+			queues:      make([]*aggQueue, cfg.PEs),
+			pendingAcks: make([]atomic.Uint64, cfg.PEs),
+			returns:     make(map[uint64]func(any, error)),
+		}
+		for d := range w.queues {
+			w.queues[d] = newAggQueue()
+		}
+		pe := pe
+		w.pool.SetPanicHandler(func(r any) {
+			fmt.Printf("lamellar: PE%d: task panicked: %v\n", pe, r)
+		})
+		env.worlds[pe] = w
+	}
+	deliver := func(dst, src int, msg []byte) {
+		env.worlds[dst].receiveBatch(src, msg)
+	}
+	switch cfg.Lamellae {
+	case LamellaeSim:
+		env.lam = newSimLamellae(env.prov, cfg, deliver)
+	case LamellaeShmem:
+		env.lam = newShmemLamellae(cfg.PEs, deliver)
+	case LamellaeSMP:
+		env.lam = smpLamellae{}
+	case LamellaeTCP:
+		lam, err := newTCPLamellae(cfg.PEs, deliver)
+		if err != nil {
+			return nil, err
+		}
+		env.lam = lam
+	}
+	// World teams (one Team handle per PE sharing common team state).
+	shared := newTeamShared(env, allPEs(cfg.PEs))
+	for pe := 0; pe < cfg.PEs; pe++ {
+		env.worlds[pe].worldTeam = &Team{env: env, shared: shared, myPE: pe, myRank: pe}
+	}
+	// Background flusher bounds the latency of sparse traffic.
+	for pe := 0; pe < cfg.PEs; pe++ {
+		env.flushWG.Add(1)
+		go env.worlds[pe].flushLoop()
+	}
+	return env, nil
+}
+
+func allPEs(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func (env *worldEnv) close() {
+	if env.closed.Swap(true) {
+		return
+	}
+	close(env.stopFlush)
+	env.flushWG.Wait()
+	env.lam.close()
+	for _, w := range env.worlds {
+		w.pool.Close()
+	}
+}
+
+// ----- accessors -------------------------------------------------------
+
+// MyPE reports the calling PE's world rank (Lamellar::current_pe).
+func (w *World) MyPE() int { return w.pe }
+
+// NumPEs reports the world size (Lamellar::num_pes).
+func (w *World) NumPEs() int { return w.env.cfg.PEs }
+
+// Team returns the world team containing all PEs.
+func (w *World) Team() *Team { return w.worldTeam }
+
+// Pool exposes the PE's executor for spawning user futures.
+func (w *World) Pool() *scheduler.Pool { return w.pool }
+
+// Provider exposes the fabric for memory-region construction and
+// benchmarking counters. Low-level, "unsafe" tier.
+func (w *World) Provider() *fabric.Provider { return w.env.prov }
+
+// Config returns the world configuration (after defaulting).
+func (w *World) Config() Config { return w.env.cfg }
+
+// PeerWorld returns another PE's World handle; intended for tests and the
+// shmem/smp tooling, not application code.
+func (w *World) PeerWorld(pe int) *World { return w.env.worlds[pe] }
+
+// ----- synchronization -------------------------------------------------
+
+// Barrier is a global (world-team) synchronization point. It flushes
+// aggregation queues first so no message can be indefinitely delayed
+// across the barrier.
+func (w *World) Barrier() {
+	w.flushAll()
+	w.env.prov.Barrier(w.pe)
+}
+
+// WaitAll blocks until every AM launched by this PE has completed,
+// including AMs executed remotely (tracked through ack envelopes), helping
+// the executor while waiting. It mirrors world.wait_all().
+func (w *World) WaitAll() {
+	for {
+		w.flushAll()
+		if w.completed.Load() >= w.issued.Load() {
+			return
+		}
+		if !w.pool.TryRunOne() {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// BlockOn drives the executor until the future resolves and returns its
+// value (world.block_on). Only the calling goroutine blocks.
+func BlockOn[T any](w *World, f *scheduler.Future[T]) (T, error) {
+	// Awaiting helps the pool already; flush first so the request this
+	// future depends on actually leaves the aggregation buffers.
+	w.flushAll()
+	return f.Await()
+}
+
+// finalize implements the implicit deinit: flush, serve AMs until the
+// whole world is quiescent (Dijkstra-style double count over two stable
+// rounds), then synchronize.
+func (w *World) finalize() {
+	w.WaitAll()
+	stable := 0
+	for stable < 2 {
+		w.flushAll()
+		for w.pool.TryRunOne() {
+		}
+		inFlight := w.envSent.Load() - w.envProcessed.Load()
+		pending := uint64(w.pool.Pending())
+		local := w.issued.Load() - w.completed.Load()
+		total := w.allReduceSumU64(inFlight + pending + local)
+		if total == 0 {
+			stable++
+		} else {
+			stable = 0
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	w.env.prov.Barrier(w.pe)
+}
+
+// allReduceSumU64 is used by finalize; defined in collective.go.
+
+// ----- collective construction registry --------------------------------
+
+// collective rendezvouses all PEs of a team on the construction of one
+// shared object: the first arriver runs build, everyone receives the same
+// value. SPMD discipline requires all PEs to issue collectives in the
+// same order (the standard PGAS contract); kind tags let the runtime
+// detect mismatched sequences and fail with a diagnostic instead of
+// corrupting state — the "limited runtime analysis to warn users" of
+// §III-A3.
+func (env *worldEnv) collective(key, kind string, teamSize int, build func() any) any {
+	env.collMu.Lock()
+	e, ok := env.coll[key]
+	if !ok {
+		e = &collEntry{done: make(chan struct{}), kind: kind}
+		env.coll[key] = e
+		env.collMu.Unlock()
+		e.val = build()
+		close(e.done)
+	} else {
+		if e.kind != kind {
+			other := e.kind
+			env.collMu.Unlock()
+			panic(fmt.Sprintf("runtime: mismatched collective calls: this PE issued %q where another PE issued %q — all team members must make collective calls in the same order", kind, other))
+		}
+		env.collMu.Unlock()
+		<-e.done
+	}
+	env.collMu.Lock()
+	e.fetched++
+	if e.fetched == teamSize {
+		delete(env.coll, key)
+	}
+	env.collMu.Unlock()
+	return e.val
+}

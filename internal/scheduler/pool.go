@@ -1,0 +1,272 @@
+// Package scheduler implements the Thread Pool layer of the stack: each PE
+// owns a pool of worker goroutines executing asynchronous tasks — AM
+// handlers, communication tasks produced by the Lamellae, and user-
+// submitted futures — mirroring the work-stealing Rust executor the paper
+// describes. Awaiting a future from inside the pool *helps* execute other
+// tasks instead of blocking a worker, so `block_on` only blocks the caller
+// while the pool keeps making progress, exactly the semantics Listing 1
+// relies on.
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is a unit of asynchronous work.
+type Task func()
+
+// PanicHandler receives recovered panics from tasks.
+type PanicHandler func(recovered any)
+
+// Pool is a work-stealing executor. Workers prefer their own deque (LIFO
+// for locality), then the global injector queue (FIFO), then steal the
+// oldest task from a random victim. A single pool-wide lock keeps the
+// implementation obviously correct; per-PE pools are small (the paper's
+// best configuration is 4 threads per PE) so contention stays modest.
+type Pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	global   []Task   // FIFO injector
+	local    [][]Task // per-worker deques; owner pops newest, thieves steal oldest
+	next     int      // round-robin submission cursor
+	sleeping int
+	closed   bool
+
+	notify chan struct{} // nudges helpers parked in Await
+
+	workers int
+	wg      sync.WaitGroup
+
+	outstanding atomic.Int64 // submitted but not finished
+	executed    atomic.Uint64
+	stolen      atomic.Uint64
+	busyNs      atomic.Int64 // accumulated task execution time
+
+	onPanic atomic.Pointer[PanicHandler]
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		workers: workers,
+		local:   make([][]Task, workers),
+		notify:  make(chan struct{}, 1),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// SetPanicHandler installs a handler for panics escaping tasks. The
+// default prints and continues, mirroring "shut down a failing goroutine
+// without killing the others".
+func (p *Pool) SetPanicHandler(h PanicHandler) {
+	if h == nil {
+		p.onPanic.Store(nil)
+		return
+	}
+	p.onPanic.Store(&h)
+}
+
+// Submit enqueues a task for asynchronous execution.
+func (p *Pool) Submit(t Task) {
+	if t == nil {
+		panic("scheduler: nil task")
+	}
+	p.outstanding.Add(1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.outstanding.Add(-1)
+		panic("scheduler: submit on closed pool")
+	}
+	// Round-robin across worker deques keeps queues short and stealing rare
+	// in the balanced case while still allowing stealing under skew.
+	w := p.next
+	p.next = (p.next + 1) % p.workers
+	p.local[w] = append(p.local[w], t)
+	if p.sleeping > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+// SubmitGlobal enqueues to the FIFO injector (fairness over locality);
+// used by the Lamellae progress engine for inbound communication tasks.
+func (p *Pool) SubmitGlobal(t Task) {
+	if t == nil {
+		panic("scheduler: nil task")
+	}
+	p.outstanding.Add(1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.outstanding.Add(-1)
+		panic("scheduler: submit on closed pool")
+	}
+	p.global = append(p.global, t)
+	if p.sleeping > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+// take returns the next task for worker w (own deque LIFO, then global
+// FIFO, then steal oldest from a random victim). Caller holds p.mu.
+func (p *Pool) take(w int) Task {
+	if q := p.local[w]; len(q) > 0 {
+		t := q[len(q)-1]
+		p.local[w] = q[:len(q)-1]
+		return t
+	}
+	if len(p.global) > 0 {
+		t := p.global[0]
+		p.global = p.global[1:]
+		return t
+	}
+	// steal: scan victims starting at a random offset
+	off := rand.Intn(p.workers)
+	for i := 0; i < p.workers; i++ {
+		v := (off + i) % p.workers
+		if v == w {
+			continue
+		}
+		if q := p.local[v]; len(q) > 0 {
+			t := q[0]
+			p.local[v] = q[1:]
+			p.stolen.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		var t Task
+		for {
+			if t = p.take(w); t != nil || p.closed {
+				break
+			}
+			p.sleeping++
+			p.cond.Wait()
+			p.sleeping--
+		}
+		p.mu.Unlock()
+		if t == nil {
+			return // closed and drained
+		}
+		p.run(t)
+	}
+}
+
+// run executes a task with timing and panic containment.
+func (p *Pool) run(t Task) {
+	start := time.Now()
+	defer func() {
+		p.busyNs.Add(time.Since(start).Nanoseconds())
+		p.executed.Add(1)
+		p.outstanding.Add(-1)
+		if r := recover(); r != nil {
+			if h := p.onPanic.Load(); h != nil {
+				(*h)(r)
+			} else {
+				fmt.Printf("scheduler: task panicked: %v\n", r)
+			}
+		}
+	}()
+	t()
+}
+
+// tryRunOne executes one pending task if any exists; it is the helping
+// primitive used by Await and by the runtime's progress loops. Reports
+// whether a task ran.
+func (p *Pool) TryRunOne() bool {
+	p.mu.Lock()
+	var t Task
+	// helpers behave like an extra worker with no own deque: global first
+	if len(p.global) > 0 {
+		t = p.global[0]
+		p.global = p.global[1:]
+	} else {
+		for v := 0; v < p.workers; v++ {
+			if q := p.local[v]; len(q) > 0 {
+				t = q[0]
+				p.local[v] = q[1:]
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+	if t == nil {
+		return false
+	}
+	p.run(t)
+	return true
+}
+
+// Pending reports submitted-but-unfinished tasks.
+func (p *Pool) Pending() int64 { return p.outstanding.Load() }
+
+// Stats reports lifetime counters.
+func (p *Pool) Stats() (executed, stolen uint64, busy time.Duration) {
+	return p.executed.Load(), p.stolen.Load(), time.Duration(p.busyNs.Load())
+}
+
+// BusyNs returns accumulated task execution nanoseconds (the per-PE CPU
+// time used to derive simulated elapsed time in benchmarks).
+func (p *Pool) BusyNs() int64 { return p.busyNs.Load() }
+
+// Quiesce blocks until no tasks are pending, helping execute them.
+// New submissions during Quiesce extend the wait.
+func (p *Pool) Quiesce() {
+	for p.outstanding.Load() > 0 {
+		if !p.TryRunOne() {
+			p.waitNudge()
+		}
+	}
+}
+
+// waitNudge parks briefly until new work may be available.
+func (p *Pool) waitNudge() {
+	select {
+	case <-p.notify:
+	case <-time.After(100 * time.Microsecond):
+	}
+}
+
+// Close drains remaining tasks and stops all workers.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+	// run anything left behind (workers exit only when queues are empty,
+	// but a race between close and submit could strand tasks)
+	for p.TryRunOne() {
+	}
+}

@@ -1,0 +1,306 @@
+package serde
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sync"
+)
+
+// TypeID is a stable identifier for a registered type, derived from the
+// registration name via FNV-1a. It plays the role of the lookup-table key
+// the paper's proc-macros generate for each AM type.
+type TypeID uint32
+
+// typeIDNil tags a nil value in polymorphic encodings.
+const typeIDNil TypeID = 0
+
+type regEntry struct {
+	id   TypeID
+	name string
+	enc  func(*Encoder, any)
+	dec  func(*Decoder) (any, error)
+}
+
+type registry struct {
+	mu     sync.RWMutex
+	byType map[reflect.Type]*regEntry
+	byID   map[TypeID]*regEntry
+}
+
+var global = &registry{
+	byType: make(map[reflect.Type]*regEntry),
+	byID:   make(map[TypeID]*regEntry),
+}
+
+// NameID returns the TypeID a registration name hashes to.
+func NameID(name string) TypeID {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	id := TypeID(h.Sum32())
+	if id == typeIDNil {
+		id = 1
+	}
+	return id
+}
+
+func (r *registry) add(t reflect.Type, e *regEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byID[e.id]; ok && prev.name != e.name {
+		panic(fmt.Sprintf("serde: TypeID collision between %q and %q", prev.name, e.name))
+	}
+	if prev, ok := r.byType[t]; ok {
+		if prev.name != e.name {
+			panic(fmt.Sprintf("serde: type %v registered twice (%q, %q)", t, prev.name, e.name))
+		}
+		return // idempotent re-registration
+	}
+	r.byType[t] = e
+	r.byID[e.id] = e
+}
+
+func (r *registry) lookupType(t reflect.Type) (*regEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byType[t]
+	return e, ok
+}
+
+func (r *registry) lookupID(id TypeID) (*regEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byID[id]
+	return e, ok
+}
+
+// Register registers T under name using its hand-written codec. *T must
+// implement Unmarshaler, and T or *T must implement Marshaler. Decoded
+// values have dynamic type *T. Register is idempotent for identical
+// (type, name) pairs and panics on conflicting registrations, matching the
+// compile-time failure the paper's #[AmData] macro produces.
+func Register[T any](name string) TypeID {
+	var zero T
+	t := reflect.TypeOf(&zero) // *T
+	id := NameID(name)
+	if _, ok := any(&zero).(Unmarshaler); !ok {
+		panic(fmt.Sprintf("serde: *%v does not implement Unmarshaler", t.Elem()))
+	}
+	enc := func(e *Encoder, v any) {
+		if m, ok := v.(Marshaler); ok {
+			m.MarshalLamellar(e)
+			return
+		}
+		// Value of T whose Marshaler is on *T: take an addressable copy.
+		rv := reflect.ValueOf(v)
+		if rv.Kind() != reflect.Pointer {
+			p := reflect.New(rv.Type())
+			p.Elem().Set(rv)
+			if m, ok := p.Interface().(Marshaler); ok {
+				m.MarshalLamellar(e)
+				return
+			}
+		}
+		panic(fmt.Sprintf("serde: %T does not implement Marshaler", v))
+	}
+	dec := func(d *Decoder) (any, error) {
+		p := new(T)
+		if err := any(p).(Unmarshaler).UnmarshalLamellar(d); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	entry := &regEntry{id: id, name: name, enc: enc, dec: dec}
+	global.add(t, entry)
+	global.add(t.Elem(), entry) // allow encoding by value too
+	return id
+}
+
+// RegisterGob registers T under name using encoding/gob, the convenience
+// path for AM structs without a hand-written codec. Decoded values have
+// dynamic type *T.
+func RegisterGob[T any](name string) TypeID {
+	var zero T
+	t := reflect.TypeOf(&zero)
+	id := NameID(name)
+	enc := func(e *Encoder, v any) {
+		var buf bytes.Buffer
+		// Encode through a pointer so gob handles both T and *T inputs.
+		rv := reflect.ValueOf(v)
+		if rv.Kind() != reflect.Pointer {
+			p := reflect.New(rv.Type())
+			p.Elem().Set(rv)
+			rv = p
+		}
+		if err := gob.NewEncoder(&buf).EncodeValue(rv); err != nil {
+			panic(fmt.Sprintf("serde: gob encode %T: %v", v, err))
+		}
+		e.PutBytes(buf.Bytes())
+	}
+	dec := func(d *Decoder) (any, error) {
+		b := d.Bytes()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		p := new(T)
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(p); err != nil {
+			return nil, fmt.Errorf("serde: gob decode %q: %w", name, err)
+		}
+		return p, nil
+	}
+	entry := &regEntry{id: id, name: name, enc: enc, dec: dec}
+	global.add(t, entry)
+	global.add(t.Elem(), entry)
+	return id
+}
+
+// IDOf returns the TypeID v's dynamic type was registered under.
+func IDOf(v any) (TypeID, bool) {
+	if v == nil {
+		return typeIDNil, true
+	}
+	e, ok := global.lookupType(reflect.TypeOf(v))
+	if !ok {
+		return 0, false
+	}
+	return e.id, true
+}
+
+// EncodeAny appends v tagged with its TypeID. v's dynamic type (or its
+// element type for pointers) must be registered.
+func EncodeAny(e *Encoder, v any) error {
+	if v == nil {
+		e.PutU32(uint32(typeIDNil))
+		return nil
+	}
+	entry, ok := global.lookupType(reflect.TypeOf(v))
+	if !ok {
+		return fmt.Errorf("serde: type %T not registered", v)
+	}
+	e.PutU32(uint32(entry.id))
+	entry.enc(e, v)
+	return nil
+}
+
+// DecodeAny reads a value written by EncodeAny. nil round-trips to nil.
+func DecodeAny(d *Decoder) (any, error) {
+	id := TypeID(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if id == typeIDNil {
+		return nil, nil
+	}
+	entry, ok := global.lookupID(id)
+	if !ok {
+		return nil, fmt.Errorf("serde: unknown TypeID %#x", id)
+	}
+	return entry.dec(d)
+}
+
+// DecodeByID decodes a value of a known registered id with no inline tag.
+func DecodeByID(d *Decoder, id TypeID) (any, error) {
+	entry, ok := global.lookupID(id)
+	if !ok {
+		return nil, fmt.Errorf("serde: unknown TypeID %#x", id)
+	}
+	return entry.dec(d)
+}
+
+// EncodeByID encodes v with no inline tag; the receiver must know the id.
+func EncodeByID(e *Encoder, id TypeID, v any) error {
+	entry, ok := global.lookupID(id)
+	if !ok {
+		return fmt.Errorf("serde: unknown TypeID %#x", id)
+	}
+	entry.enc(e, v)
+	return nil
+}
+
+// Builtin registrations so AMs can return common scalar and slice types
+// without ceremony. Each builtin uses a compact hand-written codec.
+func init() {
+	registerBuiltin[int]("builtin.int",
+		func(e *Encoder, v int) { e.PutVarint(int64(v)) },
+		func(d *Decoder) int { return int(d.Varint()) })
+	registerBuiltin[int64]("builtin.int64",
+		func(e *Encoder, v int64) { e.PutVarint(v) },
+		func(d *Decoder) int64 { return d.Varint() })
+	registerBuiltin[uint64]("builtin.uint64",
+		func(e *Encoder, v uint64) { e.PutUvarint(v) },
+		func(d *Decoder) uint64 { return d.Uvarint() })
+	registerBuiltin[float64]("builtin.float64",
+		func(e *Encoder, v float64) { e.PutF64(v) },
+		func(d *Decoder) float64 { return d.F64() })
+	registerBuiltin[bool]("builtin.bool",
+		func(e *Encoder, v bool) { e.PutBool(v) },
+		func(d *Decoder) bool { return d.Bool() })
+	registerBuiltin[string]("builtin.string",
+		func(e *Encoder, v string) { e.PutString(v) },
+		func(d *Decoder) string { return d.String() })
+	registerBuiltin[[]byte]("builtin.bytes",
+		func(e *Encoder, v []byte) { e.PutBytes(v) },
+		func(d *Decoder) []byte { return d.BytesCopy() })
+	registerBuiltin[[]int64]("builtin.int64s",
+		func(e *Encoder, v []int64) { EncodeSlice(e, v) },
+		func(d *Decoder) []int64 { return DecodeSlice[int64](d) })
+	registerBuiltin[[]uint64]("builtin.uint64s",
+		func(e *Encoder, v []uint64) { EncodeSlice(e, v) },
+		func(d *Decoder) []uint64 { return DecodeSlice[uint64](d) })
+	registerBuiltin[[]int]("builtin.ints",
+		func(e *Encoder, v []int) { EncodeSlice(e, v) },
+		func(d *Decoder) []int { return DecodeSlice[int](d) })
+	registerBuiltin[[]float64]("builtin.float64s",
+		func(e *Encoder, v []float64) { EncodeSlice(e, v) },
+		func(d *Decoder) []float64 { return DecodeSlice[float64](d) })
+}
+
+// RegisterNumeric registers the scalar type T and its slice type []T with
+// compact codecs under the given name prefix, so values of custom numeric
+// element types can travel as AM payloads and return values. Idempotent.
+func RegisterNumeric[T Number](prefix string) {
+	registerBuiltin[T](prefix+".scalar",
+		func(e *Encoder, v T) { EncodeValue(e, v) },
+		func(d *Decoder) T { return DecodeValue[T](d) })
+	registerBuiltin[[]T](prefix+".slice",
+		func(e *Encoder, v []T) { EncodeSlice(e, v) },
+		func(d *Decoder) []T { return DecodeSlice[T](d) })
+}
+
+// registerBuiltin registers a value type whose decoded dynamic type is T
+// itself (not *T), which is what callers expect for scalars and slices.
+func registerBuiltin[T any](name string, enc func(*Encoder, T), dec func(*Decoder) T) {
+	id := NameID(name)
+	entry := &regEntry{
+		id:   id,
+		name: name,
+		enc: func(e *Encoder, v any) {
+			switch x := v.(type) {
+			case T:
+				enc(e, x)
+			case *T:
+				enc(e, *x)
+			default:
+				panic(fmt.Sprintf("serde: builtin codec %q got %T", name, v))
+			}
+		},
+		dec: func(d *Decoder) (any, error) {
+			v := dec(d)
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	}
+	var zero T
+	t := reflect.TypeOf(zero)
+	// First registration wins: builtins and RegisterNumeric may cover the
+	// same types (e.g. []int64); keeping the earlier codec preserves ids.
+	if _, exists := global.lookupType(t); exists {
+		return
+	}
+	global.add(t, entry)
+	global.add(reflect.PointerTo(t), entry)
+}

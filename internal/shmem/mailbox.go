@@ -1,0 +1,199 @@
+package shmem
+
+import "time"
+
+// Mailbox and asynchronous termination detection: the communication
+// substrate shared by the asynchronous BALE baselines (Exstack2,
+// Conveyors, Selectors) and the Chapel-style aggregators. Each PE hosts
+// one fixed-size slot per source; a sender owns its slot at every
+// destination exclusively.
+//
+// Flow control is credit-based, as in the real libraries: the sender
+// polls a *local* credit word (free — like shmem_wait_until on local
+// memory) and spends the credit to send (one RDMA put of the payload plus
+// one remote atomic raising the receiver's presence flag); the receiver's
+// presence checks are local polls, and consuming a message returns the
+// credit with one remote atomic into the sender's memory. Each message
+// therefore costs exactly one put and two remote atomics regardless of
+// contention — retry loops never touch the network.
+
+// Mailbox is a symmetric array of per-source message slots.
+type Mailbox struct {
+	ctx       *Ctx
+	slotWords int
+	data      *Sym[uint64]
+	present   *SymAtomic // on the receiver: words present, indexed by src
+	credit    *SymAtomic // on the sender: slot-free flag, indexed by dst
+}
+
+// NewMailbox collectively creates a mailbox set with the given slot
+// capacity (in 64-bit words). Collective: ends with a barrier.
+func NewMailbox(c *Ctx, slotWords int) *Mailbox {
+	if slotWords < 1 {
+		panic("shmem: slotWords must be positive")
+	}
+	m := &Mailbox{
+		ctx:       c,
+		slotWords: slotWords,
+		data:      Alloc[uint64](c, c.NPEs()*slotWords),
+		present:   AllocAtomic(c, c.NPEs()),
+		credit:    AllocAtomic(c, c.NPEs()),
+	}
+	for dst := 0; dst < c.NPEs(); dst++ {
+		m.credit.LocalStore(dst, 1) // every slot starts free
+	}
+	c.Barrier()
+	return m
+}
+
+// SlotWords reports the slot capacity.
+func (m *Mailbox) SlotWords() int { return m.slotWords }
+
+// TrySend delivers words to dst if the sender's slot there is free.
+// len(words) must be in [1, SlotWords]. The free-check is a local credit
+// poll (no network cost); a successful send costs one put plus one remote
+// atomic.
+func (m *Mailbox) TrySend(dst int, words []uint64) bool {
+	if len(words) == 0 || len(words) > m.slotWords {
+		panic("shmem: bad mailbox message size")
+	}
+	me := m.ctx.MyPE()
+	if m.credit.LocalLoad(dst) == 0 {
+		return false
+	}
+	m.credit.LocalStore(dst, 0)
+	m.data.Put(dst, me*m.slotWords, words)
+	m.present.Store(dst, me, uint64(len(words)))
+	return true
+}
+
+// Poll consumes every currently present message on the calling PE,
+// invoking handle for each; reports whether any message was handled.
+// Presence checks are local polls; each consumed message returns one
+// credit to its sender (one remote atomic).
+func (m *Mailbox) Poll(handle func(src int, words []uint64)) bool {
+	me := m.ctx.MyPE()
+	local := m.data.Local()
+	handled := false
+	for src := 0; src < m.ctx.NPEs(); src++ {
+		n := m.present.LocalLoad(src)
+		if n == 0 {
+			continue
+		}
+		buf := make([]uint64, n)
+		copy(buf, local[src*m.slotWords:src*m.slotWords+int(n)])
+		m.present.LocalStore(src, 0)
+		m.credit.Store(src, me, 1) // return the credit to the sender
+		handle(src, buf)
+		handled = true
+	}
+	return handled
+}
+
+// SendBlocking delivers words to dst, invoking progress (typically a Poll
+// of the caller's own mailbox) between attempts so that mutual sends
+// cannot deadlock — the progress-function discipline of the BALE
+// libraries.
+func (m *Mailbox) SendBlocking(dst int, words []uint64, progress func()) {
+	for !m.TrySend(dst, words) {
+		if progress != nil {
+			progress()
+		}
+	}
+}
+
+// Terminator implements asynchronous distributed termination detection
+// with published (done, sent, received) counters and a double-stable
+// scan: safe to run while other PEs are still communicating, unlike a
+// collective. Counter updates are local stores; scans are remote reads.
+type Terminator struct {
+	state      *SymAtomic // words: 0 done flag, 1 sent, 2 received
+	ctx        *Ctx
+	sent, recv uint64
+	lastSum    [2]uint64
+	lastOK     bool
+}
+
+// NewTerminator collectively creates the termination state.
+func NewTerminator(c *Ctx) *Terminator {
+	return &Terminator{state: AllocAtomic(c, 3), ctx: c}
+}
+
+// NoteSent records n locally-sent messages.
+func (t *Terminator) NoteSent(n uint64) {
+	t.sent += n
+	t.state.LocalStore(1, t.sent)
+}
+
+// NoteRecv records n locally-received messages.
+func (t *Terminator) NoteRecv(n uint64) {
+	t.recv += n
+	t.state.LocalStore(2, t.recv)
+}
+
+// SetDone publishes whether this PE has finished generating new work.
+func (t *Terminator) SetDone(done bool) {
+	v := uint64(0)
+	if done {
+		v = 1
+	}
+	t.state.LocalStore(0, v)
+}
+
+// Reset clears the detector for reuse (collective by convention: call on
+// all PEs between phases, separated by barriers).
+func (t *Terminator) Reset() {
+	t.sent, t.recv = 0, 0
+	t.lastSum = [2]uint64{}
+	t.lastOK = false
+	t.state.LocalStore(0, 0)
+	t.state.LocalStore(1, 0)
+	t.state.LocalStore(2, 0)
+}
+
+// DrainUntilQuiet runs the progress function until global quiescence.
+// Detector scans cost 3·P remote reads, so they are scheduled on a
+// time-based backoff (200us doubling to 8ms) while the PE is locally
+// idle; an idle PE sleeps between polls instead of burning its core
+// (spin CPU would also pollute the benchmark harness's CPU-share metric).
+func (t *Terminator) DrainUntilQuiet(advance func() bool) {
+	interval := 200 * time.Microsecond
+	next := time.Now().Add(interval)
+	for {
+		if advance() {
+			continue // traffic still moving: serve it at full speed
+		}
+		if time.Now().After(next) {
+			if t.GlobalQuiet() {
+				return
+			}
+			if interval < 8*time.Millisecond {
+				interval *= 2
+			}
+			next = time.Now().Add(interval)
+			continue
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// GlobalQuiet scans every PE's published state; it returns true only after
+// two consecutive scans observe all PEs done with equal and unchanged
+// sent/received totals (Dijkstra's double-count argument: no message can
+// be in flight). Call repeatedly from the drain loop.
+func (t *Terminator) GlobalQuiet() bool {
+	var sent, recv uint64
+	allDone := true
+	for pe := 0; pe < t.ctx.NPEs(); pe++ {
+		if t.state.Load(pe, 0) == 0 {
+			allDone = false
+		}
+		sent += t.state.Load(pe, 1)
+		recv += t.state.Load(pe, 2)
+	}
+	quiet := allDone && sent == recv
+	stable := t.lastOK && quiet && t.lastSum == [2]uint64{sent, recv}
+	t.lastOK = quiet
+	t.lastSum = [2]uint64{sent, recv}
+	return stable
+}

@@ -1,0 +1,172 @@
+// Package shmem provides an OpenSHMEM-style one-sided programming API over
+// the simulated fabric: symmetric arrays, blocking put/get, remote
+// atomics, barriers and reductions. The paper's baseline systems —
+// Exstack, Exstack2, Conveyors (C over OpenSHMEM) and Selectors (C++ over
+// OpenSHMEM) — are implemented on top of this package so that every
+// implementation in the Figs. 3–5 comparison pays the same network model.
+//
+// A shmem Ctx lives inside a Lamellar world (one per PE) but uses only
+// the fabric and team collectives, never the AM runtime, mirroring how
+// the original baselines sit directly on OpenSHMEM rather than on
+// Lamellar.
+package shmem
+
+import (
+	stdruntime "runtime"
+
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+	"repro/internal/serde"
+)
+
+// Ctx is one PE's SHMEM context.
+type Ctx struct {
+	w    *runtime.World
+	team *runtime.Team
+	prov *fabric.Provider
+}
+
+// New creates the calling PE's context for the given world.
+func New(w *runtime.World) *Ctx {
+	return &Ctx{w: w, team: w.Team(), prov: w.Provider()}
+}
+
+// MyPE reports the calling PE (shmem_my_pe).
+func (c *Ctx) MyPE() int { return c.w.MyPE() }
+
+// NPEs reports the world size (shmem_n_pes).
+func (c *Ctx) NPEs() int { return c.w.NumPEs() }
+
+// Barrier synchronizes all PEs (shmem_barrier_all).
+func (c *Ctx) Barrier() { c.prov.Barrier(c.w.MyPE()) }
+
+// SumU64 performs a long-sum reduction across all PEs.
+func (c *Ctx) SumU64(v uint64) uint64 { return c.team.SumU64(v) }
+
+// MaxU64 performs a long-max reduction across all PEs.
+func (c *Ctx) MaxU64(v uint64) uint64 { return c.team.MaxU64(v) }
+
+// World exposes the underlying world (for benchmark accounting).
+func (c *Ctx) World() *runtime.World { return c.w }
+
+// Sym is a symmetric array: n elements of T on every PE, remotely
+// addressable by (pe, offset) — the shmem symmetric heap object.
+type Sym[T serde.Number] struct {
+	ctx *Ctx
+	reg *fabric.TypedRegion[T]
+	n   int
+}
+
+// Alloc collectively allocates a symmetric array (shmem_malloc); all PEs
+// must call it in the same order.
+func Alloc[T serde.Number](c *Ctx, n int) *Sym[T] {
+	reg := c.team.CollectiveKind("shmem.alloc", func() any {
+		return fabric.AllocTyped[T](c.prov, n)
+	}).(*fabric.TypedRegion[T])
+	return &Sym[T]{ctx: c, reg: reg, n: n}
+}
+
+// Len reports the per-PE element count.
+func (s *Sym[T]) Len() int { return s.n }
+
+// Local returns the calling PE's slice of the symmetric array.
+func (s *Sym[T]) Local() []T { return s.reg.Local(s.ctx.MyPE()) }
+
+// Put blocks until vals are written to pe's array at off (shmem_put).
+func (s *Sym[T]) Put(pe, off int, vals []T) {
+	s.reg.Put(s.ctx.MyPE(), pe, off, vals)
+}
+
+// Get blocks until dst is filled from pe's array at off (shmem_get).
+func (s *Sym[T]) Get(pe, off int, dst []T) {
+	s.reg.Get(s.ctx.MyPE(), pe, off, dst)
+}
+
+// P writes one element (shmem_p).
+func (s *Sym[T]) P(pe, off int, v T) { s.Put(pe, off, []T{v}) }
+
+// G reads one element (shmem_g).
+func (s *Sym[T]) G(pe, off int) T {
+	var buf [1]T
+	s.Get(pe, off, buf[:])
+	return buf[0]
+}
+
+// View returns a context-free handle usable by another PE of the same
+// world (symmetric objects are shared; each PE should normally allocate
+// collectively and keep its own handle).
+func (s *Sym[T]) View(c *Ctx) *Sym[T] { return &Sym[T]{ctx: c, reg: s.reg, n: s.n} }
+
+// SymAtomic is a symmetric array of 64-bit words supporting remote atomic
+// operations (shmem_atomic_*). Backed by fabric control words; the handle
+// caches the segment so data-path operations skip the segment table.
+type SymAtomic struct {
+	ctx   *Ctx
+	words fabric.Words
+	n     int
+}
+
+// AllocAtomic collectively allocates n atomic words per PE.
+func AllocAtomic(c *Ctx, n int) *SymAtomic {
+	seg := c.team.CollectiveKind("shmem.allocAtomic", func() any {
+		return c.prov.AllocSegment(0, n)
+	}).(fabric.SegmentID)
+	return &SymAtomic{ctx: c, words: c.prov.Words(seg), n: n}
+}
+
+// Len reports the per-PE word count.
+func (a *SymAtomic) Len() int { return a.n }
+
+// FetchAdd atomically adds delta to pe's word idx, returning the previous
+// value (shmem_atomic_fetch_add).
+func (a *SymAtomic) FetchAdd(pe, idx int, delta uint64) uint64 {
+	return a.words.Add(a.ctx.MyPE(), pe, idx, delta) - delta
+}
+
+// Add atomically adds delta to pe's word idx (shmem_atomic_add).
+func (a *SymAtomic) Add(pe, idx int, delta uint64) {
+	a.words.Add(a.ctx.MyPE(), pe, idx, delta)
+}
+
+// CAS atomically compares-and-swaps pe's word idx (shmem_atomic_compare_swap).
+func (a *SymAtomic) CAS(pe, idx int, old, new uint64) bool {
+	return a.words.CAS(a.ctx.MyPE(), pe, idx, old, new)
+}
+
+// Load atomically reads pe's word idx (shmem_atomic_fetch).
+func (a *SymAtomic) Load(pe, idx int) uint64 {
+	return a.words.Load(a.ctx.MyPE(), pe, idx)
+}
+
+// Store atomically writes pe's word idx (shmem_atomic_set).
+func (a *SymAtomic) Store(pe, idx int, v uint64) {
+	a.words.Store(a.ctx.MyPE(), pe, idx, v)
+}
+
+// LocalLoad reads the calling PE's own word without network cost (a local
+// poll, as in shmem_wait_until).
+func (a *SymAtomic) LocalLoad(idx int) uint64 {
+	return a.words.LocalLoad(a.ctx.MyPE(), idx)
+}
+
+// LocalStore writes the calling PE's own word without network cost.
+func (a *SymAtomic) LocalStore(idx int, v uint64) {
+	a.words.LocalStore(a.ctx.MyPE(), idx, v)
+}
+
+// LocalAdd atomically adds to the calling PE's own word locally.
+func (a *SymAtomic) LocalAdd(idx int, delta uint64) uint64 {
+	return a.words.LocalAdd(a.ctx.MyPE(), idx, delta)
+}
+
+// WaitUntil polls the calling PE's own word until pred holds
+// (shmem_wait_until — a local memory poll, free of network cost).
+func (a *SymAtomic) WaitUntil(idx int, pred func(uint64) bool) uint64 {
+	for {
+		v := a.LocalLoad(idx)
+		if pred(v) {
+			return v
+		}
+		stdruntime.Gosched()
+	}
+}

@@ -1,0 +1,168 @@
+package shmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func runWorld(t *testing.T, pes int, fn func(c *Ctx)) {
+	t.Helper()
+	cfg := runtime.Config{PEs: pes, WorkersPerPE: 1, Lamellae: runtime.LamellaeShmem}
+	if err := runtime.Run(cfg, func(w *runtime.World) { fn(New(w)) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymPutGet(t *testing.T) {
+	runWorld(t, 3, func(c *Ctx) {
+		s := Alloc[uint64](c, 16)
+		// each PE writes its id into everyone's slot [mype]
+		for pe := 0; pe < c.NPEs(); pe++ {
+			s.P(pe, c.MyPE(), uint64(c.MyPE()+1))
+		}
+		c.Barrier()
+		local := s.Local()
+		for src := 0; src < c.NPEs(); src++ {
+			if local[src] != uint64(src+1) {
+				panic(fmt.Sprintf("PE%d: slot %d = %d", c.MyPE(), src, local[src]))
+			}
+		}
+		if v := s.G((c.MyPE()+1)%c.NPEs(), 0); v != 1 {
+			panic(fmt.Sprintf("G = %d", v))
+		}
+		c.Barrier()
+	})
+}
+
+func TestSymAtomic(t *testing.T) {
+	runWorld(t, 4, func(c *Ctx) {
+		a := AllocAtomic(c, 4)
+		// all PEs fetch-add on PE0's word 2
+		prev := a.FetchAdd(0, 2, 10)
+		if prev%10 != 0 || prev > 30 {
+			panic(fmt.Sprintf("prev = %d", prev))
+		}
+		c.Barrier()
+		if c.MyPE() == 0 {
+			if v := a.LocalLoad(2); v != 40 {
+				panic(fmt.Sprintf("total = %d", v))
+			}
+		}
+		c.Barrier()
+		// CAS contention: exactly one winner
+		won := a.CAS(0, 3, 0, uint64(c.MyPE()+100))
+		wins := c.SumU64(map[bool]uint64{true: 1, false: 0}[won])
+		if wins != 1 {
+			panic(fmt.Sprintf("CAS winners = %d", wins))
+		}
+		c.Barrier()
+	})
+}
+
+func TestWaitUntil(t *testing.T) {
+	runWorld(t, 2, func(c *Ctx) {
+		a := AllocAtomic(c, 1)
+		if c.MyPE() == 0 {
+			a.Store(1, 0, 99) // signal PE1
+		} else {
+			v := a.WaitUntil(0, func(v uint64) bool { return v == 99 })
+			if v != 99 {
+				panic("wait value wrong")
+			}
+		}
+		c.Barrier()
+	})
+}
+
+func TestMailboxRoundTrip(t *testing.T) {
+	runWorld(t, 4, func(c *Ctx) {
+		m := NewMailbox(c, 8)
+		c.Barrier()
+		// each PE sends one message to every other PE and polls until it
+		// has received npes-1 messages
+		got := map[int][]uint64{}
+		progress := func() {
+			m.Poll(func(src int, words []uint64) { got[src] = words })
+		}
+		for pe := 0; pe < c.NPEs(); pe++ {
+			if pe == c.MyPE() {
+				continue
+			}
+			m.SendBlocking(pe, []uint64{uint64(c.MyPE()), 42, uint64(pe)}, progress)
+		}
+		for len(got) < c.NPEs()-1 {
+			progress()
+		}
+		for src, words := range got {
+			if len(words) != 3 || words[0] != uint64(src) || words[1] != 42 || words[2] != uint64(c.MyPE()) {
+				panic(fmt.Sprintf("PE%d: from %d: %v", c.MyPE(), src, words))
+			}
+		}
+		c.Barrier()
+	})
+}
+
+func TestMailboxBackpressure(t *testing.T) {
+	runWorld(t, 2, func(c *Ctx) {
+		m := NewMailbox(c, 2)
+		c.Barrier()
+		if c.MyPE() == 0 {
+			if !m.TrySend(1, []uint64{1}) {
+				panic("first send should succeed")
+			}
+			if m.TrySend(1, []uint64{2}) {
+				panic("second send must fail until receiver polls")
+			}
+		}
+		c.Barrier()
+		if c.MyPE() == 1 {
+			var vals []uint64
+			m.Poll(func(src int, words []uint64) { vals = words })
+			if len(vals) != 1 || vals[0] != 1 {
+				panic(fmt.Sprintf("poll got %v", vals))
+			}
+		}
+		c.Barrier()
+		if c.MyPE() == 0 {
+			if !m.TrySend(1, []uint64{2}) {
+				panic("send after poll should succeed")
+			}
+		}
+		c.Barrier()
+	})
+}
+
+func TestTerminatorDetectsQuiescence(t *testing.T) {
+	runWorld(t, 4, func(c *Ctx) {
+		m := NewMailbox(c, 4)
+		term := NewTerminator(c)
+		c.Barrier()
+		// a small message storm with counted sends/receives
+		recvd := 0
+		progress := func() {
+			m.Poll(func(src int, words []uint64) {
+				recvd++
+				term.NoteRecv(1)
+			})
+		}
+		for i := 0; i < 10; i++ {
+			dst := (c.MyPE() + 1 + i) % c.NPEs()
+			if dst == c.MyPE() {
+				continue
+			}
+			m.SendBlocking(dst, []uint64{uint64(i)}, progress)
+			term.NoteSent(1)
+		}
+		term.SetDone(true)
+		for !term.GlobalQuiet() {
+			progress()
+		}
+		// no message may be outstanding now
+		if m.Poll(func(int, []uint64) {}) {
+			panic("message arrived after global quiescence")
+		}
+		c.Barrier()
+	})
+}

@@ -1,0 +1,252 @@
+// Package lamellar is the public API of the Go reproduction of
+// "Lamellar: A Rust-based Asynchronous Tasking and PGAS Runtime for High
+// Performance Computing" (SC 2024). It re-exports the user-facing surface
+// of the stack:
+//
+//   - Worlds, Teams, SPMD execution (Run / NewWorldBuilder)
+//   - Active Messages (RegisterAM, ExecAM*, WaitAll, Barrier, BlockOn)
+//   - Darcs — distributed atomic reference counting
+//   - Memory regions (Shared / OneSided) — the low-level "unsafe" tier
+//   - LamellarArrays (Unsafe / ReadOnly / Atomic / LocalLock) with batch
+//     element operations, iterators and reductions — the safe tier
+//
+// See the examples/ directory for runnable programs mirroring the paper's
+// listings, and cmd/lamellar-bench for the evaluation harness.
+package lamellar
+
+import (
+	"repro/internal/array"
+	"repro/internal/darc"
+	"repro/internal/fabric"
+	"repro/internal/memregion"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/serde"
+)
+
+// ----- runtime ---------------------------------------------------------
+
+// World is one PE's handle on the runtime (LamellarWorld).
+type World = runtime.World
+
+// Team is a subset of the world's PEs.
+type Team = runtime.Team
+
+// Config parameterizes a world.
+type Config = runtime.Config
+
+// Context is the execution environment passed to AM handlers.
+type Context = runtime.Context
+
+// ActiveMessage is the interface AM types implement.
+type ActiveMessage = runtime.ActiveMessage
+
+// WorldBuilder builds single-PE (SMP) worlds.
+type WorldBuilder = runtime.WorldBuilder
+
+// LamellaeKind selects a transport.
+type LamellaeKind = runtime.LamellaeKind
+
+// Transport selectors (§III-A).
+const (
+	// LamellaeSim is the ROFI-like simulated-fabric transport.
+	LamellaeSim = runtime.LamellaeSim
+	// LamellaeShmem is the shared-memory transport.
+	LamellaeShmem = runtime.LamellaeShmem
+	// LamellaeSMP is the single-PE transport.
+	LamellaeSMP = runtime.LamellaeSMP
+	// LamellaeTCP moves batches over real loopback TCP sockets.
+	LamellaeTCP = runtime.LamellaeTCP
+)
+
+// Run launches an SPMD world: fn runs once per PE.
+func Run(cfg Config, fn func(w *World)) error { return runtime.Run(cfg, fn) }
+
+// NewWorldBuilder starts a builder for a single-PE world (Listing 1's
+// LamellarWorldBuilder::new()).
+func NewWorldBuilder() *WorldBuilder { return runtime.NewWorldBuilder() }
+
+// RegisterAM registers an AM type with a hand-written codec (the stand-in
+// for the #[AmData]/#[am] procedural macros).
+func RegisterAM[T any](name string) { runtime.RegisterAM[T](name) }
+
+// RegisterAMGob registers an AM type using the gob fallback codec.
+func RegisterAMGob[T any](name string) { runtime.RegisterAMGob[T](name) }
+
+// BlockOn drives the executor until the future resolves (world.block_on).
+func BlockOn[T any](w *World, f *Future[T]) (T, error) { return runtime.BlockOn(w, f) }
+
+// ExecTyped launches an AM expecting a return value of type R.
+func ExecTyped[R any](w *World, pe int, am ActiveMessage) *Future[R] {
+	return runtime.ExecTyped[R](w, pe, am)
+}
+
+// ----- futures ---------------------------------------------------------
+
+// Future is the awaitable handle returned by asynchronous operations.
+type Future[T any] = scheduler.Future[T]
+
+// Spawn submits fn to the PE's pool and returns a Future for its result.
+func Spawn[T any](w *World, fn func() (T, error)) *Future[T] {
+	return scheduler.Spawn(w.Pool(), fn)
+}
+
+// ----- serialization ---------------------------------------------------
+
+// Encoder serializes AM payloads.
+type Encoder = serde.Encoder
+
+// Decoder deserializes AM payloads.
+type Decoder = serde.Decoder
+
+// Number is the element-type constraint of arrays and regions.
+type Number = serde.Number
+
+// ----- darc ------------------------------------------------------------
+
+// Darc is a distributed atomically reference counted pointer.
+type Darc[T any] = darc.Darc[T]
+
+// NewDarc collectively creates a Darc on team (§III-E).
+func NewDarc[T any](team *Team, item T, finalizer ...func(T)) *Darc[T] {
+	return darc.New(team, item, finalizer...)
+}
+
+// UnmarshalDarc reads a Darc handle inside an AM codec.
+func UnmarshalDarc[T any](dec *Decoder) (*Darc[T], error) { return darc.UnmarshalDarc[T](dec) }
+
+// ----- memory regions (low-level, "unsafe" tier) ------------------------
+
+// SharedMemoryRegion is a symmetric RDMA region (§III-D1).
+type SharedMemoryRegion[T Number] = memregion.Shared[T]
+
+// OneSidedMemoryRegion is a single-PE RDMA region (§III-D2).
+type OneSidedMemoryRegion[T Number] = memregion.OneSided[T]
+
+// NewSharedMemoryRegion collectively allocates elems elements per PE.
+// Unsafe tier: no protection against concurrent remote access.
+func NewSharedMemoryRegion[T Number](team *Team, elems int) *SharedMemoryRegion[T] {
+	w := team.World()
+	reg := team.CollectiveKind("lamellar.sharedRegion", func() any {
+		return fabric.AllocTyped[T](w.Provider(), elems)
+	}).(*fabric.TypedRegion[T])
+	return memregion.NewShared(w.Provider(), reg, w.MyPE())
+}
+
+// NewOneSidedMemoryRegion allocates elems elements owned by the caller.
+func NewOneSidedMemoryRegion[T Number](w *World, elems int) *OneSidedMemoryRegion[T] {
+	return memregion.NewOneSided[T](w.Provider(), w.MyPE(), elems)
+}
+
+// ----- arrays (safe tier) ------------------------------------------------
+
+// Distribution selects Block or Cyclic layout.
+type Distribution = array.Distribution
+
+// Data layouts.
+const (
+	// Block gives each PE one contiguous chunk.
+	Block = array.Block
+	// Cyclic deals elements round-robin.
+	Cyclic = array.Cyclic
+)
+
+// Op identifies an element-wise array operation.
+type Op = array.Op
+
+// UnsafeArray has no access control (runtime-internal tier).
+type UnsafeArray[T Number] = array.UnsafeArray[T]
+
+// ReadOnlyArray permits no writes.
+type ReadOnlyArray[T Number] = array.ReadOnlyArray[T]
+
+// AtomicArray guards every element with an atomic.
+type AtomicArray[T Number] = array.AtomicArray[T]
+
+// LocalLockArray guards each PE's chunk with one RwLock.
+type LocalLockArray[T Number] = array.LocalLockArray[T]
+
+// NewAtomicArray collectively constructs an AtomicArray (Listing 2).
+func NewAtomicArray[T Number](team *Team, glen int, dist Distribution) *AtomicArray[T] {
+	return array.NewAtomicArray[T](team, glen, dist)
+}
+
+// NewUnsafeArray collectively constructs an UnsafeArray.
+func NewUnsafeArray[T Number](team *Team, glen int, dist Distribution) *UnsafeArray[T] {
+	return array.NewUnsafeArray[T](team, glen, dist)
+}
+
+// NewReadOnlyArray collectively constructs a ReadOnlyArray.
+func NewReadOnlyArray[T Number](team *Team, glen int, dist Distribution) *ReadOnlyArray[T] {
+	return array.NewReadOnlyArray[T](team, glen, dist)
+}
+
+// NewLocalLockArray collectively constructs a LocalLockArray.
+func NewLocalLockArray[T Number](team *Team, glen int, dist Distribution) *LocalLockArray[T] {
+	return array.NewLocalLockArray[T](team, glen, dist)
+}
+
+// Iter is a lazy parallel iterator chain (DistIter / LocalIter).
+type Iter[T any] = array.Iter[T]
+
+// Indexed pairs an element with its global index (Enumerate).
+type Indexed[T any] = array.Indexed[T]
+
+// MapIter transforms iterator elements.
+func MapIter[T, U any](it *Iter[T], f func(T) U) *Iter[U] { return array.Map(it, f) }
+
+// FilterMapIter transforms and filters in one pass.
+func FilterMapIter[T, U any](it *Iter[T], f func(T) (U, bool)) *Iter[U] {
+	return array.FilterMap(it, f)
+}
+
+// Enumerate pairs elements with their indices.
+func Enumerate[T any](it *Iter[T]) *Iter[Indexed[T]] { return array.Enumerate(it) }
+
+// Element-wise operation codes for BatchOp* calls (§III-F3).
+const (
+	OpAdd   = array.OpAdd
+	OpSub   = array.OpSub
+	OpMul   = array.OpMul
+	OpDiv   = array.OpDiv
+	OpRem   = array.OpRem
+	OpAnd   = array.OpAnd
+	OpOr    = array.OpOr
+	OpXor   = array.OpXor
+	OpShl   = array.OpShl
+	OpShr   = array.OpShr
+	OpStore = array.OpStore
+	OpLoad  = array.OpLoad
+	OpSwap  = array.OpSwap
+	OpCAS   = array.OpCAS
+)
+
+// CASResult reports a compare-exchange outcome.
+type CASResult[T Number] = array.CASResult[T]
+
+// ZipIter pairs two parallel iterators position-wise.
+func ZipIter[A, B any](a *Iter[A], b *Iter[B]) *Iter[array.Pair[A, B]] { return array.Zip(a, b) }
+
+// ChunksIter groups consecutive iterator elements into buffers of size n.
+func ChunksIter[T any](it *Iter[T], n int) *Iter[[]T] { return array.Chunks(it, n) }
+
+// CollectArray collectively gathers a DistIter's surviving elements into a
+// fresh distributed ReadOnlyArray (the paper's collect).
+func CollectArray[T Number](it *Iter[T], anchor interface{ DistIter() *Iter[T] }, dist Distribution) *ReadOnlyArray[T] {
+	// anchor must be one of the four array kinds; dispatch through the
+	// internal interface.
+	type teamOwner interface{ DistIter() *Iter[T] }
+	_ = anchor.(teamOwner)
+	switch a := anchor.(type) {
+	case *UnsafeArray[T]:
+		return array.CollectArray(it, a, dist)
+	case *ReadOnlyArray[T]:
+		return array.CollectArray(it, a, dist)
+	case *AtomicArray[T]:
+		return array.CollectArray(it, a, dist)
+	case *LocalLockArray[T]:
+		return array.CollectArray(it, a, dist)
+	default:
+		panic("lamellar: CollectArray anchor must be a LamellarArray")
+	}
+}

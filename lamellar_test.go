@@ -1,0 +1,139 @@
+// Public-API tests: exercising the facade the examples use, including
+// memory regions traveling inside active messages.
+package lamellar_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	lamellar "repro"
+)
+
+// fillRegionAM receives a OneSided region and writes into the ORIGIN's
+// memory from the remote PE, then returns the origin-side length.
+type fillRegionAM struct {
+	Reg  *lamellar.OneSidedMemoryRegion[uint64]
+	Base uint64
+}
+
+func (a *fillRegionAM) MarshalLamellar(e *lamellar.Encoder) {
+	lamellar.MarshalOneSidedRegion(e, a.Reg)
+	e.PutUvarint(a.Base)
+}
+
+func (a *fillRegionAM) UnmarshalLamellar(d *lamellar.Decoder) error {
+	var err error
+	a.Reg, err = lamellar.UnmarshalOneSidedRegion[uint64](d)
+	if err != nil {
+		return err
+	}
+	a.Base = d.Uvarint()
+	return d.Err()
+}
+
+func (a *fillRegionAM) Exec(ctx *lamellar.Context) any {
+	// put from the executing PE into the origin's region
+	vals := make([]uint64, 4)
+	for i := range vals {
+		vals[i] = a.Base + uint64(i)
+	}
+	a.Reg.Put(0, vals)
+	return uint64(a.Reg.Len())
+}
+
+func init() {
+	lamellar.RegisterAM[fillRegionAM]("roottest.fillRegion")
+}
+
+func TestOneSidedRegionTravelsInAM(t *testing.T) {
+	cfg := lamellar.Config{PEs: 3, WorkersPerPE: 2, Lamellae: lamellar.LamellaeSim}
+	err := lamellar.Run(cfg, func(w *lamellar.World) {
+		if w.MyPE() == 0 {
+			reg := lamellar.NewOneSidedMemoryRegion[uint64](w, 16)
+			n, err := lamellar.BlockOn(w, lamellar.ExecTyped[uint64](w, 2, &fillRegionAM{Reg: reg, Base: 100}))
+			if err != nil {
+				panic(err)
+			}
+			if n != 16 {
+				panic(fmt.Sprintf("remote saw len %d", n))
+			}
+			// the remote wrote into MY memory
+			local := reg.Local()
+			for i := 0; i < 4; i++ {
+				if local[i] != 100+uint64(i) {
+					panic(fmt.Sprintf("local[%d] = %d", i, local[i]))
+				}
+			}
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionTicketSingleUse(t *testing.T) {
+	cfg := lamellar.Config{PEs: 2, WorkersPerPE: 1, Lamellae: lamellar.LamellaeShmem}
+	err := lamellar.Run(cfg, func(w *lamellar.World) {
+		if w.MyPE() == 0 {
+			reg := lamellar.NewOneSidedMemoryRegion[uint64](w, 4)
+			// two sends need two marshals (two tickets): both must work
+			f1 := lamellar.ExecTyped[uint64](w, 1, &fillRegionAM{Reg: reg, Base: 1})
+			f2 := lamellar.ExecTyped[uint64](w, 1, &fillRegionAM{Reg: reg, Base: 5})
+			if _, err := lamellar.BlockOn(w, f1); err != nil {
+				panic(err)
+			}
+			if _, err := lamellar.BlockOn(w, f2); err != nil {
+				panic(err)
+			}
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSharedRegionAndSpawn(t *testing.T) {
+	cfg := lamellar.Config{PEs: 2, WorkersPerPE: 2, Lamellae: lamellar.LamellaeShmem}
+	err := lamellar.Run(cfg, func(w *lamellar.World) {
+		sh := lamellar.NewSharedMemoryRegion[uint64](w.Team(), 8)
+		sh.Put((w.MyPE()+1)%2, 0, []uint64{uint64(w.MyPE() + 7)})
+		w.Barrier()
+		if got := sh.Local()[0]; got != uint64((w.MyPE()+1)%2+7) {
+			panic(fmt.Sprintf("PE%d shared[0] = %d", w.MyPE(), got))
+		}
+		// user futures on the PE's pool
+		f := lamellar.Spawn(w, func() (int, error) { return 6 * 7, nil })
+		if v, _ := lamellar.BlockOn(w, f); v != 42 {
+			panic("spawn result wrong")
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDarc(t *testing.T) {
+	cfg := lamellar.Config{PEs: 2, WorkersPerPE: 1, Lamellae: lamellar.LamellaeShmem}
+	var finalized atomic.Int64
+	err := lamellar.Run(cfg, func(w *lamellar.World) {
+		d := lamellar.NewDarc(w.Team(), new(atomic.Int64), func(*atomic.Int64) { finalized.Add(1) })
+		d.Get().Store(int64(w.MyPE()))
+		w.Barrier()
+		if d.Get().Load() != int64(w.MyPE()) {
+			panic("darc instance not independent")
+		}
+		w.Barrier()
+		d.Drop()
+		<-d.DroppedChan()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalized.Load() != 2 {
+		t.Errorf("finalizers = %d", finalized.Load())
+	}
+}

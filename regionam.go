@@ -1,0 +1,83 @@
+package lamellar
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memregion"
+	"repro/internal/runtime"
+)
+
+// Sending memory regions inside active messages (§III-D2: "OneSided
+// MemoryRegions are also specialized Darcs, so PEs can send them in
+// AMs"). A marshaled handle is a single-use ticket through a per-world
+// registry; the receiver obtains a view bound to its own PE whose
+// put/get still address the origin's memory. Lifetime is simpler than in
+// the paper: with all PEs in one process, reachability from any handle
+// keeps the region alive (the garbage collector plays the role of the
+// distributed reference count).
+
+type regionTicketRegistry struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64]any
+}
+
+func regionRegistryOf(w *World) *regionTicketRegistry {
+	return w.SharedExtState("lamellar.regionam", func() any {
+		return &regionTicketRegistry{m: make(map[uint64]any)}
+	}).(*regionTicketRegistry)
+}
+
+var regionTicketSeq atomic.Uint64
+
+func (r *regionTicketRegistry) put(v any) uint64 {
+	id := regionTicketSeq.Add(1)
+	r.mu.Lock()
+	r.m[id] = v
+	r.mu.Unlock()
+	return id
+}
+
+func (r *regionTicketRegistry) take(id uint64) (any, bool) {
+	r.mu.Lock()
+	v, ok := r.m[id]
+	delete(r.m, id)
+	r.mu.Unlock()
+	return v, ok
+}
+
+// MarshalOneSidedRegion embeds a OneSided region handle in an AM payload.
+// Call it from the AM's MarshalLamellar; each marshaled ticket is
+// consumed by exactly one UnmarshalOneSidedRegion on the destination.
+func MarshalOneSidedRegion[T Number](e *Encoder, o *OneSidedMemoryRegion[T]) {
+	w, ok := e.Ctx.(*runtime.World)
+	if !ok {
+		panic("lamellar: region marshaled outside an AM payload")
+	}
+	id := regionRegistryOf(w).put(o)
+	e.PutUvarint(id)
+}
+
+// UnmarshalOneSidedRegion reads a region handle on the destination PE,
+// returning a view bound to the executing PE.
+func UnmarshalOneSidedRegion[T Number](d *Decoder) (*OneSidedMemoryRegion[T], error) {
+	ctx, ok := d.Ctx.(*runtime.Context)
+	if !ok {
+		return nil, fmt.Errorf("lamellar: region unmarshaled outside an AM context")
+	}
+	id := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	v, found := regionRegistryOf(ctx.World).take(id)
+	if !found {
+		return nil, fmt.Errorf("lamellar: region ticket %d unknown or already consumed", id)
+	}
+	o, ok2 := v.(*memregion.OneSided[T])
+	if !ok2 {
+		return nil, fmt.Errorf("lamellar: region ticket %d has element type %T", id, v)
+	}
+	return o.View(ctx.World.MyPE()), nil
+}
