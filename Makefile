@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test race check bench agg-bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 gate: everything that must stay green before a change lands.
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Aggregated vs direct array-op micro-benchmarks (FIG2A companion).
+agg-bench:
+	$(GO) test -run xxx -bench 'AtomicOps' -benchmem -count=1 .

@@ -281,3 +281,46 @@ func BenchmarkAtomicArrayBatchAdd(b *testing.B) {
 	}
 	b.ReportMetric(4096*4, "updates/op")
 }
+
+// benchAtomicOps fires single-element fire-and-forget Adds at the remote
+// PE and quiesces with WaitAll, measuring the array op path end to end.
+// agg toggles the destination aggregation layer (ISSUE 1), isolating its
+// effect on wall time and allocations: aggregated ops share one buffered
+// AM per flush where the direct path pays an envelope per op.
+func benchAtomicOps(b *testing.B, agg bool) {
+	const tableLen = 8192
+	const opsPerIter = 2048
+	cfg := runtime.Config{PEs: 2, WorkersPerPE: 2, Lamellae: runtime.LamellaeSim}
+	if !agg {
+		cfg.AggBufSize = -1
+	}
+	err := runtime.Run(cfg, func(w *runtime.World) {
+		a := lamellar.NewAtomicArray[uint64](w.Team(), tableLen, lamellar.Block)
+		defer a.Drop()
+		if w.MyPE() == 0 {
+			rng := rand.New(rand.NewSource(7))
+			idxs := make([]int, opsPerIter)
+			for i := range idxs {
+				idxs[i] = tableLen/2 + rng.Intn(tableLen/2) // PE1's half
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, idx := range idxs {
+					a.Add(idx, 1)
+				}
+				w.WaitAll()
+			}
+			b.StopTimer()
+			b.ReportMetric(opsPerIter, "updates/op")
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAtomicOpsAggregated(b *testing.B) { benchAtomicOps(b, true) }
+
+func BenchmarkAtomicOpsDirect(b *testing.B) { benchAtomicOps(b, false) }

@@ -3,6 +3,7 @@
 // figure as an aligned table (and optional CSV):
 //
 //	lamellar-bench fig2          put-like bandwidth curves (Fig. 2)
+//	lamellar-bench fig2-agg      aggregated element-op bandwidth curves
 //	lamellar-bench fig3          Histogram MUPS scaling (Fig. 3)
 //	lamellar-bench fig4          IndexGather MUPS scaling (Fig. 4)
 //	lamellar-bench fig5          Randperm running time (Fig. 5)
@@ -96,6 +97,8 @@ func main() {
 			return bench.RunAblateRack(nil, p, os.Stdout)
 		case "fig2-get":
 			return bench.RunFig2Get(f2, os.Stdout)
+		case "fig2-agg":
+			return bench.RunFig2Agg(f2, os.Stdout)
 		default:
 			usage()
 			return fmt.Errorf("unknown subcommand %q", name)
@@ -104,7 +107,7 @@ func main() {
 
 	var err error
 	if cmd == "all" {
-		for _, name := range []string{"fig2", "fig2-get", "fig3", "fig4", "fig5", "ablate-agg", "ablate-batch", "ablate-pes", "ablate-rack"} {
+		for _, name := range []string{"fig2", "fig2-get", "fig2-agg", "fig3", "fig4", "fig5", "ablate-agg", "ablate-batch", "ablate-pes", "ablate-rack"} {
 			if err = run(name); err != nil {
 				break
 			}
@@ -147,6 +150,6 @@ func parseStrs(s string) []string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lamellar-bench <fig2|fig2-get|fig3|fig4|fig5|ablate-agg|ablate-batch|ablate-pes|ablate-rack|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: lamellar-bench <fig2|fig2-get|fig2-agg|fig3|fig4|fig5|ablate-agg|ablate-batch|ablate-pes|ablate-rack|all> [flags]
 run "lamellar-bench fig3 -h" for flags`)
 }

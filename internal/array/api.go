@@ -38,62 +38,62 @@ func (a *AtomicArray[T]) Drop() { a.c.drop() }
 
 // Add atomically adds v to the element at index i (array.add(i, v)).
 func (a *AtomicArray[T]) Add(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpAdd, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpAdd, false, i, v, zeroOf[T]())
 }
 
 // FetchAdd adds v and resolves with the previous value.
 func (a *AtomicArray[T]) FetchAdd(i int, v T) *scheduler.Future[T] {
-	return first(a.c.batchOp(OpAdd, true, []int{i}, []T{v}, nil))
+	return first(a.c.singleOp(OpAdd, true, i, v, zeroOf[T]()))
 }
 
 // Sub atomically subtracts.
 func (a *AtomicArray[T]) Sub(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpSub, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpSub, false, i, v, zeroOf[T]())
 }
 
 // Mul atomically multiplies.
 func (a *AtomicArray[T]) Mul(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpMul, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpMul, false, i, v, zeroOf[T]())
 }
 
 // Div atomically divides.
 func (a *AtomicArray[T]) Div(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpDiv, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpDiv, false, i, v, zeroOf[T]())
 }
 
 // And/Or/Xor/Shl/Shr perform atomic bitwise updates.
 func (a *AtomicArray[T]) And(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpAnd, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpAnd, false, i, v, zeroOf[T]())
 }
 
 // Or performs an atomic bitwise or.
 func (a *AtomicArray[T]) Or(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpOr, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpOr, false, i, v, zeroOf[T]())
 }
 
 // Xor performs an atomic bitwise xor.
 func (a *AtomicArray[T]) Xor(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpXor, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpXor, false, i, v, zeroOf[T]())
 }
 
 // Store atomically writes v at index i.
 func (a *AtomicArray[T]) Store(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpStore, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpStore, false, i, v, zeroOf[T]())
 }
 
 // Load atomically reads index i.
 func (a *AtomicArray[T]) Load(i int) *scheduler.Future[T] {
-	return first(a.c.batchOp(OpLoad, true, []int{i}, nil, nil))
+	return first(a.c.singleOp(OpLoad, true, i, zeroOf[T](), zeroOf[T]()))
 }
 
 // Swap atomically replaces index i with v, resolving with the old value.
 func (a *AtomicArray[T]) Swap(i int, v T) *scheduler.Future[T] {
-	return first(a.c.batchOp(OpSwap, true, []int{i}, []T{v}, nil))
+	return first(a.c.singleOp(OpSwap, true, i, v, zeroOf[T]()))
 }
 
 // CompareExchange stores new at i iff the current value equals old.
 func (a *AtomicArray[T]) CompareExchange(i int, old, new T) *scheduler.Future[CASResult[T]] {
-	f := a.c.batchOp(OpCAS, true, []int{i}, []T{new}, []T{old})
+	f := a.c.singleOp(OpCAS, true, i, new, old)
 	return scheduler.Map(f, func(prev []T) CASResult[T] {
 		return CASResult[T]{Prev: prev[0], OK: prev[0] == old}
 	})
@@ -164,6 +164,11 @@ func (a *AtomicArray[T]) Get(start, n int) *scheduler.Future[[]T] {
 	return a.c.getRange(start, n)
 }
 
+// FlushBatches drains this PE's aggregation buffers for the array,
+// dispatching every buffered element op immediately instead of waiting
+// for a threshold, a future await, or the next runtime flush cycle.
+func (a *AtomicArray[T]) FlushBatches() { a.c.flushAgg() }
+
 // Sum launches one-sided local reductions and resolves with the total.
 func (a *AtomicArray[T]) Sum() *scheduler.Future[T] { return a.c.reduce(ReduceSum) }
 
@@ -205,7 +210,7 @@ func (a *ReadOnlyArray[T]) Drop() { a.c.drop() }
 
 // Load reads index i via the owner.
 func (a *ReadOnlyArray[T]) Load(i int) *scheduler.Future[T] {
-	return first(a.c.batchOp(OpLoad, true, []int{i}, nil, nil))
+	return first(a.c.singleOp(OpLoad, true, i, zeroOf[T](), zeroOf[T]()))
 }
 
 // BatchLoad reads every index via owner-side AMs (the IndexGather kernel).
@@ -289,6 +294,10 @@ func (a *LocalLockArray[T]) Get(start, n int) *scheduler.Future[[]T] {
 
 // Sum reduces with addition.
 func (a *LocalLockArray[T]) Sum() *scheduler.Future[T] { return a.c.reduce(ReduceSum) }
+
+// FlushBatches drains this PE's aggregation buffers for the array (see
+// AtomicArray.FlushBatches).
+func (a *LocalLockArray[T]) FlushBatches() { a.c.flushAgg() }
 
 // Min reduces to the minimum element.
 func (a *LocalLockArray[T]) Min() *scheduler.Future[T] { return a.c.reduce(ReduceMin) }
@@ -375,6 +384,10 @@ func (a *UnsafeArray[T]) GetUnchecked(start, n int) []T {
 // Sum reduces with addition.
 func (a *UnsafeArray[T]) Sum() *scheduler.Future[T] { return a.c.reduce(ReduceSum) }
 
+// FlushBatches drains this PE's aggregation buffers for the array (see
+// AtomicArray.FlushBatches).
+func (a *UnsafeArray[T]) FlushBatches() { a.c.flushAgg() }
+
 // Min reduces to the minimum element.
 func (a *UnsafeArray[T]) Min() *scheduler.Future[T] { return a.c.reduce(ReduceMin) }
 
@@ -399,28 +412,28 @@ func first[T serde.Number](f *scheduler.Future[[]T]) *scheduler.Future[T] {
 
 // Shl atomically shifts the element left by v bits.
 func (a *AtomicArray[T]) Shl(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpShl, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpShl, false, i, v, zeroOf[T]())
 }
 
 // Shr atomically shifts the element right by v bits.
 func (a *AtomicArray[T]) Shr(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpShr, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpShr, false, i, v, zeroOf[T]())
 }
 
 // Rem atomically replaces the element with its remainder mod v.
 func (a *AtomicArray[T]) Rem(i int, v T) *scheduler.Future[[]T] {
-	return a.c.batchOp(OpRem, false, []int{i}, []T{v}, nil)
+	return a.c.singleOp(OpRem, false, i, v, zeroOf[T]())
 }
 
 // FetchOp applies op at index i and resolves with the previous value (the
 // generic fetch variant; FetchAdd etc. are the common special cases).
 func (a *AtomicArray[T]) FetchOp(op Op, i int, v T) *scheduler.Future[T] {
-	return first(a.c.batchOp(op, true, []int{i}, []T{v}, nil))
+	return first(a.c.singleOp(op, true, i, v, zeroOf[T]()))
 }
 
 // FetchSub subtracts and resolves with the previous value.
 func (a *AtomicArray[T]) FetchSub(i int, v T) *scheduler.Future[T] {
-	return first(a.c.batchOp(OpSub, true, []int{i}, []T{v}, nil))
+	return first(a.c.singleOp(OpSub, true, i, v, zeroOf[T]()))
 }
 
 // BatchOpVals on LocalLockArray — one-to-one batch under the owner locks.

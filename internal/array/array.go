@@ -54,6 +54,11 @@ type sharedState[T serde.Number] struct {
 	elocks  [][]atomic.Uint32 // GenericAtomicArray: per-element spinlocks
 	native  bool              // NativeAtomicArray eligibility for T
 
+	// per-origin-PE operation aggregation buffers (see agg.go); aggPtrs is
+	// indexed by world PE and read lock-free on the submission hot path
+	aggMu   sync.Mutex
+	aggPtrs []atomic.Pointer[aggregator[T]]
+
 	freeOnce sync.Once
 }
 
@@ -120,6 +125,7 @@ func newCore[T serde.Number](team *runtime.Team, glen int, dist Distribution, ki
 		for r, pe := range team.Members() {
 			s.ranks[pe] = r
 		}
+		s.aggPtrs = make([]atomic.Pointer[aggregator[T]], w.NumPEs())
 		s.rwLocks = make([]*sync.RWMutex, team.Size())
 		s.elocks = make([][]atomic.Uint32, team.Size())
 		for r := range s.rwLocks {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	stdruntime "runtime"
 
@@ -218,10 +219,21 @@ func nativeApply[T serde.Number](op Op, p *T, v, casOld T) (prev T) {
 	}
 }
 
-// spin locks for GenericAtomicArray elements.
+// spin locks for GenericAtomicArray elements. Contended acquisition backs
+// off exponentially: yield-only spinning first (the common, short critical
+// sections), then progressively longer sleeps so a pile-up on one hot
+// element stops burning whole cores.
 func lockElem(l *atomic.Uint32) {
-	for !l.CompareAndSwap(0, 1) {
-		stdruntime.Gosched()
+	for spins := 0; !l.CompareAndSwap(0, 1); spins++ {
+		if spins < 8 {
+			stdruntime.Gosched()
+			continue
+		}
+		backoff := spins - 8
+		if backoff > 6 {
+			backoff = 6
+		}
+		time.Sleep((1 << backoff) * time.Microsecond) // 1µs .. 64µs
 	}
 }
 
@@ -573,6 +585,7 @@ func u64ToInts(xs []uint64) []int {
 func RegisterElemType[T serde.Number](name string) {
 	serde.RegisterNumeric[T]("array.num." + name)
 	runtime.RegisterAM[opAM[T]]("array.op." + name)
+	runtime.RegisterAM[aggAM[T]]("array.agg." + name)
 	runtime.RegisterAM[rangePutAM[T]]("array.rput." + name)
 	runtime.RegisterAM[rangeGetAM[T]]("array.rget." + name)
 	runtime.RegisterAM[reduceAM[T]]("array.reduce." + name)
@@ -618,11 +631,21 @@ func (c *core[T]) batchOp(op Op, fetch bool, idxs []int, vals, casOld []T) *sche
 	if op == OpCAS && len(casOld) > 1 && len(casOld) != len(idxs) {
 		panic("array: CAS old-value count mismatch")
 	}
-	needOut := fetch || op == OpLoad || op == OpSwap || op == OpCAS
-	promise, future := scheduler.NewPromise[[]T](c.w.Pool())
 	if len(idxs) == 0 {
+		promise, future := scheduler.NewPromise[[]T](c.w.Pool())
 		promise.Complete(nil)
 		return future
+	}
+	if c.w.Config().AggBufSize >= 0 {
+		// Aggregated path: coalesce into per-destination buffers.
+		return c.aggSubmit(op, fetch, idxs, vals, casOld)
+	}
+	needOut := fetch || op == OpLoad || op == OpSwap || op == OpCAS
+	var out []T
+	var valueFn func() []T
+	if needOut {
+		out = make([]T, len(idxs))
+		valueFn = func() []T { return out }
 	}
 
 	type chunk struct {
@@ -657,26 +680,7 @@ func (c *core[T]) batchOp(op Op, fetch bool, idxs []int, vals, casOld []T) *sche
 		}
 	}
 
-	var out []T
-	if needOut {
-		out = make([]T, len(idxs))
-	}
-	var pending atomic.Int64
-	pending.Store(int64(len(chunks)))
-	var firstErr atomic.Pointer[error]
-	done := func(err error) {
-		if err != nil {
-			firstErr.CompareAndSwap(nil, &err)
-		}
-		if pending.Add(-1) == 0 {
-			if ep := firstErr.Load(); ep != nil {
-				promise.CompleteErr(*ep)
-			} else {
-				promise.Complete(out)
-			}
-		}
-	}
-
+	cd, future := scheduler.NewCountdown(c.w.Pool(), len(chunks), valueFn)
 	for _, ch := range chunks {
 		ch := ch
 		cvals := ch.vals
@@ -697,7 +701,7 @@ func (c *core[T]) batchOp(op Op, fetch bool, idxs []int, vals, casOld []T) *sche
 						out[p] = res[i]
 					}
 				}
-				done(err)
+				cd.Done(err)
 			})
 			continue
 		}
@@ -708,7 +712,7 @@ func (c *core[T]) batchOp(op Op, fetch bool, idxs []int, vals, casOld []T) *sche
 					out[p] = res[i]
 				}
 			}
-			done(err)
+			cd.Done(err)
 		})
 	}
 	return future

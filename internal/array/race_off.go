@@ -1,0 +1,10 @@
+//go:build !race
+
+package array
+
+// raceDetectorEnabled reports whether this binary was built with the Go
+// race detector. The store run kernels in agg.go branch on it: plain
+// word-sized stores honor the atomicity contract on every Go platform,
+// but the race detector models them as data races against atomic
+// readers, so race builds keep sync/atomic stores.
+const raceDetectorEnabled = false

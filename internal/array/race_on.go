@@ -1,0 +1,6 @@
+//go:build race
+
+package array
+
+// See race_off.go.
+const raceDetectorEnabled = true

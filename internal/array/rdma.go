@@ -16,8 +16,8 @@ import (
 // putRange writes vals at view-relative index start, splitting the run by
 // owning PE and dispatching owner-side range-put AMs.
 func (c *core[T]) putRange(start int, vals []T) *scheduler.Future[struct{}] {
-	promise, future := scheduler.NewPromise[struct{}](c.w.Pool())
 	if len(vals) == 0 {
+		promise, future := scheduler.NewPromise[struct{}](c.w.Pool())
 		promise.Complete(struct{}{})
 		return future
 	}
@@ -32,33 +32,19 @@ func (c *core[T]) putRange(start int, vals []T) *scheduler.Future[struct{}] {
 	c.st.geom.blockRanges(g, len(vals), func(rank, local, gIdx, runLen int) {
 		runs = append(runs, run{rank, local, gIdx - g, runLen})
 	})
-	var pending atomic.Int64
-	pending.Store(int64(len(runs)))
-	var firstErr atomic.Pointer[error]
-	done := func(err error) {
-		if err != nil {
-			firstErr.CompareAndSwap(nil, &err)
-		}
-		if pending.Add(-1) == 0 {
-			if ep := firstErr.Load(); ep != nil {
-				promise.CompleteErr(*ep)
-			} else {
-				promise.Complete(struct{}{})
-			}
-		}
-	}
+	cd, future := scheduler.NewCountdown[struct{}](c.w.Pool(), len(runs), nil)
 	for _, r := range runs {
 		r := r
 		destPE := c.team.WorldPE(r.rank)
 		seg := vals[r.off : r.off+r.n]
 		if destPE == c.w.MyPE() {
 			c.w.Pool().Submit(func() {
-				done(c.st.applyRange(destPE, r.rank, r.local, seg))
+				cd.Done(c.st.applyRange(destPE, r.rank, r.local, seg))
 			})
 			continue
 		}
 		am := &rangePutAM[T]{ID: c.st.id, Start: r.local, Vals: seg}
-		c.w.ExecAMReturn(destPE, am).OnDone(func(_ any, err error) { done(err) })
+		c.w.ExecAMReturn(destPE, am).OnDone(func(_ any, err error) { cd.Done(err) })
 	}
 	return future
 }
@@ -66,8 +52,8 @@ func (c *core[T]) putRange(start int, vals []T) *scheduler.Future[struct{}] {
 // getRange reads n elements at view-relative index start via owner-side
 // range-get AMs, preserving order.
 func (c *core[T]) getRange(start, n int) *scheduler.Future[[]T] {
-	promise, future := scheduler.NewPromise[[]T](c.w.Pool())
 	if n == 0 {
+		promise, future := scheduler.NewPromise[[]T](c.w.Pool())
 		promise.Complete(nil)
 		return future
 	}
@@ -83,21 +69,7 @@ func (c *core[T]) getRange(start, n int) *scheduler.Future[[]T] {
 	c.st.geom.blockRanges(g, n, func(rank, local, gIdx, runLen int) {
 		runs = append(runs, run{rank, local, gIdx - g, runLen})
 	})
-	var pending atomic.Int64
-	pending.Store(int64(len(runs)))
-	var firstErr atomic.Pointer[error]
-	done := func(err error) {
-		if err != nil {
-			firstErr.CompareAndSwap(nil, &err)
-		}
-		if pending.Add(-1) == 0 {
-			if ep := firstErr.Load(); ep != nil {
-				promise.CompleteErr(*ep)
-			} else {
-				promise.Complete(out)
-			}
-		}
-	}
+	cd, future := scheduler.NewCountdown(c.w.Pool(), len(runs), func() []T { return out })
 	for _, r := range runs {
 		r := r
 		destPE := c.team.WorldPE(r.rank)
@@ -107,7 +79,7 @@ func (c *core[T]) getRange(start, n int) *scheduler.Future[[]T] {
 				if err == nil {
 					copy(out[r.off:], vals)
 				}
-				done(err)
+				cd.Done(err)
 			})
 			continue
 		}
@@ -116,7 +88,7 @@ func (c *core[T]) getRange(start, n int) *scheduler.Future[[]T] {
 			if err == nil {
 				copy(out[r.off:], vals)
 			}
-			done(err)
+			cd.Done(err)
 		})
 	}
 	return future

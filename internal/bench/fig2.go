@@ -2,6 +2,7 @@ package bench
 
 import (
 	stdruntime "runtime"
+	"runtime/debug"
 
 	"fmt"
 	"io"
@@ -193,6 +194,152 @@ func RunFig2(cfg Fig2Config, out io.Writer) error {
 					buf := []uint8{}
 					for rep := 0; rep < 3; rep++ {
 						m.run(w, size, 0, buf)
+						w.Barrier()
+						w.Barrier()
+					}
+				}
+				w.Barrier()
+			}
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			table.Add(fmt.Sprintf("%d", r.size), m.name, r.mbs)
+		}
+	}
+	table.Render(out)
+	if cfg.CSV {
+		table.RenderCSV(out)
+	}
+	return nil
+}
+
+// RunFig2Agg produces the aggregated element-op bandwidth table: each
+// transfer is one BatchOpVals(OpStore) call over `size/8` contiguous
+// uint64 elements of the remote PE's half, fired without awaiting so the
+// array-op aggregation layer coalesces calls into per-destination
+// batches (WaitAll drains at the end of each sample). The noagg series
+// runs the identical op stream with aggregation disabled (AggBufSize
+// -1), isolating the layer's contribution; the seed FIG2 `atomic` curve
+// (per-element stores via Put) is the pre-aggregation baseline.
+func RunFig2Agg(cfg Fig2Config, out io.Writer) error {
+	if len(cfg.Sizes) == 0 {
+		// uint64 ops: start at two elements, sweep to 16 MiB batches,
+		// covering every seed-table 64 KiB+ row for direct comparison.
+		for s := 16; s <= 16<<20; s *= 4 {
+			cfg.Sizes = append(cfg.Sizes, s)
+		}
+	}
+	if cfg.TotalBytesPerSize <= 0 {
+		cfg.TotalBytesPerSize = 16 << 20
+	}
+	if cfg.MaxTransfers <= 0 {
+		cfg.MaxTransfers = 4096
+	}
+	maxSize := 0
+	for _, s := range cfg.Sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	maxElems := maxSize / 8
+
+	// The metric charges process-wide CPU, and the top sizes allocate
+	// tens of MB per transfer (receive buffers, over-cap encoders), so
+	// GC assists inside a timed rep would show up as lost bandwidth.
+	// Relax the pacer for the sweep; the explicit GC between reps keeps
+	// the heap bounded.
+	oldGC := debug.SetGCPercent(800)
+	defer debug.SetGCPercent(oldGC)
+
+	methods := []struct {
+		name  string
+		kind  string
+		noagg bool
+	}{
+		{"atomic-agg", "atomic", false},
+		{"atomic-noagg", "atomic", true},
+		{"locallock-agg", "locallock", false},
+		{"unsafe-agg", "unsafe", false},
+	}
+	table := NewTable("FIG2-AGG aggregated element-op bandwidth", "size_bytes", "MB/s")
+	for _, m := range methods {
+		m := m
+		rcfg := runtime.Config{
+			PEs:          2,
+			WorkersPerPE: 4,
+			Lamellae:     runtime.LamellaeSim,
+			// Generous staging so the largest aggregated payload still fits
+			// in one fragment (the sim fragments at a quarter of the heap);
+			// reassembly would add a full extra copy pass at the top sizes.
+			StagingBytes: 8*maxSize + (1 << 20),
+		}
+		if m.noagg {
+			rcfg.AggBufSize = -1
+		}
+		var results []struct {
+			size int
+			mbs  float64
+		}
+		err := runtime.Run(rcfg, func(w *runtime.World) {
+			// Collective construction: both PEs build the same array, then
+			// PE0 stores into PE1's half.
+			var batch func(idxs []int, vals []uint64)
+			var drop func()
+			switch m.kind {
+			case "atomic":
+				a := array.NewAtomicArray[uint64](w.Team(), 2*maxElems, array.Block)
+				batch = func(idxs []int, vals []uint64) { a.BatchOpVals(array.OpStore, idxs, vals) }
+				drop = a.Drop
+			case "locallock":
+				a := array.NewLocalLockArray[uint64](w.Team(), 2*maxElems, array.Block)
+				batch = func(idxs []int, vals []uint64) { a.BatchOpVals(array.OpStore, idxs, vals) }
+				drop = a.Drop
+			case "unsafe":
+				a := array.NewUnsafeArray[uint64](w.Team(), 2*maxElems, array.Block)
+				batch = func(idxs []int, vals []uint64) { a.BatchOpVals(array.OpStore, idxs, vals) }
+				drop = a.Drop
+			}
+			defer drop()
+			for _, size := range cfg.Sizes {
+				elems := size / 8
+				n := cfg.TotalBytesPerSize / size
+				if n > cfg.MaxTransfers {
+					n = cfg.MaxTransfers
+				}
+				if n < 2 {
+					n = 2
+				}
+				w.Barrier()
+				if w.MyPE() == 0 {
+					idxs := make([]int, elems)
+					vals := make([]uint64, elems)
+					for i := range idxs {
+						idxs[i] = maxElems + i
+						vals[i] = uint64(i)
+					}
+					best := 0.0
+					for rep := 0; rep < 5; rep++ {
+						stdruntime.GC()
+						start := Take(w.Provider())
+						for i := 0; i < n; i++ {
+							batch(idxs, vals)
+						}
+						w.WaitAll()
+						w.Barrier()
+						win := Since(w.Provider(), start)
+						if mbs := win.BandwidthMBs(uint64(n * size)); mbs > best {
+							best = mbs
+						}
+						w.Barrier()
+					}
+					results = append(results, struct {
+						size int
+						mbs  float64
+					}{size, best})
+				} else {
+					for rep := 0; rep < 5; rep++ {
 						w.Barrier()
 						w.Barrier()
 					}

@@ -1,13 +1,39 @@
 package runtime
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/scheduler"
 	"repro/internal/serde"
 )
+
+// encPool recycles envelope body encoders on the launch/return/ack hot
+// path; enqueue copies the body into the destination queue, so the
+// encoder goes straight back to the pool after the call.
+var encPool = sync.Pool{New: func() any { return serde.NewEncoder(256) }}
+
+// maxPooledEncoderBytes bounds retained capacity so a one-off huge
+// payload does not pin memory in a pool or queue spare.
+const maxPooledEncoderBytes = 1 << 20
+
+func getEncoder(w *World) *serde.Encoder {
+	e := encPool.Get().(*serde.Encoder)
+	e.Reset()
+	e.Ctx = w
+	return e
+}
+
+func putEncoder(e *serde.Encoder) {
+	if e.Cap() > maxPooledEncoderBytes {
+		return
+	}
+	e.Ctx = nil
+	encPool.Put(e)
+}
 
 // ActiveMessage is the interface user AM types implement — the analogue of
 // the paper's LamellarAM trait with `async fn exec(self)`. Exec runs on
@@ -136,14 +162,43 @@ func (w *World) launch(pe int, am ActiveMessage, req uint64) {
 		})
 		return
 	}
-	body := serde.NewEncoder(128)
-	body.Ctx = w
-	body.PutU8(envExec)
-	body.PutUvarint(req)
-	if err := serde.EncodeAny(body, am); err != nil {
+	w.enqueueAM(pe, req, am)
+}
+
+// enqueueAM encodes an exec envelope directly into pe's aggregation
+// queue, skipping the intermediate body encoder and its extra copy —
+// significant for multi-megabyte aggregated array payloads. The length
+// prefix is fixed-width so it can be patched once the body size is known.
+func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
+	w.envSent.Add(1)
+	q := w.queues[pe]
+	cfg := w.env.cfg
+	q.mu.Lock()
+	mark := q.enc.Len()
+	q.enc.PutU32(0) // body length, patched below
+	q.enc.Align(8)
+	bodyStart := q.enc.Len()
+	q.enc.PutU8(envExec)
+	q.enc.PutUvarint(req)
+	q.enc.Ctx = w
+	if err := serde.EncodeAny(q.enc, am); err != nil {
+		q.mu.Unlock()
 		panic(fmt.Sprintf("runtime: AM type not registered: %v", err))
 	}
-	w.enqueue(pe, body.Bytes())
+	binary.LittleEndian.PutUint32(q.enc.Bytes()[mark:], uint32(q.enc.Len()-bodyStart))
+	q.count++
+	full := q.enc.Len() >= cfg.AggThresholdBytes || (cfg.AggMaxOps > 0 && q.count >= cfg.AggMaxOps)
+	var out *serde.Encoder
+	if full {
+		out = q.enc
+		q.enc = q.takeSpareLocked()
+		q.count = 0
+	}
+	q.mu.Unlock()
+	if full {
+		w.env.lam.send(w.pe, pe, out.Bytes())
+		q.putSpare(out)
+	}
 }
 
 // runHandler executes an AM with panic containment, converting panics to
@@ -191,19 +246,24 @@ func (w *World) enqueue(dst int, body []byte) {
 	q := w.queues[dst]
 	cfg := w.env.cfg
 	q.mu.Lock()
-	q.enc.PutUvarint(uint64(len(body)))
+	// Envelope bodies start 8-aligned in the batch so numeric payloads
+	// inside them can be aliased (not copied) on the receiving side; the
+	// fixed-width length prefix keeps framing identical to enqueueAM.
+	q.enc.PutU32(uint32(len(body)))
+	q.enc.Align(8)
 	q.enc.PutRawBytes(body)
 	q.count++
 	full := q.enc.Len() >= cfg.AggThresholdBytes || (cfg.AggMaxOps > 0 && q.count >= cfg.AggMaxOps)
-	var out []byte
+	var out *serde.Encoder
 	if full {
-		out = q.enc.Bytes()
-		q.enc = serde.NewEncoder(4096)
+		out = q.enc
+		q.enc = q.takeSpareLocked()
 		q.count = 0
 	}
 	q.mu.Unlock()
 	if full {
-		w.env.lam.send(w.pe, dst, out)
+		w.env.lam.send(w.pe, dst, out.Bytes())
+		q.putSpare(out)
 	}
 }
 
@@ -211,15 +271,17 @@ func (w *World) enqueue(dst int, body []byte) {
 func (w *World) flush(dst int) {
 	if acks := w.pendingAcks[dst].Swap(0); acks > 0 {
 		w.envSent.Add(1)
-		body := serde.NewEncoder(16)
+		body := getEncoder(w)
 		body.PutU8(envAck)
 		body.PutUvarint(acks)
 		q := w.queues[dst]
 		q.mu.Lock()
-		q.enc.PutUvarint(uint64(body.Len()))
+		q.enc.PutU32(uint32(body.Len()))
+		q.enc.Align(8)
 		q.enc.PutRawBytes(body.Bytes())
 		q.count++
 		q.mu.Unlock()
+		putEncoder(body)
 	}
 	q := w.queues[dst]
 	q.mu.Lock()
@@ -227,15 +289,18 @@ func (w *World) flush(dst int) {
 		q.mu.Unlock()
 		return
 	}
-	out := q.enc.Bytes()
-	q.enc = serde.NewEncoder(4096)
+	out := q.enc
+	q.enc = q.takeSpareLocked()
 	q.count = 0
 	q.mu.Unlock()
-	w.env.lam.send(w.pe, dst, out)
+	w.env.lam.send(w.pe, dst, out.Bytes())
+	q.putSpare(out)
 }
 
-// flushAll drains every destination queue.
+// flushAll drains every destination queue, first letting higher layers
+// (the array-op aggregation buffers) drain into the queues.
 func (w *World) flushAll() {
+	w.runFlushHooks()
 	for dst := 0; dst < w.NumPEs(); dst++ {
 		if dst == w.pe {
 			continue
@@ -267,7 +332,8 @@ func (w *World) receiveBatch(src int, batch []byte) {
 	w.pool.SubmitGlobal(func() {
 		dec := serde.NewDecoder(batch)
 		for dec.Remaining() > 0 {
-			n := dec.Uvarint()
+			n := dec.U32()
+			dec.Align(8)
 			body := dec.RawBytes(int(n))
 			if dec.Err() != nil {
 				fmt.Printf("lamellar: PE%d: corrupt batch from PE%d: %v\n", w.pe, src, dec.Err())
@@ -326,8 +392,7 @@ func (w *World) handleEnvelope(src int, body []byte) {
 // to src and, when requested, sends the return value (or error) back.
 func (w *World) finishRemote(src int, req uint64, v any, err error) {
 	if req != 0 {
-		body := serde.NewEncoder(64)
-		body.Ctx = w
+		body := getEncoder(w)
 		body.PutU8(envReturn)
 		body.PutUvarint(req)
 		if err != nil {
@@ -344,6 +409,7 @@ func (w *World) finishRemote(src int, req uint64, v any, err error) {
 			}
 		}
 		w.enqueue(src, body.Bytes())
+		putEncoder(body)
 	}
 	w.pendingAcks[src].Add(1)
 	w.envProcessed.Add(1)

@@ -68,6 +68,17 @@ type Config struct {
 	// array layer splits batched element operations by destination (the
 	// BALE experiments limit aggregation to 10 000 operations).
 	ArrayBatchSize int
+	// AggBufSize is the array layer's per-destination operation
+	// aggregation buffer size in estimated payload bytes: element ops on
+	// AtomicArray/LocalLockArray/UnsafeArray coalesce per destination and
+	// the buffer flushes once it crosses this. 0 selects the default
+	// (128 KiB); negative disables array-op aggregation entirely (every
+	// batch dispatches directly, the pre-aggregation behavior).
+	AggBufSize int
+	// AggFlushOps flushes an array-op aggregation buffer once it holds
+	// this many element operations regardless of payload size, bounding
+	// buffered-op latency for tiny-payload mixes. Default 8192.
+	AggFlushOps int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +121,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ArrayBatchSize <= 0 {
 		c.ArrayBatchSize = 10_000
+	}
+	if c.AggBufSize == 0 {
+		c.AggBufSize = 128 << 10
+	}
+	if c.AggFlushOps <= 0 {
+		c.AggFlushOps = 8192
 	}
 	return c
 }

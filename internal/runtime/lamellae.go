@@ -14,7 +14,9 @@ import (
 // (the paper's Lamellae Trait). Implementations move opaque byte batches
 // from PE to PE and invoke the delivery callback on the destination.
 type lamellae interface {
-	// send delivers msg to dst asynchronously. The callee owns msg.
+	// send delivers msg to dst asynchronously. msg is only valid for the
+	// duration of the call: implementations must copy or fully consume it
+	// before returning, because the runtime recycles batch buffers.
 	send(src, dst int, msg []byte)
 	// close stops progress engines after the world quiesces.
 	close()
@@ -321,7 +323,10 @@ func newShmemLamellae(npes int, deliver deliverFn) *shmemLamellae {
 func (s *shmemLamellae) name() LamellaeKind { return LamellaeShmem }
 
 func (s *shmemLamellae) send(src, dst int, msg []byte) {
-	s.queues[dst] <- shmemMsg{src: src, buf: msg}
+	// The runtime reuses batch buffers once send returns; copy before
+	// handing off to the delivery goroutine (the "shared memory write").
+	buf := append([]byte(nil), msg...)
+	s.queues[dst] <- shmemMsg{src: src, buf: buf}
 }
 
 func (s *shmemLamellae) close() {

@@ -59,11 +59,37 @@ type World struct {
 
 	worldTeam *Team
 	ext       extMap
+
+	flushHookMu sync.Mutex
+	flushHooks  []func()
+}
+
+// RegisterFlushHook installs fn to run at the start of every queue flush
+// cycle (WaitAll, Barrier, BlockOn and the background flusher all flush).
+// Higher layers use it to drain their own aggregation buffers — the
+// array-op aggregation layer in particular — into the AM queues before
+// those queues go out on the wire. Hooks may run concurrently from
+// several goroutines and must tolerate having nothing to do.
+func (w *World) RegisterFlushHook(fn func()) {
+	w.flushHookMu.Lock()
+	w.flushHooks = append(w.flushHooks, fn)
+	w.flushHookMu.Unlock()
+}
+
+func (w *World) runFlushHooks() {
+	w.flushHookMu.Lock()
+	hooks := w.flushHooks
+	w.flushHookMu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
 }
 
 // aggQueue buffers envelopes destined to one PE. Flushing swaps the active
-// encoder out (the second buffer of the paper's double-buffered message
-// queue) so producers keep filling while the flushed buffer is in flight.
+// encoder for the spare (the second buffer of the paper's double-buffered
+// message queue) so producers keep filling while the flushed buffer is in
+// flight; once the transport has consumed the flushed buffer it returns as
+// the new spare, so steady-state traffic allocates no batch buffers.
 type aggQueue struct {
 	mu      sync.Mutex
 	enc     *serde.Encoder
@@ -72,7 +98,31 @@ type aggQueue struct {
 }
 
 func newAggQueue() *aggQueue {
-	return &aggQueue{enc: serde.NewEncoder(4096), scratch: serde.NewEncoder(256)}
+	return &aggQueue{enc: serde.NewEncoder(4096), scratch: serde.NewEncoder(4096)}
+}
+
+// takeSpareLocked hands out the spare encoder (or a fresh one); the
+// caller must hold q.mu.
+func (q *aggQueue) takeSpareLocked() *serde.Encoder {
+	if s := q.scratch; s != nil {
+		q.scratch = nil
+		s.Reset()
+		return s
+	}
+	return serde.NewEncoder(4096)
+}
+
+// putSpare returns a flushed buffer for reuse. Transports must not retain
+// sent batches after send returns, which makes this safe.
+func (q *aggQueue) putSpare(e *serde.Encoder) {
+	if e.Cap() > maxPooledEncoderBytes {
+		return
+	}
+	q.mu.Lock()
+	if q.scratch == nil {
+		q.scratch = e
+	}
+	q.mu.Unlock()
 }
 
 // WorldBuilder configures and builds a single-PE (SMP) world, mirroring

@@ -1,0 +1,73 @@
+package scheduler
+
+import "sync/atomic"
+
+// Countdown resolves a future after a fixed number of completions — the
+// shared "N sub-operations, one future" helper behind batched array ops,
+// range transfers, and the aggregation layer. The future state is
+// embedded so a countdown costs one allocation regardless of N.
+//
+// The expected count may grow with Add while the count cannot yet reach
+// zero; the open-ended idiom is to create the countdown with n=1 (a
+// submission reservation), Add(1) per sub-operation issued, and Done(nil)
+// once at the end to release the reservation.
+type Countdown[T any] struct {
+	st        futState[T]
+	fut       Future[T] // embedded so countdown + future cost one allocation
+	remaining atomic.Int64
+	firstErr  atomic.Pointer[error]
+	value     func() T
+}
+
+// NewCountdown returns a countdown expecting n Done calls and the future
+// it resolves. value is called once, at resolution, to produce the
+// future's value; nil means the zero value. The first non-nil error
+// reported to Done wins and fails the future instead. n <= 0 resolves
+// immediately.
+func NewCountdown[T any](pool *Pool, n int, value func() T) (*Countdown[T], *Future[T]) {
+	c := &Countdown[T]{value: value}
+	c.st.pool = pool
+	c.fut = Future[T]{&c.st}
+	c.remaining.Store(int64(n))
+	if n <= 0 {
+		c.resolve()
+	}
+	return c, &c.fut
+}
+
+// Future returns the future this countdown resolves. Each call allocates
+// a fresh handle onto the shared state.
+func (c *Countdown[T]) Future() *Future[T] { return &Future[T]{&c.st} }
+
+// Add raises the expected completion count by n. Only valid while the
+// count cannot yet reach zero (the caller holds an unreleased
+// reservation).
+func (c *Countdown[T]) Add(n int) { c.remaining.Add(int64(n)) }
+
+// Done records one completion; err, if non-nil, fails the future (first
+// error wins). The final Done resolves the future.
+func (c *Countdown[T]) Done(err error) {
+	if err != nil {
+		// Copy into a branch-scoped variable before taking its address:
+		// &err on the parameter itself would move it to the heap at
+		// function entry, charging an allocation to every error-free call.
+		e := err
+		c.firstErr.CompareAndSwap(nil, &e)
+	}
+	if c.remaining.Add(-1) == 0 {
+		c.resolve()
+	}
+}
+
+func (c *Countdown[T]) resolve() {
+	p := Promise[T]{&c.st}
+	if ep := c.firstErr.Load(); ep != nil {
+		p.CompleteErr(*ep)
+		return
+	}
+	var v T
+	if c.value != nil {
+		v = c.value()
+	}
+	p.Complete(v)
+}

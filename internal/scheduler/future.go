@@ -16,13 +16,22 @@ type Future[T any] struct{ st *futState[T] }
 
 type futState[T any] struct {
 	pool *Pool
-	done chan struct{}
+	done chan struct{} // lazily created; see Done()
 	set  atomic.Bool
 	mu   sync.Mutex
 	val  T
 	err  error
+	hook func() // runs at Await entry while unresolved; see SetAwaitHook
 	then []func(T, error)
 }
+
+// closedChan is the shared already-closed channel handed out by Done()
+// for futures that resolved before anyone asked for their channel.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
 
 // Promise is the completion side of a Future.
 type Promise[T any] struct{ st *futState[T] }
@@ -30,25 +39,23 @@ type Promise[T any] struct{ st *futState[T] }
 // NewPromise creates a linked Promise/Future pair. pool may be nil for
 // futures awaited outside any executor (they then park instead of helping).
 func NewPromise[T any](pool *Pool) (*Promise[T], *Future[T]) {
-	st := &futState[T]{pool: pool, done: make(chan struct{})}
+	st := &futState[T]{pool: pool}
 	return &Promise[T]{st}, &Future[T]{st}
 }
 
 // Ready returns an already-completed Future.
 func Ready[T any](v T) *Future[T] {
-	st := &futState[T]{done: make(chan struct{})}
+	st := &futState[T]{}
 	st.val = v
 	st.set.Store(true)
-	close(st.done)
 	return &Future[T]{st}
 }
 
 // Fail returns an already-failed Future.
 func Fail[T any](err error) *Future[T] {
-	st := &futState[T]{done: make(chan struct{})}
+	st := &futState[T]{}
 	st.err = err
 	st.set.Store(true)
-	close(st.done)
 	return &Future[T]{st}
 }
 
@@ -72,8 +79,11 @@ func (p *Promise[T]) finish(v T, err error) {
 	st.set.Store(true)
 	cbs := st.then
 	st.then = nil
+	done := st.done
 	st.mu.Unlock()
-	close(st.done)
+	if done != nil {
+		close(done)
+	}
 	for _, cb := range cbs {
 		cb(v, err)
 	}
@@ -83,7 +93,42 @@ func (p *Promise[T]) finish(v T, err error) {
 func (f *Future[T]) IsDone() bool { return f.st.set.Load() }
 
 // Done returns a channel closed on resolution (for select integration).
-func (f *Future[T]) Done() <-chan struct{} { return f.st.done }
+// The channel is created on first request so futures that are never
+// selected on (the overwhelming majority of batched array ops) avoid the
+// allocation entirely.
+func (f *Future[T]) Done() <-chan struct{} {
+	st := f.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.done == nil {
+		if st.set.Load() {
+			st.done = closedChan
+		} else {
+			st.done = make(chan struct{})
+		}
+	}
+	return st.done
+}
+
+// SetAwaitHook installs fn to run each time Await is entered before the
+// future has resolved. The array aggregation layer uses it to flush the
+// buffers the awaited result depends on, so a caller blocking on a
+// buffered op never stalls until the next background flush. Map and All
+// propagate hooks to derived futures.
+func (f *Future[T]) SetAwaitHook(fn func()) {
+	st := f.st
+	st.mu.Lock()
+	st.hook = fn
+	st.mu.Unlock()
+}
+
+func (f *Future[T]) awaitHook() func() {
+	st := f.st
+	st.mu.Lock()
+	h := st.hook
+	st.mu.Unlock()
+	return h
+}
 
 // Await blocks until resolution, helping the attached pool run tasks.
 //
@@ -100,19 +145,26 @@ func (f *Future[T]) Await() (T, error) {
 	if st.set.Load() {
 		return st.val, st.err
 	}
+	if h := f.awaitHook(); h != nil {
+		h()
+		if st.set.Load() {
+			return st.val, st.err
+		}
+	}
+	done := f.Done()
 	if st.pool == nil {
-		<-st.done
+		<-done
 		return st.val, st.err
 	}
 	for {
 		select {
-		case <-st.done:
+		case <-done:
 			return st.val, st.err
 		default:
 		}
 		if !st.pool.TryRunOne() {
 			select {
-			case <-st.done:
+			case <-done:
 				return st.val, st.err
 			case <-st.pool.notify:
 			case <-time.After(100 * time.Microsecond):
@@ -145,8 +197,12 @@ func (f *Future[T]) OnDone(cb func(T, error)) {
 }
 
 // Map derives a future by transforming the value on the completer's path.
+// The input's await hook (if any) carries over to the derived future.
 func Map[T, U any](f *Future[T], fn func(T) U) *Future[U] {
 	p, out := NewPromise[U](f.st.pool)
+	if h := f.awaitHook(); h != nil {
+		out.SetAwaitHook(h)
+	}
 	f.OnDone(func(v T, err error) {
 		if err != nil {
 			p.CompleteErr(err)
@@ -165,6 +221,19 @@ func All[T any](pool *Pool, fs []*Future[T]) *Future[[]T] {
 	if n == 0 {
 		p.Complete(nil)
 		return out
+	}
+	var hooks []func()
+	for _, f := range fs {
+		if h := f.awaitHook(); h != nil {
+			hooks = append(hooks, h)
+		}
+	}
+	if len(hooks) > 0 {
+		out.SetAwaitHook(func() {
+			for _, h := range hooks {
+				h()
+			}
+		})
 	}
 	vals := make([]T, n)
 	var firstErr atomic.Pointer[error]

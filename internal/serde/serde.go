@@ -388,11 +388,18 @@ func SizeOf[T Number]() int {
 
 // EncodeFixedSlice appends a slice using fixed natural-width encoding per
 // element (1/2/4/8 bytes), matching what an RDMA transfer of the same
-// buffer would move. It is the codec of bulk array transfers.
+// buffer would move. It is the codec of bulk array transfers. On
+// little-endian hosts it reduces to the zero-copy PutNumericSlice.
 func EncodeFixedSlice[T Number](e *Encoder, s []T) {
+	PutNumericSlice(e, s)
+}
+
+// putFixedElems is the portable element-at-a-time encode loop behind
+// PutNumericSlice (big-endian fallback; the length prefix is already
+// written).
+func putFixedElems[T Number](e *Encoder, s []T) {
 	k := KindOf[T]()
 	w := SizeOf[T]()
-	e.PutUvarint(uint64(len(s)))
 	e.Grow(w * len(s))
 	switch {
 	case k == kindFloat32:
@@ -422,19 +429,17 @@ func EncodeFixedSlice[T Number](e *Encoder, s []T) {
 	}
 }
 
-// DecodeFixedSlice reads a slice written by EncodeFixedSlice.
+// DecodeFixedSlice reads a slice written by EncodeFixedSlice. On
+// little-endian hosts it reduces to the single-memmove NumericSlice.
 func DecodeFixedSlice[T Number](d *Decoder) []T {
+	return NumericSlice[T](d)
+}
+
+// takeFixedElems is the portable element-at-a-time decode loop behind
+// NumericSlice (big-endian fallback; length and bounds already handled).
+func takeFixedElems[T Number](d *Decoder, out []T) {
 	k := KindOf[T]()
 	w := SizeOf[T]()
-	n := d.Uvarint()
-	if d.err != nil {
-		return nil
-	}
-	if n*uint64(w) > uint64(d.Remaining()) {
-		d.fail(ErrShortBuffer)
-		return nil
-	}
-	out := make([]T, n)
 	switch {
 	case k == kindFloat32:
 		for i := range out {
@@ -461,5 +466,4 @@ func DecodeFixedSlice[T Number](d *Decoder) []T {
 			out[i] = T(int64(d.U64()))
 		}
 	}
-	return out
 }
