@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench agg-bench
+.PHONY: build vet test race check bench agg-bench trace-smoke
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ race:
 	$(GO) test -race ./...
 
 # Tier-1 gate: everything that must stay green before a change lands.
-check: build vet race
+check: build vet race trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -23,3 +23,10 @@ bench:
 # Aggregated vs direct array-op micro-benchmarks (FIG2A companion).
 agg-bench:
 	$(GO) test -run xxx -bench 'AtomicOps' -benchmem -count=1 .
+
+# Telemetry smoke test: run a kernel with the timeline exporter and fail
+# unless the written file is valid Chrome trace JSON (lamellar-trace
+# re-parses it and errors otherwise).
+trace-smoke:
+	$(GO) run ./cmd/lamellar-trace -kernel histo -cores 4 -workers 1 -updates 2000 -timeline /tmp/lamellar-trace-smoke.json > /dev/null
+	@echo "trace-smoke: /tmp/lamellar-trace-smoke.json OK"

@@ -287,10 +287,11 @@ func BenchmarkAtomicArrayBatchAdd(b *testing.B) {
 // agg toggles the destination aggregation layer (ISSUE 1), isolating its
 // effect on wall time and allocations: aggregated ops share one buffered
 // AM per flush where the direct path pays an envelope per op.
-func benchAtomicOps(b *testing.B, agg bool) {
+func benchAtomicOps(b *testing.B, agg, telemetry bool) {
 	const tableLen = 8192
 	const opsPerIter = 2048
-	cfg := runtime.Config{PEs: 2, WorkersPerPE: 2, Lamellae: runtime.LamellaeSim}
+	cfg := runtime.Config{PEs: 2, WorkersPerPE: 2, Lamellae: runtime.LamellaeSim,
+		Telemetry: telemetry}
 	if !agg {
 		cfg.AggBufSize = -1
 	}
@@ -321,6 +322,14 @@ func benchAtomicOps(b *testing.B, agg bool) {
 	}
 }
 
-func BenchmarkAtomicOpsAggregated(b *testing.B) { benchAtomicOps(b, true) }
+func BenchmarkAtomicOpsAggregated(b *testing.B) { benchAtomicOps(b, true, false) }
 
-func BenchmarkAtomicOpsDirect(b *testing.B) { benchAtomicOps(b, false) }
+func BenchmarkAtomicOpsDirect(b *testing.B) { benchAtomicOps(b, false, false) }
+
+// BenchmarkAtomicOpsAggregatedTraced is the aggregated path with the
+// telemetry subsystem live — rings, histograms, and gauges all active.
+// Compare against BenchmarkAtomicOpsAggregated for the enabled-mode cost;
+// the disabled-mode delta (Aggregated vs. the PR 1 baseline, both with
+// telemetry compiled in but off) is the number bench_results.txt tracks
+// against the 2% budget.
+func BenchmarkAtomicOpsAggregatedTraced(b *testing.B) { benchAtomicOps(b, true, true) }

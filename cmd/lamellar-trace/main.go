@@ -6,6 +6,15 @@
 //
 //	lamellar-trace -kernel histo -impl lamellar-am -cores 16
 //	lamellar-trace -kernel randperm -impl conveyor -cores 16
+//
+// With -timeline the kernel additionally runs under the runtime's
+// telemetry subsystem and exports a Chrome trace-event JSON timeline —
+// open it at ui.perfetto.dev (or chrome://tracing) to see one track per
+// PE×worker of task, AM, aggregation, and fabric activity. -metrics
+// appends a Prometheus-style text dump of the telemetry counters and
+// latency histograms:
+//
+//	lamellar-trace -kernel histo -timeline /tmp/histo.json -metrics
 package main
 
 import (
@@ -19,12 +28,14 @@ import (
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "histo", "histo | ig | randperm")
-		impl    = flag.String("impl", "lamellar-am", "implementation name (see lamellar-bench)")
-		cores   = flag.Int("cores", 16, "core count")
-		updates = flag.Int("updates", 20_000, "updates/requests per core")
-		bufI    = flag.Int("buf", 2_000, "aggregation buffer limit in operations")
-		workers = flag.Int("workers", 4, "threads per multithreaded PE")
+		kernel   = flag.String("kernel", "histo", "histo | ig | randperm")
+		impl     = flag.String("impl", "lamellar-am", "implementation name (see lamellar-bench)")
+		cores    = flag.Int("cores", 16, "core count")
+		updates  = flag.Int("updates", 20_000, "updates/requests per core")
+		bufI     = flag.Int("buf", 2_000, "aggregation buffer limit in operations")
+		workers  = flag.Int("workers", 4, "threads per multithreaded PE")
+		timeline = flag.String("timeline", "", "write a Perfetto-loadable Chrome trace-event JSON timeline to this path")
+		metrics  = flag.Bool("metrics", false, "print a Prometheus-style dump of telemetry counters and histograms")
 	)
 	flag.Parse()
 	cfg := bench.KernelFigConfig{
@@ -38,7 +49,8 @@ func main() {
 		},
 		WorkersPerPE: *workers,
 	}
-	if err := bench.RunTrace(*kernel, *impl, *cores, cfg, os.Stdout); err != nil {
+	opts := bench.TraceOpts{Timeline: *timeline, Metrics: *metrics}
+	if err := bench.RunTraceOpts(*kernel, *impl, *cores, cfg, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "lamellar-trace:", err)
 		os.Exit(1)
 	}

@@ -22,7 +22,7 @@ const (
 )
 
 func main() {
-	cfg := lamellar.Config{PEs: 4, WorkersPerPE: 2, Lamellae: lamellar.LamellaeSim}
+	cfg := lamellar.Config{PEs: 4, WorkersPerPE: 2, Lamellae: lamellar.LamellaeSim}.ApplyEnv()
 	err := lamellar.Run(cfg, func(world *lamellar.World) {
 		n := cellsPerPE * world.NumPEs()
 		rod := lamellar.NewLocalLockArray[float64](world.Team(), n, lamellar.Block)

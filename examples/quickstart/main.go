@@ -38,7 +38,7 @@ func init() {
 }
 
 func main() {
-	cfg := lamellar.Config{PEs: 4, Lamellae: lamellar.LamellaeSim}
+	cfg := lamellar.Config{PEs: 4, Lamellae: lamellar.LamellaeSim}.ApplyEnv()
 	err := lamellar.Run(cfg, func(world *lamellar.World) {
 		am := &HelloWorldAM{Name: "World"}
 		req := world.ExecAMAllReturn(am) // all PEs

@@ -19,7 +19,7 @@ const (
 )
 
 func main() {
-	cfg := lamellar.Config{PEs: 4, WorkersPerPE: 2, Lamellae: lamellar.LamellaeSim}
+	cfg := lamellar.Config{PEs: 4, WorkersPerPE: 2, Lamellae: lamellar.LamellaeSim}.ApplyEnv()
 	err := lamellar.Run(cfg, func(world *lamellar.World) {
 		pes := world.NumPEs()
 		targetLen := dartsPerPE * targetFactor * pes

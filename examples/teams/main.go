@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	cfg := lamellar.Config{PEs: 6, WorkersPerPE: 2, Lamellae: lamellar.LamellaeSim}
+	cfg := lamellar.Config{PEs: 6, WorkersPerPE: 2, Lamellae: lamellar.LamellaeSim}.ApplyEnv()
 	err := lamellar.Run(cfg, func(world *lamellar.World) {
 		// Everyone participates in both splits (collective on the world
 		// team); each PE keeps the handle of the team it belongs to.

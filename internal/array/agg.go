@@ -8,6 +8,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/scheduler"
 	"repro/internal/serde"
+	"repro/internal/telemetry"
 )
 
 // Operation aggregation layer (§IV-B / Fig. 5): element ops on
@@ -60,8 +61,9 @@ type aggBatch[T serde.Number] struct {
 	vals   []T
 	casOld []T
 	routes []aggRoute[T]
-	nops   int // buffered element ops
-	bytes  int // estimated wire payload bytes
+	nops   int   // buffered element ops
+	bytes  int   // estimated wire payload bytes
+	openNs int64 // telemetry clock when the first op landed (0 = untraced)
 	fetch  bool
 }
 
@@ -89,9 +91,9 @@ type aggShard[T serde.Number] struct {
 // destination team rank, plus a recycle pool so steady-state traffic
 // reuses batch column storage instead of reallocating it per flush.
 type aggregator[T serde.Number] struct {
-	st     *sharedState[T]
-	w      *runtime.World
-	team   *runtime.Team
+	st      *sharedState[T]
+	w       *runtime.World
+	team    *runtime.Team
 	flushB  int // byte threshold (Config.AggBufSize)
 	flushO  int // op threshold (Config.AggFlushOps)
 	elemSz  int
@@ -154,7 +156,7 @@ func (g *aggregator[T]) putBatch(b *aggBatch[T]) {
 	}
 	b.ops, b.starts, b.counts = b.ops[:0], b.starts[:0], b.counts[:0]
 	b.vals, b.casOld, b.routes = b.vals[:0], b.casOld[:0], b.routes[:0]
-	b.nops, b.bytes, b.fetch = 0, 0, false
+	b.nops, b.bytes, b.openNs, b.fetch = 0, 0, 0, false
 	g.spares.Put(b)
 }
 
@@ -169,7 +171,7 @@ func (g *aggregator[T]) FlushBatches() {
 		sh.b = nil
 		sh.mu.Unlock()
 		if b != nil && len(b.ops) > 0 {
-			g.dispatch(rank, b)
+			g.dispatch(rank, b, telemetry.FlushDrain)
 		}
 	}
 }
@@ -178,7 +180,20 @@ func (g *aggregator[T]) FlushBatches() {
 // recycled once its completion resolved: the AM was serialized during
 // launch (aggregated destinations are always remote), so nothing else
 // references its column storage afterwards.
-func (g *aggregator[T]) dispatch(rank int, b *aggBatch[T]) {
+func (g *aggregator[T]) dispatch(rank int, b *aggBatch[T], reason telemetry.FlushReason) {
+	g.w.CountAggFlush(reason, b.nops)
+	if tc := telemetry.C(); tc != nil && b.openNs > 0 {
+		now := tc.Now()
+		dur := now - b.openNs
+		if dur < 0 {
+			dur = 0
+		}
+		tc.Emit(telemetry.Event{
+			TS: b.openNs, Dur: dur, Kind: telemetry.EvBatchFlush,
+			Sub: uint8(reason), PE: int32(g.w.MyPE()), Worker: telemetry.TidRuntime,
+			Arg1: int64(g.team.WorldPE(rank)), Arg2: int64(b.nops),
+		})
+	}
 	am := &aggAM[T]{
 		ID:      g.st.id,
 		WantOut: b.fetch,
@@ -206,6 +221,16 @@ func (g *aggregator[T]) append(rank int, op Op, local, n int, broadcast bool,
 	if b == nil {
 		b = g.getBatch()
 		sh.b = b
+		if telemetry.Enabled() {
+			if tc := telemetry.C(); tc != nil {
+				b.openNs = tc.Now()
+				tc.Emit(telemetry.Event{
+					TS: b.openNs, Kind: telemetry.EvBatchOpen,
+					PE: int32(g.w.MyPE()), Worker: telemetry.TidRuntime,
+					Arg1: int64(g.team.WorldPE(rank)),
+				})
+			}
+		}
 	}
 	flags := uint8(op)
 	if eout != nil {
@@ -249,13 +274,17 @@ func (g *aggregator[T]) append(rank int, op Op, local, n int, broadcast bool,
 	b.nops += n
 	b.bytes += aggEntryOverhead + nv*elemSz
 	var detached *aggBatch[T]
-	if b.nops >= g.flushO || b.bytes >= g.flushB {
+	reason := telemetry.FlushSize
+	if b.nops >= g.flushO {
+		detached, reason = b, telemetry.FlushOps
+		sh.b = nil
+	} else if b.bytes >= g.flushB {
 		detached = b
 		sh.b = nil
 	}
 	sh.mu.Unlock()
 	if detached != nil {
-		g.dispatch(rank, detached)
+		g.dispatch(rank, detached, reason)
 	}
 }
 
@@ -275,8 +304,9 @@ func (g *aggregator[T]) dispatchRun(rank int, op Op, local, n int,
 	sh.b = nil
 	sh.mu.Unlock()
 	if b != nil {
-		g.dispatch(rank, b)
+		g.dispatch(rank, b, telemetry.FlushDrain)
 	}
+	g.w.CountAggFlush(telemetry.FlushRun, n)
 	flags := uint8(op)
 	if eout != nil {
 		flags |= entryFetch

@@ -1,14 +1,18 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/bits"
+	"os"
 	"sync"
+	"time"
 
 	"repro/internal/bale/kernels"
 	"repro/internal/fabric"
 	"repro/internal/runtime"
+	"repro/internal/telemetry"
 )
 
 // Trace collects a communication profile from the fabric hook: operation
@@ -21,6 +25,7 @@ type Trace struct {
 	npes    int
 	kinds   [4]uint64
 	kindsB  [4]uint64
+	modeled [4]uint64  // summed modeled ns by op kind
 	sizeLog [32]uint64 // histogram buckets: [2^i, 2^(i+1))
 	matrix  []uint64   // npes*npes bytes moved
 }
@@ -32,15 +37,16 @@ func NewTrace(npes int) *Trace {
 
 // Hook returns the fabric hook feeding this collector.
 func (t *Trace) Hook() fabric.Hook {
-	return func(kind fabric.OpKind, initiator, target, nbytes int) {
+	return func(ev fabric.OpEvent) {
 		t.mu.Lock()
-		t.kinds[kind]++
-		t.kindsB[kind] += uint64(nbytes)
-		if nbytes > 0 {
-			t.sizeLog[bits.Len(uint(nbytes))-1]++
+		t.kinds[ev.Kind]++
+		t.kindsB[ev.Kind] += uint64(ev.Bytes)
+		t.modeled[ev.Kind] += ev.ModeledNs
+		if ev.Bytes > 0 {
+			t.sizeLog[bits.Len(uint(ev.Bytes))-1]++
 		}
-		if initiator < t.npes && target < t.npes {
-			t.matrix[initiator*t.npes+target] += uint64(nbytes)
+		if ev.Initiator < t.npes && ev.Target < t.npes {
+			t.matrix[ev.Initiator*t.npes+ev.Target] += uint64(ev.Bytes)
 		}
 		t.mu.Unlock()
 	}
@@ -77,9 +83,9 @@ func (t *Trace) Render(out io.Writer) {
 	defer t.mu.Unlock()
 
 	fmt.Fprintf(out, "\n# communication profile (%d PEs)\n", t.npes)
-	fmt.Fprintf(out, "%-10s %12s %14s\n", "op", "count", "bytes")
+	fmt.Fprintf(out, "%-10s %12s %14s %14s\n", "op", "count", "bytes", "modeled")
 	for k := fabric.OpPut; k <= fabric.OpBarrier; k++ {
-		fmt.Fprintf(out, "%-10s %12d %14d\n", k, t.kinds[k], t.kindsB[k])
+		fmt.Fprintf(out, "%-10s %12d %14d %14v\n", k, t.kinds[k], t.kindsB[k], time.Duration(t.modeled[k]))
 	}
 
 	fmt.Fprintf(out, "\nmessage-size histogram (log2 buckets)\n")
@@ -128,34 +134,50 @@ func bar(n int) string {
 	return full[:n]
 }
 
+// TraceOpts selects the optional telemetry outputs of a trace run.
+type TraceOpts struct {
+	// Timeline, when non-empty, runs the kernel with the telemetry
+	// subsystem enabled and writes the Chrome trace-event JSON timeline
+	// (Perfetto-loadable) to this path, validating that it parses.
+	Timeline string
+	// Metrics, when set, appends a Prometheus-style text dump of the
+	// telemetry counters and histograms to the output writer.
+	Metrics bool
+}
+
+func (o TraceOpts) telemetryOn() bool { return o.Timeline != "" || o.Metrics }
+
 // RunTrace executes one kernel implementation under the trace collector
 // and renders the profile.
 func RunTrace(fig, impl string, cores int, cfg KernelFigConfig, out io.Writer) error {
+	return RunTraceOpts(fig, impl, cores, cfg, out, TraceOpts{})
+}
+
+// RunTraceOpts is RunTrace plus the telemetry outputs selected by opts.
+func RunTraceOpts(fig, impl string, cores int, cfg KernelFigConfig, out io.Writer, opts TraceOpts) error {
 	cfg = cfg.WithDefaults()
-	var fn func() error
+	var k kernels.KernelFunc
+	var ok bool
 	switch fig {
 	case "histo":
-		k, ok := kernelsHistogram()[impl]
+		k, ok = kernelsHistogram()[impl]
 		if !ok {
 			return fmt.Errorf("bench: unknown histogram implementation %q", impl)
 		}
-		fn = func() error { return traceOne(k, impl, cores, cfg, out) }
 	case "ig":
-		k, ok := kernelsIndexGather()[impl]
+		k, ok = kernelsIndexGather()[impl]
 		if !ok {
 			return fmt.Errorf("bench: unknown indexgather implementation %q", impl)
 		}
-		fn = func() error { return traceOne(k, impl, cores, cfg, out) }
 	case "randperm":
-		k, ok := kernelsRandperm()[impl]
+		k, ok = kernelsRandperm()[impl]
 		if !ok {
 			return fmt.Errorf("bench: unknown randperm implementation %q", impl)
 		}
-		fn = func() error { return traceOne(k, impl, cores, cfg, out) }
 	default:
 		return fmt.Errorf("bench: unknown kernel %q", fig)
 	}
-	return fn()
+	return traceOne(k, impl, cores, cfg, out, opts)
 }
 
 // kernel map accessors keep the import local to this file's users.
@@ -164,7 +186,7 @@ func kernelsIndexGather() map[string]kernels.KernelFunc { return kernels.IndexGa
 func kernelsRandperm() map[string]kernels.KernelFunc    { return kernels.Randperm }
 
 // traceOne runs impl once with the collector installed.
-func traceOne(fn kernels.KernelFunc, name string, cores int, cfg KernelFigConfig, out io.Writer) error {
+func traceOne(fn kernels.KernelFunc, name string, cores int, cfg KernelFigConfig, out io.Writer, opts TraceOpts) error {
 	cpp := coresPerPE(name, cores, cfg.WorkersPerPE)
 	pes := cores / cpp
 	if pes < 1 {
@@ -181,6 +203,18 @@ func traceOne(fn kernels.KernelFunc, name string, cores int, cfg KernelFigConfig
 		Lamellae:       runtime.LamellaeSim,
 		Cost:           fabric.DefaultCostModel(),
 		ArrayBatchSize: params.BufItems,
+		Telemetry:      opts.telemetryOn(),
+	}
+	// Own the telemetry session here rather than letting the world own
+	// it: the rings must survive runtime.Run so they can be exported (and
+	// the written timeline validated) at full quiescence.
+	var tc *telemetry.Collector
+	if opts.telemetryOn() {
+		var owned bool
+		tc, owned = telemetry.StartGlobal(pes, 0)
+		if owned {
+			defer telemetry.StopGlobal(tc)
+		}
 	}
 	tr := NewTrace(pes)
 	err := runtime.Run(rcfg, func(w *runtime.World) {
@@ -202,5 +236,50 @@ func traceOne(fn kernels.KernelFunc, name string, cores int, cfg KernelFigConfig
 	}
 	fmt.Fprintf(out, "kernel=%s impl=%s cores=%d (PEs=%d x %d workers)\n", "trace", name, cores, pes, workers)
 	tr.Render(out)
+	if opts.Timeline != "" {
+		n, err := writeTimelineValidated(tc, opts.Timeline)
+		if err != nil {
+			return err
+		}
+		var dropped uint64
+		for pe := 0; pe < tc.NumPEs(); pe++ {
+			dropped += tc.Dropped(pe)
+		}
+		fmt.Fprintf(out, "\ntimeline: %s (%d events, %d dropped)\n", opts.Timeline, n, dropped)
+	}
+	if opts.Metrics {
+		fmt.Fprintf(out, "\n# telemetry metrics\n")
+		if err := tc.WritePrometheus(out); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeTimelineValidated exports the collector's Chrome trace timeline to
+// path, then re-reads and JSON-parses the file, returning the trace-event
+// count. A timeline Perfetto cannot load is an error, not a warning.
+func writeTimelineValidated(c *telemetry.Collector, path string) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("bench: timeline %s is not valid trace JSON: %w", path, err)
+	}
+	return len(doc.TraceEvents), nil
 }

@@ -11,11 +11,11 @@ import (
 func TestTraceCollector(t *testing.T) {
 	tr := NewTrace(2)
 	h := tr.Hook()
-	h(fabric.OpPut, 0, 1, 100)
-	h(fabric.OpPut, 0, 1, 28)
-	h(fabric.OpGet, 1, 0, 4096)
-	h(fabric.OpAtomic, 0, 1, 8)
-	h(fabric.OpBarrier, 0, 0, 0)
+	h(fabric.OpEvent{Kind: fabric.OpPut, Initiator: 0, Target: 1, Bytes: 100, ModeledNs: 500})
+	h(fabric.OpEvent{Kind: fabric.OpPut, Initiator: 0, Target: 1, Bytes: 28, ModeledNs: 250})
+	h(fabric.OpEvent{Kind: fabric.OpGet, Initiator: 1, Target: 0, Bytes: 4096})
+	h(fabric.OpEvent{Kind: fabric.OpAtomic, Initiator: 0, Target: 1, Bytes: 8})
+	h(fabric.OpEvent{Kind: fabric.OpBarrier, Initiator: 0, Target: 0})
 	if tr.Ops(fabric.OpPut) != 2 || tr.Ops(fabric.OpGet) != 1 {
 		t.Errorf("op counts wrong")
 	}

@@ -31,6 +31,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // CostModel parameterizes the modeled network.
@@ -154,9 +156,24 @@ func (k OpKind) String() string {
 	}
 }
 
+// OpEvent describes one completed fabric operation as seen by a Hook:
+// what ran, between whom, how many payload bytes moved, and the modeled
+// network nanoseconds the operation accounted on its initiator. Hooks
+// therefore observe completion (including the modeled duration), not
+// just initiation — a tracing hook can reconstruct latency without
+// reverse-engineering Counters.
+type OpEvent struct {
+	Kind      OpKind
+	Initiator int
+	Target    int
+	Bytes     int
+	ModeledNs uint64
+}
+
 // Hook observes (and may delay) every fabric operation; used by tests for
-// fault injection and by tracing tools.
-type Hook func(kind OpKind, initiator, target, nbytes int)
+// fault injection and by tracing tools. The hook runs after the operation
+// completed and its cost was accounted.
+type Hook func(ev OpEvent)
 
 // SegmentID names a symmetric allocation.
 type SegmentID int32
@@ -212,9 +229,19 @@ func (p *Provider) SetHook(h Hook) {
 	p.hook.Store(&h)
 }
 
-func (p *Provider) callHook(kind OpKind, initiator, target, nbytes int) {
+func (p *Provider) callHook(ev OpEvent) {
 	if hp := p.hook.Load(); hp != nil {
-		(*hp)(kind, initiator, target, nbytes)
+		(*hp)(ev)
+	}
+	if telemetry.Enabled() {
+		if c := telemetry.C(); c != nil {
+			c.Emit(telemetry.Event{
+				TS: c.Now(), Dur: int64(ev.ModeledNs),
+				Kind: telemetry.EvFabricOp, Sub: uint8(ev.Kind),
+				PE: int32(ev.Initiator), Worker: telemetry.TidNet,
+				Arg1: int64(ev.Target), Arg2: int64(ev.Bytes),
+			})
+		}
 	}
 }
 
@@ -233,7 +260,7 @@ func (p *Provider) account(initiator, target, nbytes int, kind OpKind) {
 	if ns > 0 {
 		c.modeledNs.Add(uint64(ns))
 	}
-	p.callHook(kind, initiator, target, nbytes)
+	p.callHook(OpEvent{Kind: kind, Initiator: initiator, Target: target, Bytes: nbytes, ModeledNs: uint64(ns)})
 }
 
 // CountersFor snapshots the traffic counters of one PE.
@@ -441,13 +468,13 @@ func (a Words) LocalAdd(pe, w int, delta uint64) uint64 { return a.s.words[pe][w
 // Barrier blocks until every PE in the world has entered it. The modeled
 // cost is a dissemination barrier: ceil(log2 P) rounds of small messages.
 func (p *Provider) Barrier(pe int) {
-	p.callHook(OpBarrier, pe, pe, 0)
 	p.accountBarrier(pe, p.npes)
 	p.barrier.Wait()
 }
 
 func (p *Provider) accountBarrier(pe, size int) {
 	if size <= 1 {
+		p.callHook(OpEvent{Kind: OpBarrier, Initiator: pe, Target: pe})
 		return
 	}
 	rounds := bits.Len(uint(size - 1)) // ceil(log2 size)
@@ -456,6 +483,7 @@ func (p *Provider) accountBarrier(pe, size int) {
 	c.msgs.Add(uint64(rounds))
 	ns := float64(rounds) * (p.cost.LatencyNs + p.cost.InjectGapNs)
 	c.modeledNs.Add(uint64(ns))
+	p.callHook(OpEvent{Kind: OpBarrier, Initiator: pe, Target: pe, ModeledNs: uint64(ns)})
 }
 
 // GroupBarrier is a reusable barrier for an arbitrary subset of PEs
@@ -479,7 +507,6 @@ func (p *Provider) NewGroupBarrier(size int) *GroupBarrier {
 // WaitFor enters the barrier as pe, accounting modeled cost, then blocks
 // until all participants arrive.
 func (p *Provider) WaitFor(pe int, b *GroupBarrier) {
-	p.callHook(OpBarrier, pe, pe, 0)
 	p.accountBarrier(pe, b.size)
 	b.Wait()
 }

@@ -229,10 +229,13 @@ func TestHookObservesOps(t *testing.T) {
 	p := New(2, DefaultCostModel())
 	seg := p.AllocSegment(8, 1)
 	var puts, gets, atomics atomic.Int64
-	p.SetHook(func(kind OpKind, initiator, target, nbytes int) {
-		switch kind {
+	var putNs, putBytes atomic.Int64
+	p.SetHook(func(ev OpEvent) {
+		switch ev.Kind {
 		case OpPut:
 			puts.Add(1)
+			putNs.Add(int64(ev.ModeledNs))
+			putBytes.Add(int64(ev.Bytes))
 		case OpGet:
 			gets.Add(1)
 		case OpAtomic:
@@ -246,6 +249,16 @@ func TestHookObservesOps(t *testing.T) {
 	p.Put(0, 1, seg, 0, []byte{1}) // not observed
 	if puts.Load() != 1 || gets.Load() != 1 || atomics.Load() != 1 {
 		t.Errorf("hook counts: put=%d get=%d atomic=%d", puts.Load(), gets.Load(), atomics.Load())
+	}
+	// The hook observes completion, not just initiation: the event carries
+	// the payload size and the op's full modeled duration.
+	if putBytes.Load() != 1 {
+		t.Errorf("hook put bytes = %d, want 1", putBytes.Load())
+	}
+	cm := DefaultCostModel()
+	want := int64(uint64(cm.xferNs(0, 1, 1)))
+	if putNs.Load() != want {
+		t.Errorf("hook put modeled ns = %d, want %d", putNs.Load(), want)
 	}
 }
 

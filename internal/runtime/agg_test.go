@@ -15,9 +15,9 @@ func TestSmallAMsAggregate(t *testing.T) {
 	var sends atomic.Int64
 	err := Run(Config{PEs: 2, WorkersPerPE: 1, Lamellae: LamellaeSim}, func(w *World) {
 		if w.MyPE() == 0 {
-			w.Provider().SetHook(func(kind fabric.OpKind, initiator, target, nbytes int) {
+			w.Provider().SetHook(func(ev fabric.OpEvent) {
 				// descriptor puts into the ring mark one wire message each
-				if kind == fabric.OpPut && initiator == 0 && nbytes == 16 {
+				if ev.Kind == fabric.OpPut && ev.Initiator == 0 && ev.Bytes == 16 {
 					sends.Add(1)
 				}
 			})
@@ -49,8 +49,8 @@ func TestAggThresholdTriggersFlush(t *testing.T) {
 		FlushInterval: 1 << 30} // effectively disable the background flusher
 	err := Run(cfg, func(w *World) {
 		if w.MyPE() == 0 {
-			w.Provider().SetHook(func(kind fabric.OpKind, initiator, target, nbytes int) {
-				if kind == fabric.OpPut && initiator == 0 && nbytes == 16 {
+			w.Provider().SetHook(func(ev fabric.OpEvent) {
+				if ev.Kind == fabric.OpPut && ev.Initiator == 0 && ev.Bytes == 16 {
 					sends.Add(1)
 				}
 			})

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/scheduler"
 	"repro/internal/serde"
+	"repro/internal/telemetry"
 )
 
 // encPool recycles envelope body encoders on the launch/return/ack hot
@@ -106,8 +107,20 @@ func (w *World) ExecAM(pe int, am ActiveMessage) {
 func (w *World) ExecAMReturn(pe int, am ActiveMessage) *scheduler.Future[any] {
 	p, f := scheduler.NewPromise[any](w.pool)
 	req := w.nextReq.Add(1)
+	// Telemetry: stamp the issue so resolution yields the AM round-trip
+	// latency (issue → origin-side future completion).
+	var tc *telemetry.Collector
+	var issueNs int64
+	if telemetry.Enabled() {
+		if tc = telemetry.C(); tc != nil {
+			issueNs = tc.Now()
+		}
+	}
 	w.retMu.Lock()
 	w.returns[req] = func(v any, err error) {
+		if tc != nil {
+			tc.Hist(w.pe, telemetry.HistAMRoundTrip).Record(tc.Now() - issueNs)
+		}
 		if err != nil {
 			p.CompleteErr(err)
 		} else {
@@ -150,6 +163,15 @@ func ExecTyped[R any](w *World, pe int, am ActiveMessage) *scheduler.Future[R] {
 // launch routes an AM to pe. req 0 means no return expected.
 func (w *World) launch(pe int, am ActiveMessage, req uint64) {
 	w.issued.Add(1)
+	if telemetry.Enabled() {
+		if c := telemetry.C(); c != nil {
+			c.Emit(telemetry.Event{
+				TS: c.Now(), Kind: telemetry.EvAMIssue,
+				PE: int32(w.pe), Worker: telemetry.TidRuntime,
+				Arg1: int64(pe), Arg2: int64(req),
+			})
+		}
+	}
 	if pe == w.pe {
 		// Local fast path: no serialization, mirroring the SMP Lamellae and
 		// the local arm of exec_am_* on distributed lamellae.
@@ -173,7 +195,17 @@ func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
 	w.envSent.Add(1)
 	q := w.queues[pe]
 	cfg := w.env.cfg
+	var tc *telemetry.Collector
+	var t0 int64
+	if telemetry.Enabled() {
+		if tc = telemetry.C(); tc != nil {
+			t0 = tc.Now()
+		}
+	}
 	q.mu.Lock()
+	if q.count == 0 {
+		q.openNs = t0
+	}
 	mark := q.enc.Len()
 	q.enc.PutU32(0) // body length, patched below
 	q.enc.Align(8)
@@ -187,15 +219,31 @@ func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
 	}
 	binary.LittleEndian.PutUint32(q.enc.Bytes()[mark:], uint32(q.enc.Len()-bodyStart))
 	q.count++
-	full := q.enc.Len() >= cfg.AggThresholdBytes || (cfg.AggMaxOps > 0 && q.count >= cfg.AggMaxOps)
+	bySize := q.enc.Len() >= cfg.AggThresholdBytes
+	full := bySize || (cfg.AggMaxOps > 0 && q.count >= cfg.AggMaxOps)
 	var out *serde.Encoder
+	var envs int
+	var openNs int64
 	if full {
 		out = q.enc
+		envs = q.count
+		openNs = q.openNs
 		q.enc = q.takeSpareLocked()
 		q.count = 0
 	}
 	q.mu.Unlock()
+	if tc != nil {
+		tc.Emit(telemetry.Event{
+			TS: t0, Dur: tc.Now() - t0, Kind: telemetry.EvAMEncode,
+			PE: int32(w.pe), Worker: telemetry.TidRuntime, Arg1: int64(pe),
+		})
+	}
 	if full {
+		reason := telemetry.FlushSize
+		if !bySize {
+			reason = telemetry.FlushOps
+		}
+		w.noteBatchFlush(pe, reason, envs, openNs, tc)
 		w.env.lam.send(w.pe, pe, out.Bytes())
 		q.putSpare(out)
 	}
@@ -217,6 +265,15 @@ func (w *World) runHandler(am ActiveMessage, src int) (v any, err error) {
 // resolveReturn completes the origin-side future for req. If the returned
 // value is itself an AM, it executes here (on the origin) first.
 func (w *World) resolveReturn(src int, req uint64, v any, err error) {
+	if telemetry.Enabled() {
+		if c := telemetry.C(); c != nil {
+			c.Emit(telemetry.Event{
+				TS: c.Now(), Kind: telemetry.EvAMReturn,
+				PE: int32(w.pe), Worker: telemetry.TidRuntime,
+				Arg1: int64(src), Arg2: int64(req),
+			})
+		}
+	}
 	w.retMu.Lock()
 	cb := w.returns[req]
 	delete(w.returns, req)
@@ -245,7 +302,17 @@ func (w *World) enqueue(dst int, body []byte) {
 	w.envSent.Add(1)
 	q := w.queues[dst]
 	cfg := w.env.cfg
+	var tc *telemetry.Collector
+	var t0 int64
+	if telemetry.Enabled() {
+		if tc = telemetry.C(); tc != nil {
+			t0 = tc.Now()
+		}
+	}
 	q.mu.Lock()
+	if q.count == 0 {
+		q.openNs = t0
+	}
 	// Envelope bodies start 8-aligned in the batch so numeric payloads
 	// inside them can be aliased (not copied) on the receiving side; the
 	// fixed-width length prefix keeps framing identical to enqueueAM.
@@ -253,22 +320,56 @@ func (w *World) enqueue(dst int, body []byte) {
 	q.enc.Align(8)
 	q.enc.PutRawBytes(body)
 	q.count++
-	full := q.enc.Len() >= cfg.AggThresholdBytes || (cfg.AggMaxOps > 0 && q.count >= cfg.AggMaxOps)
+	bySize := q.enc.Len() >= cfg.AggThresholdBytes
+	full := bySize || (cfg.AggMaxOps > 0 && q.count >= cfg.AggMaxOps)
 	var out *serde.Encoder
+	var envs int
+	var openNs int64
 	if full {
 		out = q.enc
+		envs = q.count
+		openNs = q.openNs
 		q.enc = q.takeSpareLocked()
 		q.count = 0
 	}
 	q.mu.Unlock()
 	if full {
+		reason := telemetry.FlushSize
+		if !bySize {
+			reason = telemetry.FlushOps
+		}
+		w.noteBatchFlush(dst, reason, envs, openNs, tc)
 		w.env.lam.send(w.pe, dst, out.Bytes())
 		q.putSpare(out)
 	}
 }
 
-// flush drains dst's queue (and owed acks) onto the wire.
-func (w *World) flush(dst int) {
+// noteBatchFlush records one wire batch leaving this PE: always counted
+// for Stats, and — when a telemetry session is active — emitted as an
+// agg.flush span covering the queue's open→flush age, which also feeds
+// the flush-interval histogram.
+func (w *World) noteBatchFlush(dst int, reason telemetry.FlushReason, envs int, openNs int64, tc *telemetry.Collector) {
+	w.batchesSent.Add(1)
+	w.batchReasons[reason].Add(1)
+	if tc == nil {
+		return
+	}
+	now := tc.Now()
+	var dur int64
+	if openNs > 0 && now > openNs {
+		dur = now - openNs
+	}
+	tc.Hist(w.pe, telemetry.HistFlushInterval).Record(dur)
+	tc.Emit(telemetry.Event{
+		TS: now - dur, Dur: dur, Kind: telemetry.EvBatchFlush, Sub: uint8(reason),
+		PE: int32(w.pe), Worker: telemetry.TidRuntime,
+		Arg1: int64(dst), Arg2: int64(envs),
+	})
+}
+
+// flush drains dst's queue (and owed acks) onto the wire; reason says
+// which flush cycle triggered it (drain vs background timer).
+func (w *World) flush(dst int, reason telemetry.FlushReason) {
 	if acks := w.pendingAcks[dst].Swap(0); acks > 0 {
 		w.envSent.Add(1)
 		body := getEncoder(w)
@@ -283,6 +384,10 @@ func (w *World) flush(dst int) {
 		q.mu.Unlock()
 		putEncoder(body)
 	}
+	var tc *telemetry.Collector
+	if telemetry.Enabled() {
+		tc = telemetry.C()
+	}
 	q := w.queues[dst]
 	q.mu.Lock()
 	if q.count == 0 {
@@ -290,26 +395,31 @@ func (w *World) flush(dst int) {
 		return
 	}
 	out := q.enc
+	envs := q.count
+	openNs := q.openNs
 	q.enc = q.takeSpareLocked()
 	q.count = 0
 	q.mu.Unlock()
+	w.noteBatchFlush(dst, reason, envs, openNs, tc)
 	w.env.lam.send(w.pe, dst, out.Bytes())
 	q.putSpare(out)
 }
 
 // flushAll drains every destination queue, first letting higher layers
 // (the array-op aggregation buffers) drain into the queues.
-func (w *World) flushAll() {
+func (w *World) flushAll(reason telemetry.FlushReason) {
 	w.runFlushHooks()
 	for dst := 0; dst < w.NumPEs(); dst++ {
 		if dst == w.pe {
 			continue
 		}
-		w.flush(dst)
+		w.flush(dst, reason)
 	}
 }
 
 // flushLoop is the background flusher bounding sparse-traffic latency.
+// With a telemetry session active, each tick also samples the PE's
+// queue-depth and aggregation-occupancy gauges.
 func (w *World) flushLoop() {
 	defer w.env.flushWG.Done()
 	ticker := time.NewTicker(w.env.cfg.FlushInterval)
@@ -317,12 +427,38 @@ func (w *World) flushLoop() {
 	for {
 		select {
 		case <-w.env.stopFlush:
-			w.flushAll()
+			w.flushAll(telemetry.FlushDrain)
 			return
 		case <-ticker.C:
-			w.flushAll()
+			if telemetry.Enabled() {
+				w.sampleGauges()
+			}
+			w.flushAll(telemetry.FlushTimer)
 		}
 	}
+}
+
+// sampleGauges emits the periodic queue-depth and agg-occupancy levels.
+func (w *World) sampleGauges() {
+	c := telemetry.C()
+	if c == nil {
+		return
+	}
+	now := c.Now()
+	c.Emit(telemetry.Event{
+		TS: now, Kind: telemetry.EvGauge, Sub: uint8(telemetry.GaugeQueueDepth),
+		PE: int32(w.pe), Arg1: w.pool.Pending(),
+	})
+	queued := 0
+	for _, q := range w.queues {
+		q.mu.Lock()
+		queued += q.count
+		q.mu.Unlock()
+	}
+	c.Emit(telemetry.Event{
+		TS: now, Kind: telemetry.EvGauge, Sub: uint8(telemetry.GaugeAggOccupancy),
+		PE: int32(w.pe), Arg1: int64(queued),
+	})
 }
 
 // receiveBatch is the lamellae delivery callback: it schedules an
@@ -363,7 +499,20 @@ func (w *World) handleEnvelope(src int, body []byte) {
 				w.finishRemote(src, req, nil, fmt.Errorf("lamellar: PE%d: %T is not an ActiveMessage", w.pe, v))
 				return
 			}
+			var tc *telemetry.Collector
+			var t0 int64
+			if telemetry.Enabled() {
+				if tc = telemetry.C(); tc != nil {
+					t0 = tc.Now()
+				}
+			}
 			rv, rerr := w.runHandler(am, src)
+			if tc != nil {
+				tc.Emit(telemetry.Event{
+					TS: t0, Dur: tc.Now() - t0, Kind: telemetry.EvAMExec,
+					PE: int32(w.pe), Worker: telemetry.TidRuntime, Arg1: int64(src),
+				})
+			}
 			w.finishRemote(src, req, rv, rerr)
 		})
 	case envReturn:

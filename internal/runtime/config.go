@@ -79,6 +79,18 @@ type Config struct {
 	// this many element operations regardless of payload size, bounding
 	// buffered-op latency for tiny-payload mixes. Default 8192.
 	AggFlushOps int
+	// Telemetry enables the tracing/metrics subsystem
+	// (internal/telemetry) for this world: lifecycle events into per-PE
+	// ring buffers, latency histograms, and periodic gauges. Off by
+	// default; the disabled instrumentation path is a single atomic
+	// branch. Usually set through LAMELLAR_TRACE=1 (see ApplyEnv).
+	Telemetry bool
+	// TraceOut, with Telemetry set, writes the Chrome trace-event JSON
+	// timeline (Perfetto-loadable) to this path at world shutdown.
+	TraceOut string
+	// TraceRingCap overrides the per-PE telemetry event-ring capacity
+	// (rounded up to a power of two; 0 selects the 65536 default).
+	TraceRingCap int
 }
 
 func (c Config) withDefaults() Config {

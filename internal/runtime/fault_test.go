@@ -18,7 +18,7 @@ func TestRandomDelaysDoNotBreakProtocols(t *testing.T) {
 		if w.MyPE() == 0 {
 			// the hook fires concurrently from every PE's goroutines; the
 			// top-level rand functions are goroutine-safe
-			w.Provider().SetHook(func(kind fabric.OpKind, initiator, target, nbytes int) {
+			w.Provider().SetHook(func(ev fabric.OpEvent) {
 				// delay ~2% of operations
 				if rand.Int63()%50 == 0 {
 					time.Sleep(200 * time.Microsecond)

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/telemetry"
 )
 
 // Stats reports one PE's runtime activity; useful for tuning aggregation
@@ -27,6 +29,18 @@ type Stats struct {
 	PoolExecuted uint64
 	PoolStolen   uint64
 	PoolBusy     time.Duration
+	// BatchesSent counts aggregated envelope batches this PE put on the
+	// wire; BatchFlushReasons splits them by trigger, indexed by
+	// telemetry.FlushReason (size threshold, op cap, drain cycle, timer).
+	BatchesSent       uint64
+	BatchFlushReasons [telemetry.NumFlushReasons]uint64
+	// AggBatchesFlushed / AggOpsCoalesced surface the array-op
+	// aggregation layer: element-op buffers dispatched and the ops
+	// coalesced into them; AggFlushReasons splits the buffers by
+	// telemetry.FlushReason (size, ops, drain, run).
+	AggBatchesFlushed uint64
+	AggOpsCoalesced   uint64
+	AggFlushReasons   [telemetry.NumFlushReasons]uint64
 	// Fabric is this PE's traffic counters (messages, bytes, modeled ns).
 	Fabric fabric.Counters
 }
@@ -34,7 +48,7 @@ type Stats struct {
 // Stats snapshots the calling PE's runtime counters.
 func (w *World) Stats() Stats {
 	exec, stolen, busy := w.pool.Stats()
-	return Stats{
+	s := Stats{
 		PE:                 w.pe,
 		Issued:             w.issued.Load(),
 		Completed:          w.completed.Load(),
@@ -43,16 +57,78 @@ func (w *World) Stats() Stats {
 		PoolExecuted:       exec,
 		PoolStolen:         stolen,
 		PoolBusy:           busy,
+		BatchesSent:        w.batchesSent.Load(),
+		AggBatchesFlushed:  w.aggBatches.Load(),
+		AggOpsCoalesced:    w.aggOps.Load(),
 		Fabric:             w.env.prov.CountersFor(w.pe),
 	}
+	for i := range s.BatchFlushReasons {
+		s.BatchFlushReasons[i] = w.batchReasons[i].Load()
+		s.AggFlushReasons[i] = w.aggReasons[i].Load()
+	}
+	return s
+}
+
+// reasonString renders a per-reason counter array compactly, skipping
+// zero reasons (e.g. "size:3 drain:1").
+func reasonString(counts [telemetry.NumFlushReasons]uint64) string {
+	var b strings.Builder
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", telemetry.FlushReason(i), n)
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
 }
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"PE%d: ams=%d/%d env=%d/%d pool(exec=%d stolen=%d busy=%v) net(msgs=%d bytes=%d modeled=%v)",
+		"PE%d: ams=%d/%d env=%d/%d pool(exec=%d stolen=%d busy=%v) batches(sent=%d reasons[%s]) agg(batches=%d ops=%d reasons[%s]) net(msgs=%d bytes=%d modeled=%v)",
 		s.PE, s.Completed, s.Issued, s.EnvelopesProcessed, s.EnvelopesSent,
 		s.PoolExecuted, s.PoolStolen, s.PoolBusy,
+		s.BatchesSent, reasonString(s.BatchFlushReasons),
+		s.AggBatchesFlushed, s.AggOpsCoalesced, reasonString(s.AggFlushReasons),
 		s.Fabric.Msgs, s.Fabric.Bytes, time.Duration(s.Fabric.ModeledNs))
+}
+
+// StatsReport extends Stats with the telemetry subsystem's latency
+// percentiles. With no active telemetry session the summaries are zero
+// (Count 0) and the embedded counters are still valid.
+type StatsReport struct {
+	Stats
+	// AMRoundTrip digests issue→resolution latency of return-style AMs.
+	AMRoundTrip telemetry.HistSummary
+	// QueueWait digests submit→start latency of pool tasks.
+	QueueWait telemetry.HistSummary
+	// FlushInterval digests the open→flush age of wire batches.
+	FlushInterval telemetry.HistSummary
+	// TraceDropped counts telemetry events lost to ring contention.
+	TraceDropped uint64
+}
+
+// StatsReport snapshots the PE's counters plus, when telemetry is
+// active, its latency histogram summaries.
+func (w *World) StatsReport() StatsReport {
+	r := StatsReport{Stats: w.Stats()}
+	if c := telemetry.C(); c != nil && w.pe < c.NumPEs() {
+		r.AMRoundTrip = c.Hist(w.pe, telemetry.HistAMRoundTrip).Summary()
+		r.QueueWait = c.Hist(w.pe, telemetry.HistQueueWait).Summary()
+		r.FlushInterval = c.Hist(w.pe, telemetry.HistFlushInterval).Summary()
+		r.TraceDropped = c.Dropped(w.pe)
+	}
+	return r
+}
+
+func (r StatsReport) String() string {
+	return fmt.Sprintf("%s\n  am_round_trip: %v\n  task_queue_wait: %v\n  flush_interval: %v",
+		r.Stats, r.AMRoundTrip, r.QueueWait, r.FlushInterval)
 }
 
 // ApplyEnv overlays LAMELLAR_* environment variables onto a Config,
@@ -64,6 +140,12 @@ func (s Stats) String() string {
 //	LAMELLAR_OP_BATCH    array-operation sub-batch size
 //	LAMELLAR_LAMELLAE    sim | shmem | smp
 //	LAMELLAR_RING_SLOTS  descriptor ring depth (sim lamellae)
+//	LAMELLAR_TRACE       1/true enables the telemetry subsystem
+//	                     (lifecycle tracing, histograms, gauges)
+//	LAMELLAR_TRACE_OUT   path for the Chrome trace-event JSON timeline
+//	                     written at world shutdown (implies telemetry on);
+//	                     open it in Perfetto (ui.perfetto.dev)
+//	LAMELLAR_TRACE_RING  per-PE telemetry event-ring capacity
 func (c Config) ApplyEnv() Config {
 	if v, ok := envInt("LAMELLAR_THREADS"); ok {
 		c.WorkersPerPE = v
@@ -79,6 +161,16 @@ func (c Config) ApplyEnv() Config {
 	}
 	if v, ok := envInt("LAMELLAR_RING_SLOTS"); ok {
 		c.RingSlots = v
+	}
+	if v := os.Getenv("LAMELLAR_TRACE"); v == "1" || strings.EqualFold(v, "true") {
+		c.Telemetry = true
+	}
+	if v := os.Getenv("LAMELLAR_TRACE_OUT"); v != "" {
+		c.Telemetry = true
+		c.TraceOut = v
+	}
+	if v, ok := envInt("LAMELLAR_TRACE_RING"); ok {
+		c.TraceRingCap = v
 	}
 	return c
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/scheduler"
+	"repro/internal/telemetry"
 )
 
 // teamShared is the state common to every member's handle of one team.
@@ -77,7 +78,7 @@ func (t *Team) World() *World { return t.env.worlds[t.myPE] }
 
 // Barrier synchronizes the team's members (collective).
 func (t *Team) Barrier() {
-	t.World().flushAll()
+	t.World().flushAll(telemetry.FlushDrain)
 	t.env.prov.WaitFor(t.myPE, t.shared.barrier)
 }
 

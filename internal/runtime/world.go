@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/scheduler"
 	"repro/internal/serde"
+	"repro/internal/telemetry"
 )
 
 // worldEnv is the state shared by all PEs of one world (one simulated job).
@@ -27,6 +29,9 @@ type worldEnv struct {
 	stopFlush chan struct{}
 	flushWG   sync.WaitGroup
 	closed    atomic.Bool
+
+	tele      *telemetry.Collector // active telemetry session, nil when off
+	teleOwned bool                 // this world started the session
 }
 
 type collEntry struct {
@@ -60,8 +65,31 @@ type World struct {
 	worldTeam *Team
 	ext       extMap
 
+	// Wire-batch accounting: batches this PE put on the wire and why
+	// each one flushed (size threshold, op cap, drain cycle, timer).
+	batchesSent  atomic.Uint64
+	batchReasons [telemetry.NumFlushReasons]atomic.Uint64
+
+	// Array-op aggregation accounting, bumped by the array layer through
+	// CountAggFlush: buffers dispatched, element ops coalesced into
+	// them, and per-reason flush counts.
+	aggBatches atomic.Uint64
+	aggOps     atomic.Uint64
+	aggReasons [telemetry.NumFlushReasons]atomic.Uint64
+
 	flushHookMu sync.Mutex
 	flushHooks  []func()
+}
+
+// CountAggFlush records one array-op aggregation buffer dispatch for
+// Stats: why it flushed and how many coalesced element ops it carried.
+// The array layer calls this on every buffer it ships.
+func (w *World) CountAggFlush(reason telemetry.FlushReason, ops int) {
+	w.aggBatches.Add(1)
+	w.aggOps.Add(uint64(ops))
+	if int(reason) < len(w.aggReasons) {
+		w.aggReasons[reason].Add(1)
+	}
 }
 
 // RegisterFlushHook installs fn to run at the start of every queue flush
@@ -95,6 +123,7 @@ type aggQueue struct {
 	enc     *serde.Encoder
 	scratch *serde.Encoder
 	count   int
+	openNs  int64 // telemetry stamp of the first envelope in the active buffer
 }
 
 func newAggQueue() *aggQueue {
@@ -181,6 +210,11 @@ func newEnv(cfg Config) (*worldEnv, error) {
 		coll:      make(map[string]*collEntry),
 		stopFlush: make(chan struct{}),
 	}
+	if cfg.Telemetry {
+		// Start (or join) the process-global telemetry session before any
+		// pool exists so no event is lost to a disabled gate.
+		env.tele, env.teleOwned = telemetry.StartGlobal(cfg.PEs, cfg.TraceRingCap)
+	}
 	env.worlds = make([]*World, cfg.PEs)
 	for pe := 0; pe < cfg.PEs; pe++ {
 		w := &World{
@@ -191,6 +225,7 @@ func newEnv(cfg Config) (*worldEnv, error) {
 			pendingAcks: make([]atomic.Uint64, cfg.PEs),
 			returns:     make(map[uint64]func(any, error)),
 		}
+		w.pool.SetTelemetryPE(pe)
 		for d := range w.queues {
 			w.queues[d] = newAggQueue()
 		}
@@ -248,6 +283,29 @@ func (env *worldEnv) close() {
 	for _, w := range env.worlds {
 		w.pool.Close()
 	}
+	if env.teleOwned {
+		// All workers and flushers are stopped: the rings are quiescent,
+		// so exporting and tearing the session down is safe here.
+		if env.cfg.TraceOut != "" {
+			if err := writeTimeline(env.tele, env.cfg.TraceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "lamellar: writing trace timeline: %v\n", err)
+			}
+		}
+		telemetry.StopGlobal(env.tele)
+	}
+}
+
+// writeTimeline dumps the collector's Chrome trace-event JSON to path.
+func writeTimeline(c *telemetry.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ----- accessors -------------------------------------------------------
@@ -281,7 +339,7 @@ func (w *World) PeerWorld(pe int) *World { return w.env.worlds[pe] }
 // aggregation queues first so no message can be indefinitely delayed
 // across the barrier.
 func (w *World) Barrier() {
-	w.flushAll()
+	w.flushAll(telemetry.FlushDrain)
 	w.env.prov.Barrier(w.pe)
 }
 
@@ -290,7 +348,7 @@ func (w *World) Barrier() {
 // the executor while waiting. It mirrors world.wait_all().
 func (w *World) WaitAll() {
 	for {
-		w.flushAll()
+		w.flushAll(telemetry.FlushDrain)
 		if w.completed.Load() >= w.issued.Load() {
 			return
 		}
@@ -305,7 +363,7 @@ func (w *World) WaitAll() {
 func BlockOn[T any](w *World, f *scheduler.Future[T]) (T, error) {
 	// Awaiting helps the pool already; flush first so the request this
 	// future depends on actually leaves the aggregation buffers.
-	w.flushAll()
+	w.flushAll(telemetry.FlushDrain)
 	return f.Await()
 }
 
@@ -316,7 +374,7 @@ func (w *World) finalize() {
 	w.WaitAll()
 	stable := 0
 	for stable < 2 {
-		w.flushAll()
+		w.flushAll(telemetry.FlushDrain)
 		for w.pool.TryRunOne() {
 		}
 		inFlight := w.envSent.Load() - w.envProcessed.Load()

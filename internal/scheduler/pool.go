@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Task is a unit of asynchronous work.
@@ -21,6 +23,15 @@ type Task func()
 
 // PanicHandler receives recovered panics from tasks.
 type PanicHandler func(recovered any)
+
+// taskEntry pairs a queued task with its telemetry spawn timestamp
+// (collector nanoseconds; 0 when telemetry was disabled at submit time).
+// Keeping the timestamp in the queue slot itself costs one word per entry
+// and no allocation on either path.
+type taskEntry struct {
+	fn      Task
+	spawnNs int64
+}
 
 // Pool is a work-stealing executor. Workers prefer their own deque (LIFO
 // for locality), then the global injector queue (FIFO), then steal the
@@ -30,9 +41,9 @@ type PanicHandler func(recovered any)
 type Pool struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	global   []Task   // FIFO injector
-	local    [][]Task // per-worker deques; owner pops newest, thieves steal oldest
-	next     int      // round-robin submission cursor
+	global   []taskEntry   // FIFO injector
+	local    [][]taskEntry // per-worker deques; owner pops newest, thieves steal oldest
+	next     int           // round-robin submission cursor
 	sleeping int
 	closed   bool
 
@@ -46,6 +57,8 @@ type Pool struct {
 	stolen      atomic.Uint64
 	busyNs      atomic.Int64 // accumulated task execution time
 
+	tracePE atomic.Int32 // PE label for telemetry events
+
 	onPanic atomic.Pointer[PanicHandler]
 }
 
@@ -56,7 +69,7 @@ func NewPool(workers int) *Pool {
 	}
 	p := &Pool{
 		workers: workers,
-		local:   make([][]Task, workers),
+		local:   make([][]taskEntry, workers),
 		notify:  make(chan struct{}, 1),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -70,6 +83,10 @@ func NewPool(workers int) *Pool {
 // Workers reports the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// SetTelemetryPE labels this pool's telemetry events with the owning
+// PE's rank (pools default to PE 0).
+func (p *Pool) SetTelemetryPE(pe int) { p.tracePE.Store(int32(pe)) }
+
 // SetPanicHandler installs a handler for panics escaping tasks. The
 // default prints and continues, mirroring "shut down a failing goroutine
 // without killing the others".
@@ -81,11 +98,27 @@ func (p *Pool) SetPanicHandler(h PanicHandler) {
 	p.onPanic.Store(&h)
 }
 
+// newEntry wraps a task for queuing, stamping it when telemetry is on.
+func (p *Pool) newEntry(t Task) taskEntry {
+	e := taskEntry{fn: t}
+	if telemetry.Enabled() {
+		if c := telemetry.C(); c != nil {
+			e.spawnNs = c.Now()
+			c.Emit(telemetry.Event{
+				TS: e.spawnNs, Kind: telemetry.EvTaskSpawn,
+				PE: p.tracePE.Load(), Worker: telemetry.TidRuntime,
+			})
+		}
+	}
+	return e
+}
+
 // Submit enqueues a task for asynchronous execution.
 func (p *Pool) Submit(t Task) {
 	if t == nil {
 		panic("scheduler: nil task")
 	}
+	e := p.newEntry(t)
 	p.outstanding.Add(1)
 	p.mu.Lock()
 	if p.closed {
@@ -97,7 +130,7 @@ func (p *Pool) Submit(t Task) {
 	// in the balanced case while still allowing stealing under skew.
 	w := p.next
 	p.next = (p.next + 1) % p.workers
-	p.local[w] = append(p.local[w], t)
+	p.local[w] = append(p.local[w], e)
 	if p.sleeping > 0 {
 		p.cond.Signal()
 	}
@@ -114,6 +147,7 @@ func (p *Pool) SubmitGlobal(t Task) {
 	if t == nil {
 		panic("scheduler: nil task")
 	}
+	e := p.newEntry(t)
 	p.outstanding.Add(1)
 	p.mu.Lock()
 	if p.closed {
@@ -121,7 +155,7 @@ func (p *Pool) SubmitGlobal(t Task) {
 		p.outstanding.Add(-1)
 		panic("scheduler: submit on closed pool")
 	}
-	p.global = append(p.global, t)
+	p.global = append(p.global, e)
 	if p.sleeping > 0 {
 		p.cond.Signal()
 	}
@@ -134,16 +168,16 @@ func (p *Pool) SubmitGlobal(t Task) {
 
 // take returns the next task for worker w (own deque LIFO, then global
 // FIFO, then steal oldest from a random victim). Caller holds p.mu.
-func (p *Pool) take(w int) Task {
+func (p *Pool) take(w int) (taskEntry, bool) {
 	if q := p.local[w]; len(q) > 0 {
 		t := q[len(q)-1]
 		p.local[w] = q[:len(q)-1]
-		return t
+		return t, true
 	}
 	if len(p.global) > 0 {
 		t := p.global[0]
 		p.global = p.global[1:]
-		return t
+		return t, true
 	}
 	// steal: scan victims starting at a random offset
 	off := rand.Intn(p.workers)
@@ -156,19 +190,28 @@ func (p *Pool) take(w int) Task {
 			t := q[0]
 			p.local[v] = q[1:]
 			p.stolen.Add(1)
-			return t
+			if telemetry.Enabled() {
+				if c := telemetry.C(); c != nil {
+					c.Emit(telemetry.Event{
+						TS: c.Now(), Kind: telemetry.EvTaskSteal,
+						PE: p.tracePE.Load(), Worker: int32(w), Arg1: int64(v),
+					})
+				}
+			}
+			return t, true
 		}
 	}
-	return nil
+	return taskEntry{}, false
 }
 
 func (p *Pool) worker(w int) {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
-		var t Task
+		var t taskEntry
+		var ok bool
 		for {
-			if t = p.take(w); t != nil || p.closed {
+			if t, ok = p.take(w); ok || p.closed {
 				break
 			}
 			p.sleeping++
@@ -176,20 +219,41 @@ func (p *Pool) worker(w int) {
 			p.sleeping--
 		}
 		p.mu.Unlock()
-		if t == nil {
+		if !ok {
 			return // closed and drained
 		}
-		p.run(t)
+		p.run(t, w)
 	}
 }
 
-// run executes a task with timing and panic containment.
-func (p *Pool) run(t Task) {
+// run executes a task with timing and panic containment. worker is the
+// executing worker index, or -1 for helpers (Await/TryRunOne callers).
+func (p *Pool) run(t taskEntry, worker int) {
+	var c *telemetry.Collector
+	var t0 int64
+	if telemetry.Enabled() {
+		if c = telemetry.C(); c != nil {
+			t0 = c.Now()
+			if t.spawnNs != 0 {
+				c.Hist(int(p.tracePE.Load()), telemetry.HistQueueWait).Record(t0 - t.spawnNs)
+			}
+		}
+	}
 	start := time.Now()
 	defer func() {
 		p.busyNs.Add(time.Since(start).Nanoseconds())
 		p.executed.Add(1)
 		p.outstanding.Add(-1)
+		if c != nil {
+			tid := int32(worker)
+			if worker < 0 {
+				tid = telemetry.TidApp
+			}
+			c.Emit(telemetry.Event{
+				TS: t0, Dur: c.Now() - t0, Kind: telemetry.EvTaskRun,
+				PE: p.tracePE.Load(), Worker: tid,
+			})
+		}
 		if r := recover(); r != nil {
 			if h := p.onPanic.Load(); h != nil {
 				(*h)(r)
@@ -198,7 +262,7 @@ func (p *Pool) run(t Task) {
 			}
 		}
 	}()
-	t()
+	t.fn()
 }
 
 // tryRunOne executes one pending task if any exists; it is the helping
@@ -206,25 +270,28 @@ func (p *Pool) run(t Task) {
 // whether a task ran.
 func (p *Pool) TryRunOne() bool {
 	p.mu.Lock()
-	var t Task
+	var t taskEntry
+	var ok bool
 	// helpers behave like an extra worker with no own deque: global first
 	if len(p.global) > 0 {
 		t = p.global[0]
 		p.global = p.global[1:]
+		ok = true
 	} else {
 		for v := 0; v < p.workers; v++ {
 			if q := p.local[v]; len(q) > 0 {
 				t = q[0]
 				p.local[v] = q[1:]
+				ok = true
 				break
 			}
 		}
 	}
 	p.mu.Unlock()
-	if t == nil {
+	if !ok {
 		return false
 	}
-	p.run(t)
+	p.run(t, -1)
 	return true
 }
 

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// fabricOpNames mirrors fabric.OpKind's ordering (put, get, atomic,
+// barrier) without importing the fabric package — fabric imports
+// telemetry, so the dependency must point this way.
+var fabricOpNames = [...]string{"put", "get", "atomic", "barrier"}
+
+func fabricOpName(sub uint8) string {
+	if int(sub) < len(fabricOpNames) {
+		return fabricOpNames[sub]
+	}
+	return "unknown"
+}
+
+// WriteChromeTrace exports every PE's ring as Chrome trace-event JSON
+// (the "JSON Array Format" both chrome://tracing and Perfetto load).
+// Each PE becomes one process; pool workers and the synthetic app/net/
+// runtime contexts become its threads, so the timeline shows one track
+// per PE×worker. Quiescent points only.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	item := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+			first = false
+		}
+		fmt.Fprintf(bw, format, args...)
+	}
+	for pe := 0; pe < c.npes; pe++ {
+		events := c.rings[pe].snapshot()
+		sort.SliceStable(events, func(a, b int) bool { return events[a].TS < events[b].TS })
+		item(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"PE%d"}}`, pe, pe)
+		item(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`, pe, pe)
+		for _, tid := range threadsOf(events) {
+			item(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+				pe, tid, threadName(tid))
+		}
+		for _, ev := range events {
+			writeEvent(item, pe, ev)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// threadsOf collects the distinct tids appearing in events, sorted.
+func threadsOf(events []Event) []int32 {
+	seen := map[int32]bool{}
+	for _, ev := range events {
+		if ev.Kind == EvGauge {
+			continue // counter tracks are per-process, no tid
+		}
+		seen[tidOf(ev)] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for tid := range seen {
+		out = append(out, tid)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func tidOf(ev Event) int32 {
+	if ev.Worker < 0 {
+		return TidApp
+	}
+	return ev.Worker
+}
+
+func threadName(tid int32) string {
+	switch tid {
+	case TidApp:
+		return "app"
+	case TidNet:
+		return "net"
+	case TidRuntime:
+		return "runtime"
+	default:
+		return fmt.Sprintf("worker%d", tid)
+	}
+}
+
+// us renders a nanosecond timestamp in the microseconds Chrome expects,
+// keeping nanosecond resolution.
+func us(ns int64) string { return fmt.Sprintf("%d.%03d", ns/1000, ns%1000) }
+
+func writeEvent(item func(string, ...any), pe int, ev Event) {
+	tid := tidOf(ev)
+	switch ev.Kind {
+	case EvTaskRun:
+		item(`{"name":"task.run","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s}`,
+			pe, tid, us(ev.TS), us(ev.Dur))
+	case EvTaskSpawn:
+		item(`{"name":"task.spawn","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s}`,
+			pe, tid, us(ev.TS))
+	case EvTaskSteal:
+		item(`{"name":"task.steal","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"victim":%d}}`,
+			pe, tid, us(ev.TS), ev.Arg1)
+	case EvAMIssue:
+		item(`{"name":"am.issue","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"dst":%d,"req":%d}}`,
+			pe, tid, us(ev.TS), ev.Arg1, ev.Arg2)
+	case EvAMEncode:
+		item(`{"name":"am.encode","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"dst":%d}}`,
+			pe, tid, us(ev.TS), us(ev.Dur), ev.Arg1)
+	case EvAMExec:
+		item(`{"name":"am.exec","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"src":%d}}`,
+			pe, tid, us(ev.TS), us(ev.Dur), ev.Arg1)
+	case EvAMReturn:
+		item(`{"name":"am.return","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"from":%d,"req":%d}}`,
+			pe, tid, us(ev.TS), ev.Arg1, ev.Arg2)
+	case EvBatchOpen:
+		item(`{"name":"agg.open","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"dst":%d}}`,
+			pe, tid, us(ev.TS), ev.Arg1)
+	case EvBatchFlush:
+		item(`{"name":"agg.flush","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"dst":%d,"ops":%d,"reason":"%s"}}`,
+			pe, tid, us(ev.TS), us(ev.Dur), ev.Arg1, ev.Arg2, FlushReason(ev.Sub))
+	case EvFabricOp:
+		item(`{"name":"fabric.%s","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"target":%d,"bytes":%d}}`,
+			fabricOpName(ev.Sub), pe, tid, us(ev.TS), us(ev.Dur), ev.Arg1, ev.Arg2)
+	case EvGauge:
+		item(`{"name":"%s","ph":"C","pid":%d,"ts":%s,"args":{"value":%d}}`,
+			GaugeID(ev.Sub), pe, us(ev.TS), ev.Arg1)
+	default:
+		item(`{"name":"%s","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s}`,
+			ev.Kind, pe, tid, us(ev.TS))
+	}
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Ring is a fixed-capacity lock-free event buffer that overwrites its
+// oldest entries. Writers claim a slot with a fetch-add on the cursor and
+// take a per-slot publication word from even (stable) to odd (writing)
+// with a CAS before touching the payload, so two writers can never race
+// on one slot: if a lapped writer still holds the slot — only possible
+// when the producers outrun the ring by a full lap mid-write — the newer
+// writer drops its event and counts it instead of blocking. Readers run
+// only at quiescent points (package comment), where every slot is even.
+type Ring struct {
+	mask    uint64
+	cursor  atomic.Uint64
+	dropped atomic.Uint64
+	slots   []ringSlot
+}
+
+// ringSlot holds one event and its publication word: 0 = never written,
+// odd = write in progress, even non-zero = (pos+1)<<1 of the writer that
+// published it.
+type ringSlot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+func (r *Ring) init(capacity int) {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r.mask = uint64(n - 1)
+	r.slots = make([]ringSlot, n)
+}
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+func (r *Ring) push(ev Event) {
+	pos := r.cursor.Add(1) - 1
+	s := &r.slots[pos&r.mask]
+	seq := s.seq.Load()
+	if seq&1 != 0 || !s.seq.CompareAndSwap(seq, seq|1) {
+		// A writer lapped the whole ring while this slot's owner was
+		// mid-write. Dropping keeps the fast path wait-free.
+		r.dropped.Add(1)
+		return
+	}
+	s.ev = ev
+	s.seq.Store((pos + 1) << 1)
+}
+
+// snapshot returns the ring's published events oldest-first by write
+// position. Quiescent points only.
+func (r *Ring) snapshot() []Event {
+	type posEv struct {
+		pos uint64
+		ev  Event
+	}
+	tmp := make([]posEv, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 || seq&1 != 0 {
+			continue
+		}
+		tmp = append(tmp, posEv{pos: seq >> 1, ev: s.ev})
+	}
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a].pos < tmp[b].pos })
+	out := make([]Event, len(tmp))
+	for i, pe := range tmp {
+		out[i] = pe.ev
+	}
+	return out
+}

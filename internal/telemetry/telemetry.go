@@ -1,0 +1,302 @@
+// Package telemetry is the runtime's zero-dependency, env-gated tracing
+// and metrics subsystem. It records timestamped lifecycle events — task
+// spawn/run/steal (scheduler), AM issue/encode/execute/return (runtime),
+// aggregation batch open/flush with flush reasons (array layer), and
+// fabric op spans with byte counts — into per-PE lock-free ring buffers,
+// plus log-bucketed latency histograms (AM round trip, task queue wait,
+// aggregation flush interval) and periodic queue-depth gauges.
+//
+// The disabled path is a single branch on a package-level atomic
+// (Enabled()): no allocation, no time syscalls, no pointer chase. All
+// instrumentation sites follow the pattern
+//
+//	if telemetry.Enabled() {
+//	    t0 := telemetry.Now()
+//	    ...
+//	}
+//
+// Collected data exports as Chrome trace-event JSON (loadable in
+// Perfetto with one track per PE×worker — see WriteChromeTrace), a
+// Prometheus-style text dump (WritePrometheus), and histogram summaries
+// consumed by runtime.StatsReport.
+//
+// Concurrency contract: Emit and histogram/counter recording are safe
+// from any goroutine at any time. Ring snapshots and the exporters must
+// run at a quiescent point (after runtime.Run returned, or with the
+// world at a barrier) — a ring writer lapping a concurrent reader would
+// otherwise race on slot payloads.
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies a lifecycle event.
+type EventKind uint8
+
+// Event taxonomy (see DESIGN.md "Observability").
+const (
+	// EvTaskSpawn marks a task submitted to a PE's pool (instant).
+	EvTaskSpawn EventKind = iota
+	// EvTaskRun spans a task execution on a worker (Dur = run time).
+	EvTaskRun
+	// EvTaskSteal marks a successful steal by Worker from victim Arg1.
+	EvTaskSteal
+	// EvAMIssue marks an AM launch; Arg1 = destination PE, Arg2 = reqID.
+	EvAMIssue
+	// EvAMEncode spans serializing an AM into a destination queue;
+	// Arg1 = destination PE.
+	EvAMEncode
+	// EvAMExec spans a remote AM handler execution; Arg1 = source PE.
+	EvAMExec
+	// EvAMReturn marks an origin-side return/future resolution;
+	// Arg1 = executing PE, Arg2 = reqID.
+	EvAMReturn
+	// EvBatchOpen marks the first op buffered into an empty aggregation
+	// buffer; Arg1 = destination.
+	EvBatchOpen
+	// EvBatchFlush spans an aggregation buffer's open→flush lifetime;
+	// Sub = FlushReason, Arg1 = destination, Arg2 = ops (or envelopes).
+	EvBatchFlush
+	// EvFabricOp spans one fabric operation at its modeled duration;
+	// Sub = fabric op kind, Arg1 = target PE, Arg2 = payload bytes.
+	EvFabricOp
+	// EvGauge samples a level; Sub = GaugeID, Arg1 = value.
+	EvGauge
+
+	numEventKinds = int(EvGauge) + 1
+)
+
+var eventNames = [numEventKinds]string{
+	"task.spawn", "task.run", "task.steal",
+	"am.issue", "am.encode", "am.exec", "am.return",
+	"agg.open", "agg.flush", "fabric.op", "gauge",
+}
+
+func (k EventKind) String() string {
+	if int(k) < numEventKinds {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// FlushReason says why an aggregation buffer (array-op buffer or runtime
+// destination queue) went out.
+type FlushReason uint8
+
+// Flush reasons recorded in EvBatchFlush.Sub and surfaced by runtime.Stats.
+const (
+	// FlushSize: the buffer crossed its byte threshold.
+	FlushSize FlushReason = iota
+	// FlushOps: the buffer crossed its op-count cap.
+	FlushOps
+	// FlushDrain: a drain cycle (WaitAll/Barrier/BlockOn/explicit flush).
+	FlushDrain
+	// FlushTimer: the background flusher tick.
+	FlushTimer
+	// FlushRun: a single run large enough to ship immediately on its own.
+	FlushRun
+
+	numFlushReasons = int(FlushRun) + 1
+	// NumFlushReasons is the number of distinct flush reasons, for
+	// callers keeping per-reason counter arrays.
+	NumFlushReasons = numFlushReasons
+)
+
+var flushReasonNames = [numFlushReasons]string{"size", "ops", "drain", "timer", "run"}
+
+func (r FlushReason) String() string {
+	if int(r) < numFlushReasons {
+		return flushReasonNames[r]
+	}
+	return "unknown"
+}
+
+// GaugeID names a periodically sampled level.
+type GaugeID uint8
+
+// Gauges sampled by the runtime's background flusher.
+const (
+	// GaugeQueueDepth is the pool's submitted-but-unfinished task count.
+	GaugeQueueDepth GaugeID = iota
+	// GaugeAggOccupancy is the number of envelopes sitting in this PE's
+	// destination aggregation queues.
+	GaugeAggOccupancy
+
+	numGauges = int(GaugeAggOccupancy) + 1
+)
+
+var gaugeNames = [numGauges]string{"queue.depth", "agg.occupancy"}
+
+func (g GaugeID) String() string {
+	if int(g) < numGauges {
+		return gaugeNames[g]
+	}
+	return "unknown"
+}
+
+// Synthetic Chrome-trace thread ids for events not bound to a pool
+// worker. Real workers use their worker index (0..W-1) directly.
+const (
+	// TidApp is the application/helper context (worker -1).
+	TidApp = 96
+	// TidNet is the fabric/network track.
+	TidNet = 97
+	// TidRuntime is the AM/aggregation runtime track.
+	TidRuntime = 98
+)
+
+// Event is one recorded lifecycle event. TS is nanoseconds since the
+// collector started; Dur is the span length (0 for instants); Worker is
+// the pool worker index or a Tid* constant; Sub carries the kind-specific
+// subcode (FlushReason, fabric op kind, GaugeID).
+type Event struct {
+	TS     int64
+	Dur    int64
+	Arg1   int64
+	Arg2   int64
+	PE     int32
+	Worker int32
+	Kind   EventKind
+	Sub    uint8
+}
+
+// Histogram identifiers (per PE).
+const (
+	// HistAMRoundTrip is issue→resolution latency of return-style AMs.
+	HistAMRoundTrip = iota
+	// HistQueueWait is submit→start latency of pool tasks.
+	HistQueueWait
+	// HistFlushInterval is open→flush age of aggregation buffers.
+	HistFlushInterval
+
+	numHists
+)
+
+var histNames = [numHists]string{"am_round_trip", "task_queue_wait", "agg_flush_interval"}
+
+// Collector owns the per-PE rings, histograms, and counters of one
+// telemetry session.
+type Collector struct {
+	start    time.Time
+	npes     int
+	rings    []Ring
+	hists    [][numHists]Histogram // [pe][hist]
+	evCounts []eventCounters       // [pe][kind], survives ring wraparound
+}
+
+type eventCounters [numEventKinds]atomic.Uint64
+
+// DefaultRingCap is the per-PE event-ring capacity when none is given.
+const DefaultRingCap = 1 << 16
+
+// NewCollector creates a collector for npes PEs with the given per-PE
+// ring capacity (rounded up to a power of two; <=0 selects the default).
+func NewCollector(npes, ringCap int) *Collector {
+	if npes < 1 {
+		npes = 1
+	}
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	c := &Collector{
+		start:    time.Now(),
+		npes:     npes,
+		rings:    make([]Ring, npes),
+		hists:    make([][numHists]Histogram, npes),
+		evCounts: make([]eventCounters, npes),
+	}
+	for pe := range c.rings {
+		c.rings[pe].init(ringCap)
+	}
+	return c
+}
+
+// NumPEs reports the collector's world size.
+func (c *Collector) NumPEs() int { return c.npes }
+
+// Now returns the event timestamp clock: nanoseconds since the collector
+// started, from the monotonic clock.
+func (c *Collector) Now() int64 { return int64(time.Since(c.start)) }
+
+// Emit records ev into its PE's ring. Out-of-range PEs clamp to 0 so a
+// mislabeled emitter cannot crash the run.
+func (c *Collector) Emit(ev Event) {
+	pe := int(ev.PE)
+	if pe < 0 || pe >= c.npes {
+		pe = 0
+	}
+	c.evCounts[pe][ev.Kind].Add(1)
+	c.rings[pe].push(ev)
+}
+
+// Hist returns PE pe's histogram id (see the Hist* constants).
+func (c *Collector) Hist(pe, id int) *Histogram {
+	if pe < 0 || pe >= c.npes {
+		pe = 0
+	}
+	return &c.hists[pe][id]
+}
+
+// EventCount reports how many events of kind were emitted on pe over the
+// whole session, including events the ring has since overwritten.
+func (c *Collector) EventCount(pe int, kind EventKind) uint64 {
+	return c.evCounts[pe][kind].Load()
+}
+
+// Dropped reports events lost to ring-writer contention on pe.
+func (c *Collector) Dropped(pe int) uint64 { return c.rings[pe].dropped.Load() }
+
+// Events snapshots one PE's ring, oldest first. Quiescent points only —
+// see the package comment.
+func (c *Collector) Events(pe int) []Event { return c.rings[pe].snapshot() }
+
+// ----- global session ---------------------------------------------------
+
+var (
+	enabled atomic.Bool
+	global  atomic.Pointer[Collector]
+)
+
+// Enabled reports whether a telemetry session is active. This is the
+// single branch every instrumentation site takes; when false the site
+// must do no other telemetry work.
+func Enabled() bool { return enabled.Load() }
+
+// C returns the active collector, or nil when telemetry is disabled or
+// between Enable/sessions. Callers must tolerate nil: a session can stop
+// between an Enabled() check and the C() load.
+func C() *Collector { return global.Load() }
+
+// Now returns the active session's clock, or 0 with no session.
+func Now() int64 {
+	if c := global.Load(); c != nil {
+		return c.Now()
+	}
+	return 0
+}
+
+// StartGlobal installs a new collector as the process-global session if
+// none is active, returning the active collector and whether this call
+// installed it (the owner should pass it to StopGlobal). A concurrent
+// session keeps its collector; the caller shares it.
+func StartGlobal(npes, ringCap int) (*Collector, bool) {
+	c := NewCollector(npes, ringCap)
+	if global.CompareAndSwap(nil, c) {
+		enabled.Store(true)
+		return c, true
+	}
+	return global.Load(), false
+}
+
+// StopGlobal ends the session owning collector c: a no-op unless c is
+// the active global collector.
+func StopGlobal(c *Collector) {
+	if c == nil {
+		return
+	}
+	if global.CompareAndSwap(c, nil) {
+		enabled.Store(false)
+	}
+}
