@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench agg-bench trace-smoke
+.PHONY: build vet test race check bench agg-bench bench-sched sched-stress trace-smoke
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The scheduler stress test must RUN (not skip): the lock-free executor
+# paths only get race coverage through it. Grep the verbose output for
+# its PASS marker so a skip or rename fails the gate loudly.
+sched-stress:
+	$(GO) test -race -count=1 -run TestSchedulerStress -v ./internal/scheduler | tee /tmp/sched-stress.out
+	@grep -q -- '--- PASS: TestSchedulerStress' /tmp/sched-stress.out || \
+		{ echo "check: TestSchedulerStress did not run/pass" >&2; exit 1; }
+
 # Tier-1 gate: everything that must stay green before a change lands.
-check: build vet race trace-smoke
+check: build vet race sched-stress trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -23,6 +31,13 @@ bench:
 # Aggregated vs direct array-op micro-benchmarks (FIG2A companion).
 agg-bench:
 	$(GO) test -run xxx -bench 'AtomicOps' -benchmem -count=1 .
+
+# Scheduler micro-benchmarks (bench_results.txt §SCHED): pinned
+# iteration count so the queue-wait histogram sees the same backlog
+# regardless of machine speed, plus the injector O(1)-pop regression.
+bench-sched:
+	$(GO) test -run xxx -bench 'Sched' -benchtime=1000000x -benchmem -count=1 .
+	$(GO) test -run xxx -bench 'Injector' -benchtime=1000000x -count=1 ./internal/scheduler
 
 # Telemetry smoke test: run a kernel with the timeline exporter and fail
 # unless the written file is valid Chrome trace JSON (lamellar-trace

@@ -8,6 +8,8 @@ package lamellar_test
 import (
 	"fmt"
 	"math/rand"
+	goruntime "runtime"
+	"sync/atomic"
 	"testing"
 
 	lamellar "repro"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/scheduler"
 	"repro/internal/serde"
+	"repro/internal/telemetry"
 )
 
 // benchParams keeps kernel benchmarks fast enough for -bench runs.
@@ -205,6 +208,153 @@ func BenchmarkSchedulerSubmit(b *testing.B) {
 		}
 	})
 	p.Quiesce()
+}
+
+// ----- scheduler executor micro-benchmarks (ISSUE 3) --------------------------
+
+// BenchmarkSchedSubmitExecute measures end-to-end submit+execute
+// throughput: parallel producers fire no-op tasks and the iteration does
+// not end until every task ran. This is the headline before/after number
+// for the lock-free executor (bench_results.txt SCHED section).
+func BenchmarkSchedSubmitExecute(b *testing.B) {
+	for _, workers := range []int{1, 4, goruntime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			p := scheduler.NewPool(workers)
+			defer p.Close()
+			var ran atomic.Int64
+			task := func() { ran.Add(1) }
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					p.Submit(task)
+				}
+			})
+			p.Quiesce()
+			if got := ran.Load(); got != int64(b.N) {
+				b.Fatalf("ran %d of %d", got, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkSchedSubmitGlobalExecute is the injector path (the Lamellae
+// progress engine's entry point) under parallel producers.
+func BenchmarkSchedSubmitGlobalExecute(b *testing.B) {
+	p := scheduler.NewPool(4)
+	defer p.Close()
+	var ran atomic.Int64
+	task := func() { ran.Add(1) }
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.SubmitGlobal(task)
+		}
+	})
+	p.Quiesce()
+	if got := ran.Load(); got != int64(b.N) {
+		b.Fatalf("ran %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkSchedPingPong measures single-task wakeup latency: submit one
+// task, wait for it, repeat — the worst case for the parking protocol
+// (every submit may need to unpark a sleeping worker).
+func BenchmarkSchedPingPong(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			p := scheduler.NewPool(workers)
+			defer p.Close()
+			done := make(chan struct{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Submit(func() { done <- struct{}{} })
+				<-done
+			}
+		})
+	}
+}
+
+// BenchmarkSchedSkewedProducer has a single producer feeding 4 workers
+// with short CPU-bound tasks: the balance must come from stealing. The
+// steals/op metric records how much redistribution happened.
+func BenchmarkSchedSkewedProducer(b *testing.B) {
+	p := scheduler.NewPool(4)
+	defer p.Close()
+	var sink atomic.Uint64
+	task := func() {
+		var x uint64 = 88172645463325252
+		for i := 0; i < 64; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		sink.Add(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Submit(task)
+	}
+	p.Quiesce()
+	b.StopTimer()
+	_, stolen, _, _ := p.Stats()
+	b.ReportMetric(float64(stolen)/float64(b.N), "steals/op")
+}
+
+// BenchmarkSchedQueueWait runs a burst workload with telemetry live and
+// reports the task queue-wait p50/p99 (submit→start latency) from
+// HistQueueWait — the acceptance metric for the executor rewrite.
+func BenchmarkSchedQueueWait(b *testing.B) {
+	c, owner := telemetry.StartGlobal(1, 1<<16)
+	if owner {
+		defer telemetry.StopGlobal(c)
+	}
+	p := scheduler.NewPool(4)
+	defer p.Close()
+	var sink atomic.Uint64
+	task := func() {
+		var x uint64 = 2463534242
+		for i := 0; i < 32; i++ {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+		}
+		sink.Add(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Submit(task)
+	}
+	p.Quiesce()
+	b.StopTimer()
+	h := c.Hist(0, telemetry.HistQueueWait)
+	b.ReportMetric(float64(h.Quantile(0.5)), "qwait-p50-ns")
+	b.ReportMetric(float64(h.Quantile(0.99)), "qwait-p99-ns")
+}
+
+// BenchmarkSchedForkJoin spawns recursive fork-join future trees — the
+// Await-helps path under stealing pressure.
+func BenchmarkSchedForkJoin(b *testing.B) {
+	p := scheduler.NewPool(4)
+	defer p.Close()
+	var build func(depth int) *scheduler.Future[int]
+	build = func(depth int) *scheduler.Future[int] {
+		return scheduler.Spawn(p, func() (int, error) {
+			if depth == 0 {
+				return 1, nil
+			}
+			l := build(depth - 1)
+			r := build(depth - 1)
+			lv, _ := l.Await()
+			rv, _ := r.Await()
+			return lv + rv, nil
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := build(5).MustAwait(); v != 32 {
+			b.Fatalf("tree = %d", v)
+		}
+	}
 }
 
 func BenchmarkAMRoundTrip(b *testing.B) {

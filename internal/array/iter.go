@@ -72,6 +72,26 @@ type worldRef struct {
 // testability; the runtime types satisfy them directly.
 type poolIface interface {
 	Submit(fn scheduler.Task)
+	Workers() int
+}
+
+// adaptiveChunk picks the default elements-per-task for parallel
+// terminals: enough chunks to give every worker ~4 (absorbing skew from
+// stealing and uneven filters), but clamped so tiny views do not pay
+// per-task overhead and huge views do not queue monster chunks.
+// WithChunk overrides it.
+func adaptiveChunk(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	c := n / (workers * 4)
+	if c < 64 {
+		c = 64
+	}
+	if c > 8192 {
+		c = 8192
+	}
+	return c
 }
 
 type teamIface interface {
@@ -130,11 +150,12 @@ func baseIter[T serde.Number](c *core[T], mode iterMode) *Iter[T] {
 			}
 		}
 	}
+	pool := c.w.Pool()
 	return &Iter[T]{
-		w:         &worldRef{pool: c.w.Pool(), team: c.team, wdptr: c.w},
+		w:         &worldRef{pool: pool, team: c.team, wdptr: c.w},
 		mode:      mode,
 		positions: len(spans),
-		chunk:     1024,
+		chunk:     adaptiveChunk(len(spans), pool.Workers()),
 		drive:     drive,
 	}
 }

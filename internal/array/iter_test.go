@@ -261,3 +261,19 @@ func TestIterChunksAndReductions(t *testing.T) {
 		w.Barrier()
 	})
 }
+
+func TestAdaptiveChunk(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{0, 4, 64},         // empty view: floor
+		{100, 4, 64},       // small view: floor dominates
+		{1 << 20, 4, 8192}, // huge view: ceiling
+		{16384, 4, 1024},   // interior: n/(workers*4)
+		{16384, 1, 4096},   // fewer workers → bigger chunks
+		{1000, 0, 250},     // degenerate worker count clamps to 1
+	}
+	for _, c := range cases {
+		if got := adaptiveChunk(c.n, c.workers); got != c.want {
+			t.Errorf("adaptiveChunk(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}

@@ -462,31 +462,41 @@ func (w *World) sampleGauges() {
 }
 
 // receiveBatch is the lamellae delivery callback: it schedules an
-// asynchronous communication task that walks the batch, spawning one task
-// per AM (deserialize + execute + return results), mirroring §III-C.
+// asynchronous communication task that walks the batch, collecting one
+// task per exec AM (deserialize + execute + return results, §III-C) and
+// submitting them all through the executor's batch path — one injector
+// shard-lock round trip per delivered batch instead of one per AM, with
+// their relative FIFO order preserved.
 func (w *World) receiveBatch(src int, batch []byte) {
 	w.pool.SubmitGlobal(func() {
 		dec := serde.NewDecoder(batch)
+		var tasks []scheduler.Task
 		for dec.Remaining() > 0 {
 			n := dec.U32()
 			dec.Align(8)
 			body := dec.RawBytes(int(n))
 			if dec.Err() != nil {
 				fmt.Printf("lamellar: PE%d: corrupt batch from PE%d: %v\n", w.pe, src, dec.Err())
-				return
+				break
 			}
-			w.handleEnvelope(src, body)
+			if t := w.handleEnvelope(src, body); t != nil {
+				tasks = append(tasks, t)
+			}
 		}
+		w.pool.SubmitBatch(tasks)
 	})
 }
 
-func (w *World) handleEnvelope(src int, body []byte) {
+// handleEnvelope dispatches one envelope: returns and acks resolve
+// inline; exec envelopes come back as a task for the caller to submit
+// (batched with the rest of the delivery).
+func (w *World) handleEnvelope(src int, body []byte) scheduler.Task {
 	dec := serde.NewDecoder(body)
 	switch kind := dec.U8(); kind {
 	case envExec:
 		req := dec.Uvarint()
 		rest := dec.RawBytes(dec.Remaining())
-		w.pool.Submit(func() {
+		return func() {
 			rd := serde.NewDecoder(rest)
 			rd.Ctx = &Context{World: w, Src: src}
 			v, err := serde.DecodeAny(rd)
@@ -514,7 +524,7 @@ func (w *World) handleEnvelope(src int, body []byte) {
 				})
 			}
 			w.finishRemote(src, req, rv, rerr)
-		})
+		}
 	case envReturn:
 		req := dec.Uvarint()
 		isErr := dec.Bool()
@@ -535,6 +545,7 @@ func (w *World) handleEnvelope(src int, body []byte) {
 		fmt.Printf("lamellar: PE%d: unknown envelope kind %d from PE%d\n", w.pe, kind, src)
 		w.envProcessed.Add(1)
 	}
+	return nil
 }
 
 // finishRemote records completion of a remotely-launched AM: owes an ack

@@ -25,9 +25,12 @@ type Stats struct {
 	EnvelopesSent uint64
 	// EnvelopesProcessed counts remote envelopes fully handled here.
 	EnvelopesProcessed uint64
-	// PoolExecuted / PoolStolen / PoolBusy describe the executor.
+	// PoolExecuted / PoolStolen / PoolParks / PoolBusy describe the
+	// executor: tasks run, tasks obtained by stealing (batch transfers
+	// included), worker park episodes, and accumulated execution time.
 	PoolExecuted uint64
 	PoolStolen   uint64
+	PoolParks    uint64
 	PoolBusy     time.Duration
 	// BatchesSent counts aggregated envelope batches this PE put on the
 	// wire; BatchFlushReasons splits them by trigger, indexed by
@@ -47,7 +50,7 @@ type Stats struct {
 
 // Stats snapshots the calling PE's runtime counters.
 func (w *World) Stats() Stats {
-	exec, stolen, busy := w.pool.Stats()
+	exec, stolen, parks, busy := w.pool.Stats()
 	s := Stats{
 		PE:                 w.pe,
 		Issued:             w.issued.Load(),
@@ -56,6 +59,7 @@ func (w *World) Stats() Stats {
 		EnvelopesProcessed: w.envProcessed.Load(),
 		PoolExecuted:       exec,
 		PoolStolen:         stolen,
+		PoolParks:          parks,
 		PoolBusy:           busy,
 		BatchesSent:        w.batchesSent.Load(),
 		AggBatchesFlushed:  w.aggBatches.Load(),
@@ -90,9 +94,9 @@ func reasonString(counts [telemetry.NumFlushReasons]uint64) string {
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"PE%d: ams=%d/%d env=%d/%d pool(exec=%d stolen=%d busy=%v) batches(sent=%d reasons[%s]) agg(batches=%d ops=%d reasons[%s]) net(msgs=%d bytes=%d modeled=%v)",
+		"PE%d: ams=%d/%d env=%d/%d pool(exec=%d stolen=%d parks=%d busy=%v) batches(sent=%d reasons[%s]) agg(batches=%d ops=%d reasons[%s]) net(msgs=%d bytes=%d modeled=%v)",
 		s.PE, s.Completed, s.Issued, s.EnvelopesProcessed, s.EnvelopesSent,
-		s.PoolExecuted, s.PoolStolen, s.PoolBusy,
+		s.PoolExecuted, s.PoolStolen, s.PoolParks, s.PoolBusy,
 		s.BatchesSent, reasonString(s.BatchFlushReasons),
 		s.AggBatchesFlushed, s.AggOpsCoalesced, reasonString(s.AggFlushReasons),
 		s.Fabric.Msgs, s.Fabric.Bytes, time.Duration(s.Fabric.ModeledNs))

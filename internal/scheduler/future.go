@@ -3,7 +3,6 @@ package scheduler
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // Future is the handle returned by asynchronous runtime operations —
@@ -163,12 +162,7 @@ func (f *Future[T]) Await() (T, error) {
 		default:
 		}
 		if !st.pool.TryRunOne() {
-			select {
-			case <-done:
-				return st.val, st.err
-			case <-st.pool.notify:
-			case <-time.After(100 * time.Microsecond):
-			}
+			st.pool.awaitNudge(done)
 		}
 	}
 }

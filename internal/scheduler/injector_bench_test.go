@@ -1,0 +1,48 @@
+package scheduler
+
+import "testing"
+
+// Regression bench for the seed's O(n) global-queue pop: the old pool
+// popped with `p.global = p.global[1:]`, whose amortized regrowth cost
+// scales with backlog length. The chunk-linked injector must pop in O(1)
+// regardless of how many tasks sit behind the head: ns/op at a 100k-task
+// backlog should match ns/op at a 100-task backlog. Run with
+//
+//	make bench-sched
+//
+// and compare the two InjectorPop variants — a significant gap between
+// them would reintroduce the re-slice bug.
+func benchInjectorPop(b *testing.B, backlog int) {
+	in := newInjector(1)
+	e := mkEntry(1)
+	for i := 0; i < backlog; i++ {
+		in.push(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := in.popOne(0); !ok {
+			b.Fatal("injector drained; raise the backlog or lower -benchtime")
+		}
+		in.push(e) // keep the backlog level constant
+	}
+}
+
+func BenchmarkInjectorPop_backlog100(b *testing.B)  { benchInjectorPop(b, 100) }
+func BenchmarkInjectorPop_backlog100k(b *testing.B) { benchInjectorPop(b, 100_000) }
+
+// Batch refill under one lock — the worker fast path.
+func BenchmarkInjectorPopBatch(b *testing.B) {
+	in := newInjector(1)
+	e := mkEntry(1)
+	buf := make([]taskEntry, refillBatch)
+	for i := 0; i < refillBatch; i++ {
+		in.push(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := in.popBatch(buf, 0)
+		for j := 0; j < n; j++ {
+			in.push(buf[j])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// eventCount is the workers' parking lot: a Dekker-style eventcount with
+// a prepare / recheck / commit-wait (or cancel) protocol that makes
+// sleeping race-free against producers without putting any lock on the
+// submission fast path.
+//
+// Parker protocol (see Pool.findTask):
+//
+//	ticket := ec.prepare()      // reads the generation, announces intent
+//	if workAvailable() {        // recheck AFTER announcing
+//	    ec.cancel()             // found work: withdraw, don't sleep
+//	} else {
+//	    ec.commitWait(ticket)   // sleep until the generation moves
+//	}
+//
+// Producer protocol (see Pool.wake):
+//
+//	publish work (queue pushes are atomic / release under shard locks)
+//	if ec.waiters() > 0 { ec.notifyOne() }
+//
+// Why no wakeup is ever lost: prepare's waiters increment and the
+// parker's work recheck, versus the producer's work publish and its
+// waiters read, form the classic store/load handshake — Go atomics are
+// sequentially consistent, so at least one side must see the other. If
+// the parker misses the new work, the producer must see waiters > 0 and
+// bump the generation; commitWait only sleeps while the generation still
+// equals the ticket (checked under the mutex that notify bumps it
+// under), so a bump between recheck and sleep turns the sleep into a
+// no-op instead of a hang.
+//
+// The fast path for producers with nobody parked is a single atomic
+// load; the mutex is touched only when a sleeper actually exists.
+type eventCount struct {
+	nwait atomic.Int32  // announced (parked or about-to-park) waiters
+	gen   atomic.Uint64 // bumped under mu by every notify
+	mu    sync.Mutex
+	cond  *sync.Cond
+}
+
+func newEventCount() *eventCount {
+	ec := &eventCount{}
+	ec.cond = sync.NewCond(&ec.mu)
+	return ec
+}
+
+// waiters reports announced sleepers; producers use it as the wake gate.
+func (ec *eventCount) waiters() int32 { return ec.nwait.Load() }
+
+// prepare announces intent to sleep and returns the generation ticket.
+// The caller MUST recheck its wait condition afterwards and then call
+// exactly one of cancel or commitWait.
+func (ec *eventCount) prepare() uint64 {
+	t := ec.gen.Load()
+	ec.nwait.Add(1)
+	return t
+}
+
+// cancel withdraws an announced sleep (the recheck found work).
+func (ec *eventCount) cancel() { ec.nwait.Add(-1) }
+
+// commitWait sleeps until the generation advances past the ticket.
+func (ec *eventCount) commitWait(ticket uint64) {
+	ec.mu.Lock()
+	for ec.gen.Load() == ticket {
+		ec.cond.Wait()
+	}
+	ec.mu.Unlock()
+	ec.nwait.Add(-1)
+}
+
+// notifyOne wakes at least one committed waiter, if any exist. All
+// sleepers hold tickets older than the new generation, so whichever the
+// runtime picks re-evaluates its condition instead of sleeping on.
+func (ec *eventCount) notifyOne() {
+	if ec.nwait.Load() == 0 {
+		return
+	}
+	ec.mu.Lock()
+	ec.gen.Add(1)
+	ec.mu.Unlock()
+	ec.cond.Signal()
+}
+
+// notifyAll wakes every waiter (shutdown).
+func (ec *eventCount) notifyAll() {
+	ec.mu.Lock()
+	ec.gen.Add(1)
+	ec.mu.Unlock()
+	ec.cond.Broadcast()
+}

@@ -25,11 +25,15 @@ func TestSubmitAndQuiesce(t *testing.T) {
 }
 
 func TestSubmitGlobalFIFO(t *testing.T) {
+	// A 1-worker pool has a single injector shard, so SubmitGlobal order
+	// is total FIFO. Stall the worker and drain with the helper alone so
+	// execution order is deterministic.
 	p := NewPool(1)
 	defer p.Close()
-	// stall the single worker so the global queue builds up
 	gate := make(chan struct{})
-	p.Submit(func() { <-gate })
+	started := make(chan struct{})
+	p.Submit(func() { close(started); <-gate })
+	<-started // the worker holds the gate task; only the helper drains now
 	var order []int
 	var mu sync.Mutex
 	for i := 0; i < 10; i++ {
@@ -40,6 +44,11 @@ func TestSubmitGlobalFIFO(t *testing.T) {
 			mu.Unlock()
 		})
 	}
+	for i := 0; i < 10; i++ {
+		if !p.TryRunOne() {
+			t.Fatalf("helper found no task at %d", i)
+		}
+	}
 	close(gate)
 	p.Quiesce()
 	mu.Lock()
@@ -47,7 +56,6 @@ func TestSubmitGlobalFIFO(t *testing.T) {
 	if len(order) != 10 {
 		t.Fatalf("ran %d", len(order))
 	}
-	// Quiesce's helper also drains FIFO from the front, so order holds.
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("order = %v", order)
@@ -69,7 +77,7 @@ func TestStealing(t *testing.T) {
 		})
 	}
 	wg.Wait()
-	_, stolen, busy := p.Stats()
+	_, stolen, _, busy := p.Stats()
 	if busy == 0 {
 		t.Error("busy time not recorded")
 	}

@@ -1,0 +1,79 @@
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedulerStress hammers every pool entry point concurrently —
+// Submit, SubmitGlobal, SubmitBatch, Await-help (TryRunOne via Future),
+// Quiesce — and finishes with a close-and-drain. Run under -race this
+// exercises the deque slot reuse, injector sharding, and parking
+// handshake together. The Makefile check gate requires this test to run
+// (not skip) so the lock-free paths always see race coverage.
+func TestSchedulerStress(t *testing.T) {
+	p := NewPool(4)
+	var ran atomic.Int64
+	const producers = 4
+	const perProducer = 2000
+
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		pr := pr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				switch i % 4 {
+				case 0:
+					p.Submit(func() { ran.Add(1) })
+				case 1:
+					p.SubmitGlobal(func() { ran.Add(1) })
+				case 2:
+					// small batch via the progress-engine path
+					p.SubmitBatch([]Task{
+						func() { ran.Add(1) },
+						func() { ran.Add(1) },
+					})
+				case 3:
+					// fork-join: Await must help instead of deadlocking
+					f := Spawn(p, func() (int, error) {
+						ran.Add(1)
+						return pr, nil
+					})
+					if v, err := f.Await(); err != nil || v != pr {
+						t.Errorf("future = %d, %v", v, err)
+					}
+				}
+				if i%97 == 0 {
+					p.TryRunOne() // external helper interleaved
+				}
+			}
+		}()
+	}
+
+	// a Quiescer racing the producers: Quiesce only promises coverage of
+	// tasks submitted before the call, so just assert it returns
+	quiesced := make(chan struct{})
+	go func() {
+		defer close(quiesced)
+		for i := 0; i < 5; i++ {
+			p.Quiesce()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	<-quiesced
+	p.Close() // drains any remainder
+	// each window of 4 iterations submits 1+1+2+1 = 5 tasks
+	want := int64(producers * perProducer / 4 * 5)
+	if got := ran.Load(); got != want {
+		t.Fatalf("ran %d tasks, want %d", got, want)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d after Close", p.Pending())
+	}
+}

@@ -105,8 +105,11 @@ func writeEvent(item func(string, ...any), pe int, ev Event) {
 		item(`{"name":"task.spawn","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s}`,
 			pe, tid, us(ev.TS))
 	case EvTaskSteal:
-		item(`{"name":"task.steal","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"victim":%d}}`,
-			pe, tid, us(ev.TS), ev.Arg1)
+		item(`{"name":"task.steal","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"victim":%d,"batch":%d}}`,
+			pe, tid, us(ev.TS), ev.Arg1, ev.Arg2)
+	case EvTaskPark:
+		item(`{"name":"task.park","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s}`,
+			pe, tid, us(ev.TS), us(ev.Dur))
 	case EvAMIssue:
 		item(`{"name":"am.issue","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"dst":%d,"req":%d}}`,
 			pe, tid, us(ev.TS), ev.Arg1, ev.Arg2)

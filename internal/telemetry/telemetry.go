@@ -64,14 +64,18 @@ const (
 	EvFabricOp
 	// EvGauge samples a level; Sub = GaugeID, Arg1 = value.
 	EvGauge
+	// EvTaskPark spans a worker's sleep on the executor's parking lot
+	// (Dur = parked time); Worker is the parking worker.
+	EvTaskPark
 
-	numEventKinds = int(EvGauge) + 1
+	numEventKinds = int(EvTaskPark) + 1
 )
 
 var eventNames = [numEventKinds]string{
 	"task.spawn", "task.run", "task.steal",
 	"am.issue", "am.encode", "am.exec", "am.return",
 	"agg.open", "agg.flush", "fabric.op", "gauge",
+	"task.park",
 }
 
 func (k EventKind) String() string {

@@ -185,7 +185,8 @@ func goldenCollector() *Collector {
 	for _, ev := range []Event{
 		{TS: 1000, Kind: EvTaskSpawn, PE: 0, Worker: -1},
 		{TS: 2000, Dur: 500, Kind: EvTaskRun, PE: 0, Worker: 0},
-		{TS: 2500, Kind: EvTaskSteal, PE: 0, Worker: 1, Arg1: 0},
+		{TS: 2500, Kind: EvTaskSteal, PE: 0, Worker: 1, Arg1: 0, Arg2: 4},
+		{TS: 2600, Dur: 150, Kind: EvTaskPark, PE: 0, Worker: 1},
 		{TS: 3000, Kind: EvAMIssue, PE: 0, Worker: 0, Arg1: 1, Arg2: 7},
 		{TS: 3100, Dur: 200, Kind: EvAMEncode, PE: 0, Worker: 0, Arg1: 1},
 		{TS: 4000, Dur: 300, Kind: EvBatchFlush, Sub: uint8(FlushSize), PE: 0, Worker: TidRuntime, Arg1: 1, Arg2: 12},
@@ -210,7 +211,8 @@ var goldenTrace = `{"displayTimeUnit":"ns","traceEvents":[
 {"name":"thread_name","ph":"M","pid":0,"tid":98,"args":{"name":"runtime"}},
 {"name":"task.spawn","ph":"i","s":"t","pid":0,"tid":96,"ts":1.000},
 {"name":"task.run","ph":"X","pid":0,"tid":0,"ts":2.000,"dur":0.500},
-{"name":"task.steal","ph":"i","s":"t","pid":0,"tid":1,"ts":2.500,"args":{"victim":0}},
+{"name":"task.steal","ph":"i","s":"t","pid":0,"tid":1,"ts":2.500,"args":{"victim":0,"batch":4}},
+{"name":"task.park","ph":"X","pid":0,"tid":1,"ts":2.600,"dur":0.150},
 {"name":"am.issue","ph":"i","s":"t","pid":0,"tid":0,"ts":3.000,"args":{"dst":1,"req":7}},
 {"name":"am.encode","ph":"X","pid":0,"tid":0,"ts":3.100,"dur":0.200,"args":{"dst":1}},
 {"name":"agg.flush","ph":"X","pid":0,"tid":98,"ts":4.000,"dur":0.300,"args":{"dst":1,"ops":12,"reason":"size"}},
@@ -243,8 +245,8 @@ func TestChromeTraceGolden(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("trace output is not valid JSON: %v", err)
 	}
-	if len(doc.TraceEvents) != 22 {
-		t.Errorf("traceEvents = %d entries, want 22", len(doc.TraceEvents))
+	if len(doc.TraceEvents) != 23 {
+		t.Errorf("traceEvents = %d entries, want 23", len(doc.TraceEvents))
 	}
 	// Determinism: a second identical collector produces identical bytes.
 	var buf2 bytes.Buffer
