@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench agg-bench bench-sched sched-stress trace-smoke
+.PHONY: build vet test race check bench agg-bench bench-sched sched-stress trace-smoke fault-stress
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,22 @@ sched-stress:
 	@grep -q -- '--- PASS: TestSchedulerStress' /tmp/sched-stress.out || \
 		{ echo "check: TestSchedulerStress did not run/pass" >&2; exit 1; }
 
+# Seeded adversarial-fabric matrix: the whole runtime/darc/array/bale
+# surface must stay exactly correct with 5% of wire frames dropped,
+# duplicated, and reordered on every link (repaired by the reliable
+# delivery layer), with zero panics, under the race detector. The env
+# knobs reach every world via Config defaults, so the regular suites
+# double as fault-stress workloads. sim/shmem run via each package's own
+# transport matrix; the runtime suite also covers tcp.
+FAULT_ENV = LAMELLAR_FAULT_SEED=1 LAMELLAR_FAULT_DROP=0.05 \
+	LAMELLAR_FAULT_DUP=0.05 LAMELLAR_FAULT_REORDER=0.05 LAMELLAR_RETRY_MS=2
+fault-stress:
+	$(FAULT_ENV) $(GO) test -race -count=1 \
+		./internal/runtime ./internal/darc ./internal/array \
+		./internal/bale/exstack ./internal/bale/exstack2 ./internal/bale/conveyor
+
 # Tier-1 gate: everything that must stay green before a change lands.
-check: build vet race sched-stress trace-smoke
+check: build vet race sched-stress fault-stress trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

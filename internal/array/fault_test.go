@@ -1,0 +1,89 @@
+package array
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+)
+
+// runAdversarial runs fn over a shmem world whose wire suffers seeded
+// 5% drop/dup/reorder on every link, repaired by the runtime's reliable
+// delivery layer. Batch operations must remain exactly-once: a
+// duplicated frame that re-applied adds would break conservation.
+func runAdversarial(t *testing.T, pes int, seed int64, fn func(w *runtime.World)) {
+	t.Helper()
+	cfg := runtime.Config{
+		PEs: pes, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem,
+		Faults: fabric.NewFaultPlan(seed).SetDefault(fabric.LinkFaults{
+			DropRate:    0.05,
+			DupRate:     0.05,
+			ReorderRate: 0.05,
+			Delay:       300 * time.Microsecond,
+		}),
+		RetryInterval:   2 * time.Millisecond,
+		RetryBackoffMax: 20 * time.Millisecond,
+	}
+	if err := runtime.Run(cfg, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Batched element adds across a lossy fabric: the final sum must equal
+// the number issued — a dropped frame would lose adds, a duplicated one
+// would double-apply them.
+func TestBatchAddConservesUnderFaults(t *testing.T) {
+	const updates = 2000
+	runAdversarial(t, 4, 99, func(w *runtime.World) {
+		a := NewAtomicArray[uint64](w.Team(), 131, Block)
+		defer a.Drop()
+		rng := rand.New(rand.NewSource(int64(w.MyPE()) + 7))
+		idxs := make([]int, updates)
+		for i := range idxs {
+			idxs[i] = rng.Intn(131)
+		}
+		must(runtime.BlockOn(w, a.BatchAdd(idxs, 1)))
+		w.Barrier()
+		if sum := must(runtime.BlockOn(w, a.Sum())); sum != 4*updates {
+			panic(fmt.Sprintf("sum = %d, want %d (wire lost or duplicated batch ops)", sum, 4*updates))
+		}
+		w.Barrier()
+	})
+}
+
+// Fetching batch ops return per-element previous values through return
+// envelopes; those responses cross the same lossy wire and must arrive
+// intact and exactly once.
+func TestBatchFetchAddUnderFaults(t *testing.T) {
+	runAdversarial(t, 3, 2024, func(w *runtime.World) {
+		a := NewAtomicArray[uint64](w.Team(), 60, Cyclic)
+		defer a.Drop()
+		idxs := make([]int, 60)
+		for i := range idxs {
+			idxs[i] = i
+		}
+		// Each PE adds 1 to every element; fetch results are the pre-add
+		// values, so across rounds each PE observes monotone growth.
+		var prev []uint64
+		for round := 0; round < 5; round++ {
+			got := must(runtime.BlockOn(w, a.BatchFetchOp(OpAdd, idxs, 1)))
+			if len(got) != len(idxs) {
+				panic(fmt.Sprintf("fetch returned %d values, want %d", len(got), len(idxs)))
+			}
+			for i, v := range got {
+				if prev != nil && v < prev[i] {
+					panic(fmt.Sprintf("element %d regressed: %d -> %d", i, prev[i], v))
+				}
+			}
+			prev = got
+		}
+		w.Barrier()
+		if sum := must(runtime.BlockOn(w, a.Sum())); sum != uint64(3*5*60) {
+			panic(fmt.Sprintf("sum = %d, want %d", sum, 3*5*60))
+		}
+		w.Barrier()
+	})
+}

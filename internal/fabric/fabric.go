@@ -196,6 +196,7 @@ type Provider struct {
 
 	counters []peCounters
 	hook     atomic.Pointer[Hook]
+	faults   atomic.Pointer[FaultPlan]
 
 	barrier *GroupBarrier
 }
@@ -246,6 +247,9 @@ func (p *Provider) callHook(ev OpEvent) {
 }
 
 func (p *Provider) account(initiator, target, nbytes int, kind OpKind) {
+	if p.faults.Load() != nil {
+		p.applyOpFaults(initiator, target)
+	}
 	c := &p.counters[initiator]
 	c.msgs.Add(1)
 	c.bytes.Add(uint64(nbytes))

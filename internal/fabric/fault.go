@@ -1,0 +1,316 @@
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection: deterministic, seedable fault *plans* for the message
+// layer, exposed alongside the existing Hook. A FaultPlan decides, per
+// link (ordered PE pair), whether a given message envelope should be
+// dropped, duplicated, reordered, or delayed, and whether the link is
+// partitioned outright. The runtime's reliable wire layer consults the
+// plan on every frame transmission; the Provider itself honors only the
+// delay and partition-as-delay aspects for raw fabric operations (a
+// completed memory op cannot be un-done, but it can be slow).
+//
+// Determinism contract: for a fixed seed, the *sequence of decisions per
+// link* is reproducible. Which concrete frame draws which decision still
+// depends on goroutine scheduling — the strongest guarantee a concurrent
+// runtime can give — so tests assert protocol outcomes, not per-frame
+// fates.
+
+// LinkFaults configures the fault behavior of one link (or the default
+// for all links). Rates are probabilities in [0,1] and are evaluated as
+// a cascade per decision: drop, else duplicate, else reorder; delay is
+// rolled independently and may combine with duplicate/reorder.
+type LinkFaults struct {
+	// DropRate is the probability a frame transmission is suppressed
+	// (the reliability layer's retry path must recover it).
+	DropRate float64
+	// DupRate is the probability a frame is transmitted twice.
+	DupRate float64
+	// ReorderRate is the probability a frame is held briefly so later
+	// frames overtake it on the wire.
+	ReorderRate float64
+	// DelayRate is the probability a frame (or fabric op) is delayed by
+	// Delay before transmission.
+	DelayRate float64
+	// Delay is the injected latency for delayed frames (also the hold
+	// time for reordered frames when nonzero; reorder defaults to 1ms).
+	Delay time.Duration
+	// BurstLen repeats a drawn fault for this many consecutive decisions
+	// (loss burstiness); 0 or 1 means independent decisions.
+	BurstLen int
+	// Partitioned drops every frame on the link until healed.
+	Partitioned bool
+}
+
+// active reports whether the config can ever produce a fault.
+func (f LinkFaults) active() bool {
+	return f.Partitioned || f.DropRate > 0 || f.DupRate > 0 || f.ReorderRate > 0 || f.DelayRate > 0
+}
+
+// FaultKind labels the decision a plan made for one transmission.
+type FaultKind uint8
+
+// Decision kinds, in cascade order.
+const (
+	FaultNone FaultKind = iota
+	FaultDrop
+	FaultDup
+	FaultReorder
+	FaultDelay
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDup:
+		return "dup"
+	case FaultReorder:
+		return "reorder"
+	case FaultDelay:
+		return "delay"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultDecision is the plan's verdict for one transmission.
+type FaultDecision struct {
+	// Kind is the primary fault (none/drop/dup/reorder).
+	Kind FaultKind
+	// Delay is nonzero when the transmission should be deferred by this
+	// much (set for delay faults and for reorder holds).
+	Delay time.Duration
+}
+
+// FaultCounts aggregates the faults a plan has injected.
+type FaultCounts struct {
+	Drops, Dups, Reorders, Delays uint64
+}
+
+// Total sums all injected faults.
+func (c FaultCounts) Total() uint64 { return c.Drops + c.Dups + c.Reorders + c.Delays }
+
+// linkState is the per-link deterministic fault stream.
+type linkState struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	faults    LinkFaults
+	burstLeft int
+	burstKind FaultKind
+}
+
+// FaultPlan is a seeded, per-link fault schedule. Zero-config links use
+// the plan default. Safe for concurrent use.
+type FaultPlan struct {
+	seed int64
+
+	mu    sync.Mutex
+	def   LinkFaults
+	links map[[2]int]*linkState
+
+	drops    atomic.Uint64
+	dups     atomic.Uint64
+	reorders atomic.Uint64
+	delays   atomic.Uint64
+}
+
+// NewFaultPlan creates an empty plan (no faults) with the given seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{seed: seed, links: make(map[[2]int]*linkState)}
+}
+
+// Seed reports the plan's seed.
+func (p *FaultPlan) Seed() int64 { return p.seed }
+
+// SetDefault installs f as the fault config for every link without an
+// explicit override. Returns p for chaining. Links that already drew
+// decisions keep their RNG stream but adopt the new config.
+func (p *FaultPlan) SetDefault(f LinkFaults) *FaultPlan {
+	p.mu.Lock()
+	p.def = f
+	for _, ls := range p.links {
+		ls.mu.Lock()
+		ls.faults = f
+		ls.burstLeft = 0
+		ls.mu.Unlock()
+	}
+	p.mu.Unlock()
+	return p
+}
+
+// SetLink overrides the fault config of the src→dst link.
+func (p *FaultPlan) SetLink(src, dst int, f LinkFaults) *FaultPlan {
+	ls := p.link(src, dst)
+	ls.mu.Lock()
+	ls.faults = f
+	ls.burstLeft = 0
+	ls.mu.Unlock()
+	return p
+}
+
+// Partition drops all traffic src→dst (and dst→src when both is set)
+// until Heal.
+func (p *FaultPlan) Partition(src, dst int, both bool) *FaultPlan {
+	p.setPartition(src, dst, true)
+	if both {
+		p.setPartition(dst, src, true)
+	}
+	return p
+}
+
+// Heal reopens the src→dst link (and dst→src when both is set).
+func (p *FaultPlan) Heal(src, dst int, both bool) *FaultPlan {
+	p.setPartition(src, dst, false)
+	if both {
+		p.setPartition(dst, src, false)
+	}
+	return p
+}
+
+func (p *FaultPlan) setPartition(src, dst int, v bool) {
+	ls := p.link(src, dst)
+	ls.mu.Lock()
+	ls.faults.Partitioned = v
+	ls.mu.Unlock()
+}
+
+// link returns (creating if needed) the state of the src→dst link.
+func (p *FaultPlan) link(src, dst int) *linkState {
+	key := [2]int{src, dst}
+	p.mu.Lock()
+	ls := p.links[key]
+	if ls == nil {
+		// Per-link RNG seeded from the plan seed and the link identity, so
+		// each link's decision stream is independent and reproducible.
+		h := p.seed
+		h = h*1000003 + int64(src)*8191 + int64(dst) + 0x9e3779b9
+		ls = &linkState{rng: rand.New(rand.NewSource(h)), faults: p.def}
+		p.links[key] = ls
+	}
+	p.mu.Unlock()
+	return ls
+}
+
+// Injected snapshots the faults this plan has handed out so far.
+func (p *FaultPlan) Injected() FaultCounts {
+	return FaultCounts{
+		Drops:    p.drops.Load(),
+		Dups:     p.dups.Load(),
+		Reorders: p.reorders.Load(),
+		Delays:   p.delays.Load(),
+	}
+}
+
+// defaultReorderHold is how long a reordered frame is held when the link
+// config gives no explicit Delay.
+const defaultReorderHold = time.Millisecond
+
+// Decide draws the next fault decision for one transmission on src→dst.
+func (p *FaultPlan) Decide(src, dst int) FaultDecision {
+	if p == nil {
+		return FaultDecision{}
+	}
+	ls := p.link(src, dst)
+	ls.mu.Lock()
+	f := ls.faults
+	if !f.active() {
+		ls.mu.Unlock()
+		return FaultDecision{}
+	}
+	if f.Partitioned {
+		ls.mu.Unlock()
+		p.drops.Add(1)
+		return FaultDecision{Kind: FaultDrop}
+	}
+	var kind FaultKind
+	if ls.burstLeft > 0 {
+		ls.burstLeft--
+		kind = ls.burstKind
+	} else {
+		r := ls.rng.Float64()
+		switch {
+		case r < f.DropRate:
+			kind = FaultDrop
+		case r < f.DropRate+f.DupRate:
+			kind = FaultDup
+		case r < f.DropRate+f.DupRate+f.ReorderRate:
+			kind = FaultReorder
+		case r < f.DropRate+f.DupRate+f.ReorderRate+f.DelayRate:
+			kind = FaultDelay
+		}
+		if kind != FaultNone && f.BurstLen > 1 {
+			ls.burstLeft = f.BurstLen - 1
+			ls.burstKind = kind
+		}
+	}
+	ls.mu.Unlock()
+
+	d := FaultDecision{Kind: kind}
+	switch kind {
+	case FaultDrop:
+		p.drops.Add(1)
+	case FaultDup:
+		p.dups.Add(1)
+	case FaultReorder:
+		p.reorders.Add(1)
+		d.Delay = f.Delay
+		if d.Delay <= 0 {
+			d.Delay = defaultReorderHold
+		}
+	case FaultDelay:
+		p.delays.Add(1)
+		d.Delay = f.Delay
+		if d.Delay <= 0 {
+			d.Delay = defaultReorderHold
+		}
+	}
+	return d
+}
+
+// ----- provider attachment ----------------------------------------------
+
+// SetFaultPlan attaches a fault plan to the provider, alongside the Hook.
+// Raw fabric operations (put/get/atomic) honor only the plan's *delay*
+// dimension — a completed one-sided memory operation cannot be dropped or
+// duplicated retroactively, but a slow NIC can be modeled faithfully.
+// Partitioned links stall operations by the plan's Delay (default hold)
+// per op rather than blocking forever, keeping flag protocols live-locked
+// rather than deadlocked. nil clears the plan.
+func (p *Provider) SetFaultPlan(plan *FaultPlan) {
+	if plan == nil {
+		p.faults.Store(nil)
+		return
+	}
+	p.faults.Store(plan)
+}
+
+// FaultPlan returns the attached plan, or nil.
+func (p *Provider) FaultPlan() *FaultPlan {
+	return p.faults.Load()
+}
+
+// applyOpFaults injects the delay dimension of the attached plan into one
+// fabric operation. Called from the accounting path of remote operations.
+func (p *Provider) applyOpFaults(initiator, target int) {
+	plan := p.faults.Load()
+	if plan == nil || initiator == target {
+		return
+	}
+	d := plan.Decide(initiator, target)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	} else if d.Kind == FaultDrop {
+		// Memory ops cannot be un-done; model a partitioned/lossy link as
+		// a stall so polling protocols retry instead of corrupting state.
+		time.Sleep(defaultReorderHold)
+	}
+}

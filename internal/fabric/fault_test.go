@@ -1,0 +1,155 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+// drawKinds pulls n decisions off one link of a fresh plan.
+func drawKinds(seed int64, src, dst, n int, f LinkFaults) []FaultKind {
+	p := NewFaultPlan(seed).SetDefault(f)
+	out := make([]FaultKind, n)
+	for i := range out {
+		out[i] = p.Decide(src, dst).Kind
+	}
+	return out
+}
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	f := LinkFaults{DropRate: 0.1, DupRate: 0.1, ReorderRate: 0.1, DelayRate: 0.05, Delay: time.Microsecond}
+	a := drawKinds(42, 0, 1, 500, f)
+	b := drawKinds(42, 0, 1, 500, f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across same-seed plans: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := drawKinds(43, 0, 1, 500, f)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical decision streams")
+	}
+}
+
+func TestFaultPlanLinksIndependent(t *testing.T) {
+	f := LinkFaults{DropRate: 0.3}
+	p := NewFaultPlan(7).SetDefault(f)
+	a := make([]FaultKind, 200)
+	b := make([]FaultKind, 200)
+	for i := range a {
+		a[i] = p.Decide(0, 1).Kind
+		b[i] = p.Decide(1, 0).Kind
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("links 0→1 and 1→0 share a decision stream")
+	}
+}
+
+func TestFaultPlanRates(t *testing.T) {
+	f := LinkFaults{DropRate: 0.2, DupRate: 0.1}
+	p := NewFaultPlan(1).SetDefault(f)
+	const n = 20000
+	var drops, dups int
+	for i := 0; i < n; i++ {
+		switch p.Decide(2, 3).Kind {
+		case FaultDrop:
+			drops++
+		case FaultDup:
+			dups++
+		}
+	}
+	if got := float64(drops) / n; got < 0.17 || got > 0.23 {
+		t.Errorf("drop rate %.3f, want ~0.20", got)
+	}
+	if got := float64(dups) / n; got < 0.07 || got > 0.13 {
+		t.Errorf("dup rate %.3f, want ~0.10", got)
+	}
+	inj := p.Injected()
+	if inj.Drops != uint64(drops) || inj.Dups != uint64(dups) {
+		t.Errorf("Injected()=%+v, want drops=%d dups=%d", inj, drops, dups)
+	}
+}
+
+func TestFaultPlanBursts(t *testing.T) {
+	f := LinkFaults{DropRate: 0.05, BurstLen: 4}
+	p := NewFaultPlan(9).SetDefault(f)
+	run := 0
+	maxRun := 0
+	for i := 0; i < 5000; i++ {
+		if p.Decide(0, 1).Kind == FaultDrop {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if maxRun < 4 {
+		t.Errorf("max drop burst %d, want >= BurstLen 4", maxRun)
+	}
+}
+
+func TestFaultPlanPartitionAndHeal(t *testing.T) {
+	p := NewFaultPlan(0)
+	p.Partition(0, 1, false)
+	for i := 0; i < 10; i++ {
+		if d := p.Decide(0, 1); d.Kind != FaultDrop {
+			t.Fatalf("partitioned link decision %v, want drop", d.Kind)
+		}
+	}
+	if d := p.Decide(1, 0); d.Kind != FaultNone {
+		t.Fatalf("reverse link decision %v, want none", d.Kind)
+	}
+	p.Heal(0, 1, false)
+	if d := p.Decide(0, 1); d.Kind != FaultNone {
+		t.Fatalf("healed link decision %v, want none", d.Kind)
+	}
+}
+
+func TestNilPlanDecide(t *testing.T) {
+	var p *FaultPlan
+	if d := p.Decide(0, 1); d.Kind != FaultNone || d.Delay != 0 {
+		t.Fatalf("nil plan decision = %+v, want zero", d)
+	}
+}
+
+// A provider with an attached plan must only slow operations down, never
+// corrupt them.
+func TestProviderDelayFaults(t *testing.T) {
+	prov := New(2, CostModel{})
+	plan := NewFaultPlan(3).SetDefault(LinkFaults{DelayRate: 0.5, Delay: 50 * time.Microsecond})
+	prov.SetFaultPlan(plan)
+	if prov.FaultPlan() != plan {
+		t.Fatal("FaultPlan() did not return the attached plan")
+	}
+	id := prov.AllocSegment(64, 1)
+	defer prov.FreeSegment(id)
+	src := []byte("hello fault world")
+	prov.Put(0, 1, id, 0, src)
+	got := make([]byte, len(src))
+	prov.Get(0, 1, id, 0, got)
+	if string(got) != string(src) {
+		t.Fatalf("payload corrupted under delay faults: %q", got)
+	}
+	if plan.Injected().Delays == 0 {
+		t.Error("expected some delay injections")
+	}
+	prov.SetFaultPlan(nil)
+	if prov.FaultPlan() != nil {
+		t.Error("SetFaultPlan(nil) did not clear the plan")
+	}
+}

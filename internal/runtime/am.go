@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -244,8 +245,17 @@ func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
 			reason = telemetry.FlushOps
 		}
 		w.noteBatchFlush(pe, reason, envs, openNs, tc)
-		w.env.lam.send(w.pe, pe, out.Bytes())
+		w.sendBatch(pe, out.Bytes())
 		q.putSpare(out)
+	}
+}
+
+// sendBatch hands one wire batch to the transport. Remote transports sit
+// behind the reliability layer, which always accepts the frame (failures
+// surface later through retry exhaustion, never here).
+func (w *World) sendBatch(dst int, batch []byte) {
+	if err := w.env.lam.send(w.pe, dst, batch); err != nil {
+		fmt.Fprintf(os.Stderr, "lamellar: PE%d: send to PE%d failed: %v\n", w.pe, dst, err)
 	}
 }
 
@@ -339,7 +349,7 @@ func (w *World) enqueue(dst int, body []byte) {
 			reason = telemetry.FlushOps
 		}
 		w.noteBatchFlush(dst, reason, envs, openNs, tc)
-		w.env.lam.send(w.pe, dst, out.Bytes())
+		w.sendBatch(dst, out.Bytes())
 		q.putSpare(out)
 	}
 }
@@ -401,7 +411,7 @@ func (w *World) flush(dst int, reason telemetry.FlushReason) {
 	q.count = 0
 	q.mu.Unlock()
 	w.noteBatchFlush(dst, reason, envs, openNs, tc)
-	w.env.lam.send(w.pe, dst, out.Bytes())
+	w.sendBatch(dst, out.Bytes())
 	q.putSpare(out)
 }
 

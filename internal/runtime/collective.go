@@ -49,56 +49,88 @@ func (c *collState) ackWord(phase, r int) int  { return 2*(phase*c.rounds+r) + 1
 // Slot protocol: each slot has a flag word (sequence written) and an ack
 // word (sequence consumed). A slot is free when flag == ack. Collective
 // episodes end with a team barrier (see the public ops), so at most one
-// write per slot is ever outstanding and the pair of words fully orders
-// producer and consumer regardless of which PE writes a given slot in a
-// given episode (broadcast roots vary).
+// writer ever targets a slot per episode and the pair of words fully
+// orders producer and consumer regardless of which PE writes a given
+// slot in a given episode (broadcast roots vary).
+//
+// Payloads larger than one slot are chunked: each chunk's u32 header
+// packs the chunk length in the low 31 bits and a more-chunks-follow
+// flag in the high bit, and every chunk performs the full flag/ack
+// rendezvous, so the sender cannot overwrite a chunk the receiver has
+// not consumed.
 
-// sendSlot writes val into dstPE's (phase, r) slot once it is free.
+// chunkMore is the header bit marking "another chunk of this payload
+// follows"; the remaining bits are the chunk's byte length.
+const chunkMore = uint32(1) << 31
+
+// sendSlot writes val into dstPE's (phase, r) slot, fragmenting into
+// slot-sized chunks when the payload exceeds the slot capacity. Each
+// chunk waits for the previous occupant to be consumed before writing.
 func (c *collState) sendSlot(myPE, dstPE, phase, r int, val []byte) {
-	if len(val)+4 > c.slotCap {
-		panic(fmt.Sprintf("runtime: collective payload %d exceeds slot cap %d", len(val), c.slotCap-4))
-	}
 	prov := c.env.prov
-	var seq uint64
-	for {
-		seq = prov.AtomicLoad(myPE, dstPE, c.seg, c.flagWord(phase, r))
-		ack := prov.AtomicLoad(myPE, dstPE, c.seg, c.ackWord(phase, r))
-		if seq == ack {
-			break
+	max := c.slotCap - 4
+	for first := true; first || len(val) > 0; first = false {
+		n := len(val)
+		if n > max {
+			n = max
 		}
-		stdruntime.Gosched()
+		chunk := val[:n]
+		val = val[n:]
+		hdrVal := uint32(n)
+		if len(val) > 0 {
+			hdrVal |= chunkMore
+		}
+		var seq uint64
+		for {
+			seq = prov.AtomicLoad(myPE, dstPE, c.seg, c.flagWord(phase, r))
+			ack := prov.AtomicLoad(myPE, dstPE, c.seg, c.ackWord(phase, r))
+			if seq == ack {
+				break
+			}
+			stdruntime.Gosched()
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], hdrVal)
+		prov.Put(myPE, dstPE, c.seg, c.slotOff(phase, r), hdr[:])
+		if n > 0 {
+			prov.Put(myPE, dstPE, c.seg, c.slotOff(phase, r)+4, chunk)
+		}
+		prov.AtomicStore(myPE, dstPE, c.seg, c.flagWord(phase, r), seq+1)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(val)))
-	prov.Put(myPE, dstPE, c.seg, c.slotOff(phase, r), hdr[:])
-	if len(val) > 0 {
-		prov.Put(myPE, dstPE, c.seg, c.slotOff(phase, r)+4, val)
-	}
-	prov.AtomicStore(myPE, dstPE, c.seg, c.flagWord(phase, r), seq+1)
 }
 
-// recvSlot waits for data in my (phase, r) slot, returns a copy, and acks
-// so the slot can be reused.
+// recvSlot waits for data in my (phase, r) slot, reassembling chunked
+// payloads, and acks each chunk so the sender can reuse the slot.
 func (c *collState) recvSlot(myPE, phase, r int) []byte {
 	prov := c.env.prov
-	var seq uint64
+	var buf []byte
 	for {
-		seq = prov.LocalAtomicLoad(myPE, c.seg, c.flagWord(phase, r))
-		ack := prov.LocalAtomicLoad(myPE, c.seg, c.ackWord(phase, r))
-		if seq != ack {
-			break
+		var seq uint64
+		for {
+			seq = prov.LocalAtomicLoad(myPE, c.seg, c.flagWord(phase, r))
+			ack := prov.LocalAtomicLoad(myPE, c.seg, c.ackWord(phase, r))
+			if seq != ack {
+				break
+			}
+			stdruntime.Gosched()
 		}
-		stdruntime.Gosched()
+		var hdr [4]byte
+		prov.Get(myPE, myPE, c.seg, c.slotOff(phase, r), hdr[:])
+		hdrVal := binary.LittleEndian.Uint32(hdr[:])
+		n := int(hdrVal &^ chunkMore)
+		if buf == nil {
+			buf = make([]byte, 0, n)
+		}
+		if n > 0 {
+			old := len(buf)
+			buf = append(buf, make([]byte, n)...)
+			prov.Get(myPE, myPE, c.seg, c.slotOff(phase, r)+4, buf[old:])
+		}
+		prov.LocalAtomicStore(myPE, c.seg, c.ackWord(phase, r), seq)
+		if hdrVal&chunkMore == 0 {
+			return buf
+		}
 	}
-	var hdr [4]byte
-	prov.Get(myPE, myPE, c.seg, c.slotOff(phase, r), hdr[:])
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	buf := make([]byte, n)
-	if n > 0 {
-		prov.Get(myPE, myPE, c.seg, c.slotOff(phase, r)+4, buf)
-	}
-	prov.LocalAtomicStore(myPE, c.seg, c.ackWord(phase, r), seq)
-	return buf
 }
 
 // AllReduceBytes reduces every member's contribution with combine (which
@@ -176,7 +208,8 @@ func (t *Team) BroadcastBytes(root int, mine []byte) []byte {
 }
 
 // AllGatherBytes returns every member's contribution, indexed by team
-// rank. Collective. The combined payload must fit the collective slot cap.
+// rank. Collective. Payloads larger than the collective slot cap are
+// chunked transparently by the slot protocol.
 func (t *Team) AllGatherBytes(mine []byte) [][]byte {
 	type tagged struct {
 		rank int

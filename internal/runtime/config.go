@@ -79,6 +79,25 @@ type Config struct {
 	// this many element operations regardless of payload size, bounding
 	// buffered-op latency for tiny-payload mixes. Default 8192.
 	AggFlushOps int
+	// Faults attaches a fault-injection plan to the reliable wire layer:
+	// every frame transmission between PEs consults the plan and may be
+	// dropped, duplicated, reordered, or delayed (see fabric.FaultPlan).
+	// nil (and no LAMELLAR_FAULT_* environment knobs) disables injection.
+	// Single-PE smp worlds have no wire and ignore the plan.
+	Faults *fabric.FaultPlan
+	// RetryInterval is the reliable wire layer's initial retransmission
+	// timeout for an unacknowledged frame; each retry doubles it up to
+	// RetryBackoffMax. Default 20ms.
+	RetryInterval time.Duration
+	// RetryBackoffMax caps the exponential retransmission backoff.
+	// Default 500ms.
+	RetryBackoffMax time.Duration
+	// DeliveryTimeout bounds how long the wire layer keeps retrying one
+	// frame before abandoning it: affected futures resolve with a
+	// *DeliveryError and completion accounting is reconciled so WaitAll
+	// and finalize terminate. Default 20s; negative disables the timeout
+	// (frames retry forever — a hard partition then blocks finalize).
+	DeliveryTimeout time.Duration
 	// Telemetry enables the tracing/metrics subsystem
 	// (internal/telemetry) for this world: lifecycle events into per-PE
 	// ring buffers, latency histograms, and periodic gauges. Off by
@@ -140,6 +159,21 @@ func (c Config) withDefaults() Config {
 	if c.AggFlushOps <= 0 {
 		c.AggFlushOps = 8192
 	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 20 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 500 * time.Millisecond
+	}
+	if c.DeliveryTimeout == 0 {
+		c.DeliveryTimeout = 20 * time.Second
+	}
+	if c.Faults == nil {
+		// LAMELLAR_FAULT_* knobs apply process-wide so the existing test
+		// and example matrix can run under an adversarial fabric without
+		// touching every Config literal (see `make fault-stress`).
+		c.Faults = envFaultPlan()
+	}
 	return c
 }
 
@@ -151,6 +185,9 @@ func (c Config) validate() error {
 	case LamellaeSim, LamellaeShmem, LamellaeSMP, LamellaeTCP:
 	default:
 		return fmt.Errorf("runtime: unknown lamellae %q", c.Lamellae)
+	}
+	if c.CollectiveSlotBytes <= 8 {
+		return fmt.Errorf("runtime: CollectiveSlotBytes %d too small (need > 8 for the chunk header)", c.CollectiveSlotBytes)
 	}
 	return nil
 }

@@ -16,8 +16,12 @@ import (
 type lamellae interface {
 	// send delivers msg to dst asynchronously. msg is only valid for the
 	// duration of the call: implementations must copy or fully consume it
-	// before returning, because the runtime recycles batch buffers.
-	send(src, dst int, msg []byte)
+	// before returning, because the runtime recycles batch buffers. A
+	// non-nil error means the frame was NOT delivered and the transport
+	// degraded gracefully (e.g. a TCP write failed and the connection was
+	// torn down); callers — in practice the reliability layer — are
+	// responsible for retrying. Transports must never panic on I/O faults.
+	send(src, dst int, msg []byte) error
 	// close stops progress engines after the world quiesces.
 	close()
 	name() LamellaeKind
@@ -155,7 +159,7 @@ func (s *simLamellae) stageAlloc(src int, pair *simPair, dst, n int) int {
 	}
 }
 
-func (s *simLamellae) send(src, dst int, msg []byte) {
+func (s *simLamellae) send(src, dst int, msg []byte) error {
 	// Fragment so that no staging allocation exceeds a quarter of the heap,
 	// keeping very large user payloads (bandwidth tests move tens of MB)
 	// from deadlocking against the fixed-size staging region.
@@ -179,6 +183,7 @@ func (s *simLamellae) send(src, dst int, msg []byte) {
 			break
 		}
 	}
+	return nil
 }
 
 func (s *simLamellae) sendFrag(src, dst int, pair *simPair, frag []byte, last bool) {
@@ -322,11 +327,12 @@ func newShmemLamellae(npes int, deliver deliverFn) *shmemLamellae {
 
 func (s *shmemLamellae) name() LamellaeKind { return LamellaeShmem }
 
-func (s *shmemLamellae) send(src, dst int, msg []byte) {
+func (s *shmemLamellae) send(src, dst int, msg []byte) error {
 	// The runtime reuses batch buffers once send returns; copy before
 	// handing off to the delivery goroutine (the "shared memory write").
 	buf := append([]byte(nil), msg...)
 	s.queues[dst] <- shmemMsg{src: src, buf: buf}
+	return nil
 }
 
 func (s *shmemLamellae) close() {
@@ -346,7 +352,9 @@ type smpLamellae struct{}
 
 func (smpLamellae) name() LamellaeKind { return LamellaeSMP }
 
-func (smpLamellae) send(src, dst int, msg []byte) {
+func (smpLamellae) send(src, dst int, msg []byte) error {
+	// Not an I/O fault: the runtime's local fast path must have consumed
+	// every self-send before the lamellae, so reaching here is a bug.
 	panic("runtime: smp lamellae cannot send between PEs")
 }
 

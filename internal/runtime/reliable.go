@@ -1,0 +1,474 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/telemetry"
+)
+
+// Reliable delivery layer. Every remote lamellae (sim/shmem/tcp) is
+// wrapped in a relLamellae that layers a sequence/ack/retry protocol over
+// the raw transport, so the runtime survives an adversarial fabric —
+// dropped, duplicated, reordered, or delayed frames, transient socket
+// failures, and (up to a configurable delivery timeout) link partitions —
+// without crashing or corrupting AM semantics. The design mirrors how
+// PGAS runtimes such as DART-MPI layer reliable one-sided semantics over
+// an unreliable transport.
+//
+// Wire format: each inner-transport frame is prefixed with a 24-byte
+// header — {kind u8, pad[7], seq u64, cumAck u64} — keeping the body
+// 8-aligned so the serde zero-copy aliasing fast path stays effective.
+//
+//   - kind wireData: seq is the per-(src,dst) stream sequence number,
+//     cumAck piggybacks the sender's cumulative receive progress on the
+//     reverse direction (all frames with seq < cumAck are acknowledged).
+//   - kind wireAck: a standalone cumulative ack, sent by the retry ticker
+//     when a direction owes acks but has no reverse data to piggyback on.
+//
+// Sender: frames are retained per destination until cumulatively acked;
+// the retry ticker retransmits frames whose backoff deadline passed,
+// doubling the backoff up to RetryBackoffMax. A frame older than
+// DeliveryTimeout is abandoned: the runtime reconciles its envelopes
+// (futures resolve with a *DeliveryError, completion accounting is
+// repaired) so nothing hangs and nothing panics.
+//
+// Receiver: frames apply strictly in sequence order. A frame below the
+// expected sequence (or already buffered) is a redelivery and is
+// discarded (dedup); a frame above it is buffered until the gap fills.
+// The dedup window is exact: the cumulative counter rejects everything
+// already delivered, the out-of-order buffer dedups everything ahead.
+//
+// Fault plans (fabric.FaultPlan) are applied at transmission time, which
+// exercises exactly this machinery deterministically in tests.
+
+const (
+	wireHeaderBytes = 24
+	wireData        = 0xD1
+	wireAck         = 0xA7
+)
+
+// relFrame is one retained, possibly-retransmitted data frame.
+type relFrame struct {
+	seq      uint64
+	buf      []byte // header + body
+	first    time.Time
+	deadline time.Time // next retransmission time
+	backoff  time.Duration
+	attempts int
+}
+
+// relPair is sender-side state for one (src,dst) stream.
+type relPair struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	unacked []*relFrame // ascending seq
+	// ackedTo is the cumulative ack received from the peer; updated
+	// lock-free from delivery goroutines (which must never block on mu),
+	// pruned by senders and the retry ticker.
+	ackedTo atomic.Uint64
+}
+
+// relRecv is receiver-side state for one (receiver,sender) direction.
+type relRecv struct {
+	mu   sync.Mutex
+	next atomic.Uint64     // all seqs < next delivered in order
+	ooo  map[uint64][]byte // out-of-order bodies awaiting the gap
+	owed atomic.Bool       // an ack is owed to the sender
+}
+
+// wireCounters aggregates one PE's reliable-wire activity.
+type wireCounters struct {
+	retries    atomic.Uint64 // frames retransmitted (sender)
+	timeouts   atomic.Uint64 // frames abandoned after DeliveryTimeout (sender)
+	dupDropped atomic.Uint64 // duplicate frames discarded (receiver)
+	oooHeld    atomic.Uint64 // frames buffered out of order (receiver)
+	acksSent   atomic.Uint64 // standalone ack frames sent (receiver)
+	faults     atomic.Uint64 // fault-plan injections on this PE's sends
+}
+
+// undeliverableFn reconciles an abandoned frame's envelopes.
+type undeliverableFn func(src, dst int, payload []byte, cause error)
+
+// relLamellae wraps an inner transport with the reliability protocol.
+type relLamellae struct {
+	inner   lamellae
+	npes    int
+	deliver deliverFn
+	giveUp  undeliverableFn
+	plan    *fabric.FaultPlan // nil = no fault injection
+
+	retryInterval time.Duration
+	backoffMax    time.Duration
+	deliveryTO    time.Duration // <= 0: never give up
+
+	pairs    [][]*relPair // [src][dst]
+	recv     [][]*relRecv // [receiver][sender]
+	counters []wireCounters
+
+	sendMu sync.RWMutex // guards inner against send-after-close
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newRelLamellae(cfg Config, deliver deliverFn, giveUp undeliverableFn) *relLamellae {
+	npes := cfg.PEs
+	r := &relLamellae{
+		npes:          npes,
+		deliver:       deliver,
+		giveUp:        giveUp,
+		plan:          cfg.Faults,
+		retryInterval: cfg.RetryInterval,
+		backoffMax:    cfg.RetryBackoffMax,
+		deliveryTO:    cfg.DeliveryTimeout,
+		pairs:         make([][]*relPair, npes),
+		recv:          make([][]*relRecv, npes),
+		counters:      make([]wireCounters, npes),
+		stop:          make(chan struct{}),
+	}
+	for pe := 0; pe < npes; pe++ {
+		r.pairs[pe] = make([]*relPair, npes)
+		r.recv[pe] = make([]*relRecv, npes)
+		for d := 0; d < npes; d++ {
+			r.pairs[pe][d] = &relPair{}
+			r.recv[pe][d] = &relRecv{}
+		}
+	}
+	return r
+}
+
+// start installs the inner transport and launches the retry ticker.
+func (r *relLamellae) start(inner lamellae) {
+	r.inner = inner
+	r.wg.Add(1)
+	go r.retryLoop()
+}
+
+func (r *relLamellae) name() LamellaeKind { return r.inner.name() }
+
+// send frames msg, retains it for retransmission, and transmits. The
+// reliability layer always accepts the frame; transport errors surface
+// later (retry) or as a delivery timeout, never as a panic.
+func (r *relLamellae) send(src, dst int, msg []byte) error {
+	p := r.pairs[src][dst]
+	buf := make([]byte, wireHeaderBytes+len(msg))
+	buf[0] = wireData
+	copy(buf[wireHeaderBytes:], msg)
+	now := time.Now()
+	p.mu.Lock()
+	r.pruneLocked(p)
+	fr := &relFrame{
+		seq:      p.nextSeq,
+		buf:      buf,
+		first:    now,
+		backoff:  r.retryInterval,
+		deadline: now.Add(r.retryInterval),
+	}
+	p.nextSeq++
+	binary.LittleEndian.PutUint64(buf[8:], fr.seq)
+	p.unacked = append(p.unacked, fr)
+	r.transmit(src, dst, fr.buf, fr.seq)
+	p.mu.Unlock()
+	return nil
+}
+
+// pruneLocked releases frames the peer has cumulatively acked. Caller
+// holds p.mu.
+func (r *relLamellae) pruneLocked(p *relPair) {
+	acked := p.ackedTo.Load()
+	i := 0
+	for i < len(p.unacked) && p.unacked[i].seq < acked {
+		p.unacked[i] = nil
+		i++
+	}
+	if i > 0 {
+		p.unacked = append(p.unacked[:0], p.unacked[i:]...)
+	}
+}
+
+// transmit pushes one frame (a data frame owned by a relFrame, or a
+// standalone ack) through the fault plan and onto the inner transport,
+// patching the piggybacked cumulative ack. Callers of data-frame
+// transmissions hold the pair mutex, serializing access to fr.buf.
+func (r *relLamellae) transmit(src, dst int, buf []byte, seq uint64) {
+	// Piggyback: tell dst how far src has received on the reverse
+	// direction, and clear the owed-ack marker it covers.
+	rs := r.recv[src][dst]
+	binary.LittleEndian.PutUint64(buf[16:], rs.next.Load())
+	rs.owed.Store(false)
+
+	d := r.plan.Decide(src, dst)
+	if d.Kind != fabric.FaultNone {
+		r.counters[src].faults.Add(1)
+		r.emitWire(telemetry.EvWireFault, src, int64(dst), int64(seq), uint8(d.Kind))
+	}
+	switch d.Kind {
+	case fabric.FaultDrop:
+		return
+	case fabric.FaultDup:
+		r.innerSend(src, dst, buf)
+		r.innerSend(src, dst, buf)
+		return
+	case fabric.FaultReorder, fabric.FaultDelay:
+		// Defer a private copy so later frames overtake it; retransmits
+		// may patch buf concurrently with the timer, so aliasing is not
+		// safe.
+		cp := append([]byte(nil), buf...)
+		time.AfterFunc(d.Delay, func() { r.innerSend(src, dst, cp) })
+		return
+	}
+	r.innerSend(src, dst, buf)
+}
+
+// innerSend hands a frame to the raw transport unless the layer closed.
+// Transport errors are swallowed: the frame stays unacked and the retry
+// path re-sends it (for TCP, after the broken connection was torn down
+// and a re-dial becomes possible).
+func (r *relLamellae) innerSend(src, dst int, buf []byte) {
+	r.sendMu.RLock()
+	defer r.sendMu.RUnlock()
+	if r.closed {
+		return
+	}
+	if err := r.inner.send(src, dst, buf); err != nil {
+		fmt.Fprintf(os.Stderr, "lamellar: PE%d→PE%d transport error (will retry): %v\n", src, dst, err)
+	}
+}
+
+// onDeliver is the inner transport's delivery callback: it strips the
+// reliability header, applies acks, dedups, restores order, and passes
+// in-order bodies to the runtime. It must never block on a pair mutex —
+// transport progress engines call it while senders may be stalled on
+// transport backpressure.
+func (r *relLamellae) onDeliver(dst, src int, msg []byte) {
+	if len(msg) < wireHeaderBytes || (msg[0] != wireData && msg[0] != wireAck) {
+		fmt.Fprintf(os.Stderr, "lamellar: PE%d: corrupt wire frame from PE%d (%d bytes)\n", dst, src, len(msg))
+		return
+	}
+	cum := binary.LittleEndian.Uint64(msg[16:])
+	// The frame traveled src→dst, so its cumAck acknowledges the dst→src
+	// stream, whose sender-side state lives at pairs[dst][src].
+	maxUpdate(&r.pairs[dst][src].ackedTo, cum)
+	if msg[0] == wireAck {
+		return
+	}
+	seq := binary.LittleEndian.Uint64(msg[8:])
+	body := msg[wireHeaderBytes:]
+	rs := r.recv[dst][src]
+	rs.mu.Lock()
+	next := rs.next.Load()
+	switch {
+	case seq < next:
+		// Redelivery of something already consumed: dedup.
+		rs.owed.Store(true) // re-ack so the sender stops retransmitting
+		rs.mu.Unlock()
+		r.counters[dst].dupDropped.Add(1)
+		r.emitWire(telemetry.EvWireDedup, dst, int64(src), int64(seq), 0)
+		return
+	case seq > next:
+		if rs.ooo == nil {
+			rs.ooo = make(map[uint64][]byte)
+		}
+		if _, dup := rs.ooo[seq]; dup {
+			rs.mu.Unlock()
+			r.counters[dst].dupDropped.Add(1)
+			r.emitWire(telemetry.EvWireDedup, dst, int64(src), int64(seq), 0)
+			return
+		}
+		rs.ooo[seq] = body
+		rs.owed.Store(true)
+		rs.mu.Unlock()
+		r.counters[dst].oooHeld.Add(1)
+		return
+	}
+	// In order: deliver, then drain any buffered successors.
+	r.deliver(dst, src, body)
+	next++
+	for {
+		b, ok := rs.ooo[next]
+		if !ok {
+			break
+		}
+		delete(rs.ooo, next)
+		r.deliver(dst, src, b)
+		next++
+	}
+	rs.next.Store(next)
+	rs.owed.Store(true)
+	rs.mu.Unlock()
+}
+
+// maxUpdate raises a to v if v is larger (lock-free monotonic max).
+func maxUpdate(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// retryLoop is the single background goroutine driving retransmissions,
+// delivery-timeout give-ups, and standalone acks for idle directions.
+func (r *relLamellae) retryLoop() {
+	defer r.wg.Done()
+	tick := r.retryInterval / 8
+	if tick < 200*time.Microsecond {
+		tick = 200 * time.Microsecond
+	}
+	if tick > 2*time.Millisecond {
+		tick = 2 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		for src := 0; src < r.npes; src++ {
+			for dst := 0; dst < r.npes; dst++ {
+				if src == dst {
+					continue
+				}
+				r.sweepPair(src, dst, now)
+				rs := r.recv[src][dst]
+				if rs.owed.Swap(false) {
+					r.sendAck(src, dst)
+				}
+			}
+		}
+	}
+}
+
+// sweepPair retransmits overdue frames of one stream and abandons frames
+// past the delivery timeout.
+func (r *relLamellae) sweepPair(src, dst int, now time.Time) {
+	p := r.pairs[src][dst]
+	p.mu.Lock()
+	if len(p.unacked) == 0 {
+		p.mu.Unlock()
+		return
+	}
+	r.pruneLocked(p)
+	var abandoned []*relFrame
+	keep := p.unacked[:0]
+	for _, fr := range p.unacked {
+		if !now.After(fr.deadline) {
+			keep = append(keep, fr)
+			continue
+		}
+		if r.deliveryTO > 0 && now.Sub(fr.first) >= r.deliveryTO {
+			abandoned = append(abandoned, fr)
+			r.counters[src].timeouts.Add(1)
+			r.emitWire(telemetry.EvWireTimeout, src, int64(dst), int64(fr.seq), 0)
+			continue
+		}
+		fr.attempts++
+		fr.backoff *= 2
+		if fr.backoff > r.backoffMax {
+			fr.backoff = r.backoffMax
+		}
+		fr.deadline = now.Add(fr.backoff)
+		r.counters[src].retries.Add(1)
+		r.emitWire(telemetry.EvWireRetry, src, int64(dst), int64(fr.seq), 0)
+		r.transmit(src, dst, fr.buf, fr.seq)
+		keep = append(keep, fr)
+	}
+	for i := len(keep); i < len(p.unacked); i++ {
+		p.unacked[i] = nil
+	}
+	p.unacked = keep
+	p.mu.Unlock()
+	// Reconcile outside the pair lock: the handler touches world state
+	// (futures, completion accounting) and must not nest under it.
+	for _, fr := range abandoned {
+		err := &DeliveryError{
+			Src: src, Dst: dst,
+			Attempts: fr.attempts + 1,
+			Elapsed:  now.Sub(fr.first),
+		}
+		fmt.Fprintln(os.Stderr, "lamellar: "+err.Error())
+		if r.giveUp != nil {
+			r.giveUp(src, dst, fr.buf[wireHeaderBytes:], err)
+		}
+	}
+}
+
+// sendAck emits a standalone cumulative ack pe→peer.
+func (r *relLamellae) sendAck(pe, peer int) {
+	var buf [wireHeaderBytes]byte
+	buf[0] = wireAck
+	cum := r.recv[pe][peer].next.Load()
+	binary.LittleEndian.PutUint64(buf[16:], cum)
+	r.counters[pe].acksSent.Add(1)
+	r.emitWire(telemetry.EvWireAck, pe, int64(peer), int64(cum), 0)
+	d := r.plan.Decide(pe, peer)
+	switch d.Kind {
+	case fabric.FaultDrop:
+		// A lost ack re-arms via the sender's retransmit → dedup → owed.
+		r.counters[pe].faults.Add(1)
+		return
+	case fabric.FaultReorder, fabric.FaultDelay:
+		r.counters[pe].faults.Add(1)
+		cp := buf
+		time.AfterFunc(d.Delay, func() { r.innerSend(pe, peer, cp[:]) })
+		return
+	}
+	r.innerSend(pe, peer, buf[:])
+}
+
+// emitWire records one reliable-wire telemetry event.
+func (r *relLamellae) emitWire(kind telemetry.EventKind, pe int, arg1, arg2 int64, sub uint8) {
+	if !telemetry.Enabled() {
+		return
+	}
+	c := telemetry.C()
+	if c == nil {
+		return
+	}
+	c.Emit(telemetry.Event{
+		TS: c.Now(), Kind: kind, Sub: sub,
+		PE: int32(pe), Worker: telemetry.TidNet,
+		Arg1: arg1, Arg2: arg2,
+	})
+}
+
+// close stops the retry machinery, then the inner transport. Any frames
+// still unacked were already delivered (the runtime only closes after
+// distributed quiescence) — only their acks were in flight.
+func (r *relLamellae) close() {
+	close(r.stop)
+	r.wg.Wait()
+	r.sendMu.Lock()
+	r.closed = true
+	r.sendMu.Unlock()
+	r.inner.close()
+}
+
+// DeliveryError reports a wire frame the reliable layer abandoned after
+// exhausting its delivery timeout — a partitioned or persistently lossy
+// link. Futures waiting on AMs carried by the frame resolve with this
+// error; fire-and-forget AMs are marked complete so WaitAll cannot hang.
+type DeliveryError struct {
+	// Src and Dst identify the link.
+	Src, Dst int
+	// Attempts is how many transmissions were made.
+	Attempts int
+	// Elapsed is how long delivery was attempted.
+	Elapsed time.Duration
+}
+
+func (e *DeliveryError) Error() string {
+	return fmt.Sprintf("lamellar: delivery PE%d→PE%d timed out after %d attempts over %v",
+		e.Src, e.Dst, e.Attempts, e.Elapsed.Round(time.Millisecond))
+}

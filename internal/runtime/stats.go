@@ -5,6 +5,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/fabric"
@@ -44,6 +45,19 @@ type Stats struct {
 	AggBatchesFlushed uint64
 	AggOpsCoalesced   uint64
 	AggFlushReasons   [telemetry.NumFlushReasons]uint64
+	// Reliable-wire counters (zero on smp worlds, which have no wire):
+	// WireRetries counts frame retransmissions this PE's sender made;
+	// WireTimeouts counts frames it abandoned after DeliveryTimeout;
+	// WireDupDropped counts redelivered frames its receiver discarded
+	// (dedup); WireOutOfOrder counts frames buffered awaiting a sequence
+	// gap; WireAcksSent counts standalone cumulative-ack frames;
+	// WireFaultsInjected counts fault-plan injections on its sends.
+	WireRetries        uint64
+	WireTimeouts       uint64
+	WireDupDropped     uint64
+	WireOutOfOrder     uint64
+	WireAcksSent       uint64
+	WireFaultsInjected uint64
 	// Fabric is this PE's traffic counters (messages, bytes, modeled ns).
 	Fabric fabric.Counters
 }
@@ -70,6 +84,15 @@ func (w *World) Stats() Stats {
 		s.BatchFlushReasons[i] = w.batchReasons[i].Load()
 		s.AggFlushReasons[i] = w.aggReasons[i].Load()
 	}
+	if rel := w.env.rel; rel != nil {
+		wc := &rel.counters[w.pe]
+		s.WireRetries = wc.retries.Load()
+		s.WireTimeouts = wc.timeouts.Load()
+		s.WireDupDropped = wc.dupDropped.Load()
+		s.WireOutOfOrder = wc.oooHeld.Load()
+		s.WireAcksSent = wc.acksSent.Load()
+		s.WireFaultsInjected = wc.faults.Load()
+	}
 	return s
 }
 
@@ -94,11 +117,12 @@ func reasonString(counts [telemetry.NumFlushReasons]uint64) string {
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"PE%d: ams=%d/%d env=%d/%d pool(exec=%d stolen=%d parks=%d busy=%v) batches(sent=%d reasons[%s]) agg(batches=%d ops=%d reasons[%s]) net(msgs=%d bytes=%d modeled=%v)",
+		"PE%d: ams=%d/%d env=%d/%d pool(exec=%d stolen=%d parks=%d busy=%v) batches(sent=%d reasons[%s]) agg(batches=%d ops=%d reasons[%s]) wire(retx=%d dedup=%d ooo=%d acks=%d timeouts=%d injected=%d) net(msgs=%d bytes=%d modeled=%v)",
 		s.PE, s.Completed, s.Issued, s.EnvelopesProcessed, s.EnvelopesSent,
 		s.PoolExecuted, s.PoolStolen, s.PoolParks, s.PoolBusy,
 		s.BatchesSent, reasonString(s.BatchFlushReasons),
 		s.AggBatchesFlushed, s.AggOpsCoalesced, reasonString(s.AggFlushReasons),
+		s.WireRetries, s.WireDupDropped, s.WireOutOfOrder, s.WireAcksSent, s.WireTimeouts, s.WireFaultsInjected,
 		s.Fabric.Msgs, s.Fabric.Bytes, time.Duration(s.Fabric.ModeledNs))
 }
 
@@ -150,6 +174,21 @@ func (r StatsReport) String() string {
 //	                     written at world shutdown (implies telemetry on);
 //	                     open it in Perfetto (ui.perfetto.dev)
 //	LAMELLAR_TRACE_RING  per-PE telemetry event-ring capacity
+//
+// Fault-injection and reliability knobs (see fabric.FaultPlan and the
+// README's fault-model table):
+//
+//	LAMELLAR_FAULT_SEED        fault-plan seed (default 1 when any rate set)
+//	LAMELLAR_FAULT_DROP        per-frame drop probability, 0..1
+//	LAMELLAR_FAULT_DUP         per-frame duplication probability, 0..1
+//	LAMELLAR_FAULT_REORDER     per-frame reorder (hold-back) probability, 0..1
+//	LAMELLAR_FAULT_DELAY       per-frame delay probability, 0..1
+//	LAMELLAR_FAULT_DELAY_MS    delay duration in ms for delayed/reordered frames
+//	LAMELLAR_FAULT_BURST       burst length: an injected fault repeats for
+//	                           this many consecutive frames on the link
+//	LAMELLAR_RETRY_MS          initial retransmission timeout in ms
+//	LAMELLAR_DELIVERY_TIMEOUT_MS  per-frame delivery give-up bound in ms
+//	                           (negative disables: retry forever)
 func (c Config) ApplyEnv() Config {
 	if v, ok := envInt("LAMELLAR_THREADS"); ok {
 		c.WorkersPerPE = v
@@ -176,6 +215,18 @@ func (c Config) ApplyEnv() Config {
 	if v, ok := envInt("LAMELLAR_TRACE_RING"); ok {
 		c.TraceRingCap = v
 	}
+	if v, ok := envInt("LAMELLAR_RETRY_MS"); ok {
+		c.RetryInterval = time.Duration(v) * time.Millisecond
+	}
+	if v, ok := envInt("LAMELLAR_DELIVERY_TIMEOUT_MS"); ok {
+		if v < 0 {
+			c.DeliveryTimeout = -1
+		} else {
+			c.DeliveryTimeout = time.Duration(v) * time.Millisecond
+		}
+	}
+	// LAMELLAR_FAULT_* is picked up in withDefaults (envFaultPlan) so it
+	// also reaches worlds built without ApplyEnv; nothing to do here.
 	return c
 }
 
@@ -190,4 +241,64 @@ func envInt(name string) (int, bool) {
 		return 0, false
 	}
 	return n, true
+}
+
+func envFloat(name string) (float64, bool) {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamellar: ignoring %s=%q: %v\n", name, v, err)
+		return 0, false
+	}
+	return f, true
+}
+
+// envFaultOnce caches the process-wide fault plan built from
+// LAMELLAR_FAULT_* so every world in the process shares one plan (and its
+// injection counters). Computed once: fault-stress runs set the knobs
+// before the process starts, and tests that want a private plan pass
+// Config.Faults explicitly.
+var envFaultOnce = struct {
+	sync.Once
+	plan *fabric.FaultPlan
+}{}
+
+// envFaultPlan builds a fault plan from the LAMELLAR_FAULT_* environment
+// knobs, or returns nil when none are set (the common case: no
+// injection, zero overhead beyond one nil check per frame).
+func envFaultPlan() *fabric.FaultPlan {
+	envFaultOnce.Do(func() {
+		var lf fabric.LinkFaults
+		any := false
+		if v, ok := envFloat("LAMELLAR_FAULT_DROP"); ok {
+			lf.DropRate, any = v, true
+		}
+		if v, ok := envFloat("LAMELLAR_FAULT_DUP"); ok {
+			lf.DupRate, any = v, true
+		}
+		if v, ok := envFloat("LAMELLAR_FAULT_REORDER"); ok {
+			lf.ReorderRate, any = v, true
+		}
+		if v, ok := envFloat("LAMELLAR_FAULT_DELAY"); ok {
+			lf.DelayRate, any = v, true
+		}
+		if v, ok := envInt("LAMELLAR_FAULT_DELAY_MS"); ok {
+			lf.Delay, any = time.Duration(v)*time.Millisecond, true
+		}
+		if v, ok := envInt("LAMELLAR_FAULT_BURST"); ok {
+			lf.BurstLen, any = v, true
+		}
+		seed, haveSeed := envInt("LAMELLAR_FAULT_SEED")
+		if !any && !haveSeed {
+			return
+		}
+		if !haveSeed {
+			seed = 1
+		}
+		envFaultOnce.plan = fabric.NewFaultPlan(int64(seed)).SetDefault(lf)
+	})
+	return envFaultOnce.plan
 }

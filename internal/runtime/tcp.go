@@ -3,6 +3,7 @@ package runtime
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -15,6 +16,13 @@ import (
 // agnostic (the paper's future work replaces ROFI with other providers)
 // and provides an integration point for true multi-process deployment:
 // the wire protocol is self-contained length-prefixed frames.
+//
+// Fault behavior: send never panics. A write or flush error tears the
+// broken connection down and removes it from the connection table, so
+// the next send re-dials; the frame that hit the error reports it to the
+// caller (the reliability layer), which retransmits after the teardown.
+// Sends racing shutdown are gated on the done channel instead of dialing
+// a closed listener.
 //
 // Wire format per frame: u32 srcPE, u32 length, payload bytes.
 type tcpLamellae struct {
@@ -36,6 +44,9 @@ type tcpConn struct {
 	w  *bufio.Writer
 }
 
+// errTCPClosed reports a send issued during or after shutdown.
+var errTCPClosed = errors.New("runtime: tcp lamellae closed")
+
 func newTCPLamellae(npes int, deliver deliverFn) (*tcpLamellae, error) {
 	t := &tcpLamellae{
 		npes:    npes,
@@ -47,6 +58,11 @@ func newTCPLamellae(npes int, deliver deliverFn) (*tcpLamellae, error) {
 	for pe := 0; pe < npes; pe++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			for _, l := range t.lns {
+				if l != nil {
+					l.Close()
+				}
+			}
 			return nil, fmt.Errorf("runtime: tcp lamellae listen: %w", err)
 		}
 		t.lns[pe] = ln
@@ -83,6 +99,9 @@ func (t *tcpLamellae) serve(pe int, conn net.Conn) {
 		}
 		src := int(binary.LittleEndian.Uint32(hdr[0:]))
 		n := int(binary.LittleEndian.Uint32(hdr[4:]))
+		if src < 0 || src >= t.npes {
+			return // corrupt header: drop the connection, not the process
+		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return
@@ -100,6 +119,11 @@ func (t *tcpLamellae) conn(src, dst int) (*tcpConn, error) {
 	if tc != nil {
 		return tc, nil
 	}
+	select {
+	case <-t.done:
+		return nil, errTCPClosed
+	default:
+	}
 	c, err := net.Dial("tcp", t.lns[dst].Addr().String())
 	if err != nil {
 		return nil, fmt.Errorf("runtime: tcp lamellae dial PE%d: %w", dst, err)
@@ -111,15 +135,41 @@ func (t *tcpLamellae) conn(src, dst int) (*tcpConn, error) {
 		c.Close()
 		return existing, nil
 	}
+	select {
+	case <-t.done:
+		// close() already swept the table; registering now would leak the
+		// socket past shutdown.
+		t.mu.Unlock()
+		c.Close()
+		return nil, errTCPClosed
+	default:
+	}
 	t.conns[key] = tc
 	t.mu.Unlock()
 	return tc, nil
 }
 
-func (t *tcpLamellae) send(src, dst int, msg []byte) {
+// dropConn tears down a connection that hit an I/O error so the next
+// send re-dials instead of reusing a dead socket.
+func (t *tcpLamellae) dropConn(key [2]int, tc *tcpConn) {
+	t.mu.Lock()
+	if t.conns[key] == tc {
+		delete(t.conns, key)
+	}
+	t.mu.Unlock()
+	tc.c.Close()
+}
+
+func (t *tcpLamellae) send(src, dst int, msg []byte) error {
+	select {
+	case <-t.done:
+		return errTCPClosed
+	default:
+	}
+	key := [2]int{src, dst}
 	tc, err := t.conn(src, dst)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(src))
@@ -127,15 +177,19 @@ func (t *tcpLamellae) send(src, dst int, msg []byte) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if _, err := tc.w.Write(hdr[:]); err != nil {
-		panic(fmt.Sprintf("runtime: tcp lamellae write: %v", err))
+		t.dropConn(key, tc)
+		return fmt.Errorf("runtime: tcp lamellae write PE%d→PE%d: %w", src, dst, err)
 	}
 	if _, err := tc.w.Write(msg); err != nil {
-		panic(fmt.Sprintf("runtime: tcp lamellae write: %v", err))
+		t.dropConn(key, tc)
+		return fmt.Errorf("runtime: tcp lamellae write PE%d→PE%d: %w", src, dst, err)
 	}
 	// Flush per batch: the aggregation layer above already coalesced.
 	if err := tc.w.Flush(); err != nil {
-		panic(fmt.Sprintf("runtime: tcp lamellae flush: %v", err))
+		t.dropConn(key, tc)
+		return fmt.Errorf("runtime: tcp lamellae flush PE%d→PE%d: %w", src, dst, err)
 	}
+	return nil
 }
 
 func (t *tcpLamellae) close() {
@@ -148,6 +202,7 @@ func (t *tcpLamellae) close() {
 		for _, tc := range t.conns {
 			tc.c.Close()
 		}
+		t.conns = map[[2]int]*tcpConn{}
 		t.mu.Unlock()
 	})
 	t.wg.Wait()

@@ -1,0 +1,107 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression: sends racing close() used to panic (dial of a closed
+// listener, write to a closed socket). Now they must return errors —
+// errTCPClosed or a transport error — while close() tears everything
+// down exactly once. Run with -race: the test's value is the schedule
+// interleaving, not the assertions alone.
+func TestTCPSendCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		var delivered atomic.Uint64
+		lam, err := newTCPLamellae(3, func(dst, src int, msg []byte) {
+			delivered.Add(1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, 256)
+		var wg sync.WaitGroup
+		stopSenders := make(chan struct{})
+		for src := 0; src < 3; src++ {
+			for dst := 0; dst < 3; dst++ {
+				if src == dst {
+					continue
+				}
+				src, dst := src, dst
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stopSenders:
+							return
+						default:
+						}
+						if err := lam.send(src, dst, payload); err != nil {
+							// An error return (errTCPClosed or a socket
+							// failure) is the contract; the old code
+							// panicked here.
+							return
+						}
+					}
+				}()
+			}
+		}
+		// Let the senders get going, then yank the transport out from
+		// under them.
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		lam.close()
+		close(stopSenders)
+		wg.Wait()
+		// Post-close sends must fail cleanly, not dial or panic.
+		if err := lam.send(0, 1, payload); err == nil {
+			t.Fatal("send after close succeeded")
+		}
+	}
+}
+
+// A send hitting a dead connection must report the error, drop the
+// connection from the table, and let a subsequent send re-dial — the
+// reliability layer depends on this to replay unacked frames.
+func TestTCPSendErrorRedials(t *testing.T) {
+	var delivered atomic.Uint64
+	lam, err := newTCPLamellae(2, func(dst, src int, msg []byte) {
+		delivered.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lam.close()
+	if err := lam.send(0, 1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the established outbound socket behind the table's back,
+	// simulating a connection reset.
+	lam.mu.Lock()
+	tc := lam.conns[[2]int{0, 1}]
+	lam.mu.Unlock()
+	if tc == nil {
+		t.Fatal("no connection registered after send")
+	}
+	tc.c.Close()
+	// The next send may fail (broken socket) — that must be an error
+	// return, and the one after it must have re-dialed and succeeded.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := lam.send(0, 1, []byte("two")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("send never recovered after connection teardown")
+		}
+	}
+	// Both successful frames eventually arrive.
+	for deadline := time.Now().Add(5 * time.Second); delivered.Load() < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d frames, want >= 2", delivered.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

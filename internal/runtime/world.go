@@ -18,6 +18,7 @@ type worldEnv struct {
 	cfg    Config
 	prov   *fabric.Provider
 	lam    lamellae
+	rel    *relLamellae // reliability layer; nil for single-PE (smp) worlds
 	worlds []*World
 
 	collMu sync.Mutex
@@ -238,19 +239,30 @@ func newEnv(cfg Config) (*worldEnv, error) {
 	deliver := func(dst, src int, msg []byte) {
 		env.worlds[dst].receiveBatch(src, msg)
 	}
-	switch cfg.Lamellae {
-	case LamellaeSim:
-		env.lam = newSimLamellae(env.prov, cfg, deliver)
-	case LamellaeShmem:
-		env.lam = newShmemLamellae(cfg.PEs, deliver)
-	case LamellaeSMP:
+	if cfg.Lamellae == LamellaeSMP {
 		env.lam = smpLamellae{}
-	case LamellaeTCP:
-		lam, err := newTCPLamellae(cfg.PEs, deliver)
-		if err != nil {
-			return nil, err
+	} else {
+		// Every remote transport is wrapped in the reliability layer: the
+		// raw lamellae moves relLamellae's framed bytes, and delivery
+		// passes back through the seq/ack/dedup machinery before reaching
+		// the runtime.
+		rel := newRelLamellae(cfg, deliver, env.handleUndeliverable)
+		var inner lamellae
+		switch cfg.Lamellae {
+		case LamellaeSim:
+			inner = newSimLamellae(env.prov, cfg, rel.onDeliver)
+		case LamellaeShmem:
+			inner = newShmemLamellae(cfg.PEs, rel.onDeliver)
+		case LamellaeTCP:
+			var err error
+			inner, err = newTCPLamellae(cfg.PEs, rel.onDeliver)
+			if err != nil {
+				return nil, err
+			}
 		}
-		env.lam = lam
+		rel.start(inner)
+		env.lam = rel
+		env.rel = rel
 	}
 	// World teams (one Team handle per PE sharing common team state).
 	shared := newTeamShared(env, allPEs(cfg.PEs))
@@ -392,6 +404,50 @@ func (w *World) finalize() {
 }
 
 // allReduceSumU64 is used by finalize; defined in collective.go.
+
+// handleUndeliverable reconciles a wire frame the reliability layer
+// abandoned after its delivery timeout (a partitioned or persistently
+// lossy link). The frame's envelopes are walked so nothing hangs:
+//
+//   - exec envelopes: the issuing PE's future (if any) resolves with the
+//     delivery error, and its completion counter advances so WaitAll
+//     terminates;
+//   - return envelopes: the destination PE's waiting future resolves
+//     with the delivery error instead of blocking forever;
+//   - ack envelopes: the destination's completion count is credited — the
+//     acknowledged AMs did execute, only the accounting frame was lost.
+//
+// Envelope-processed accounting advances on the issuing side so the
+// distributed quiescence check in finalize converges even though the
+// receiver never saw the frame.
+func (env *worldEnv) handleUndeliverable(src, dst int, payload []byte, cause error) {
+	ws, wd := env.worlds[src], env.worlds[dst]
+	dec := serde.NewDecoder(payload)
+	for dec.Remaining() > 0 {
+		n := dec.U32()
+		dec.Align(8)
+		body := dec.RawBytes(int(n))
+		if dec.Err() != nil {
+			fmt.Fprintf(os.Stderr, "lamellar: PE%d: corrupt abandoned frame to PE%d: %v\n", src, dst, dec.Err())
+			return
+		}
+		bd := serde.NewDecoder(body)
+		switch kind := bd.U8(); kind {
+		case envExec:
+			req := bd.Uvarint()
+			ws.completed.Add(1)
+			if req != 0 {
+				ws.resolveReturn(dst, req, nil, cause)
+			}
+		case envReturn:
+			req := bd.Uvarint()
+			wd.resolveReturn(src, req, nil, cause)
+		case envAck:
+			wd.completed.Add(bd.Uvarint())
+		}
+		ws.envProcessed.Add(1)
+	}
+}
 
 // ----- collective construction registry --------------------------------
 

@@ -67,8 +67,23 @@ const (
 	// EvTaskPark spans a worker's sleep on the executor's parking lot
 	// (Dur = parked time); Worker is the parking worker.
 	EvTaskPark
+	// EvWireRetry marks a reliable-wire frame retransmission;
+	// Arg1 = destination PE, Arg2 = frame sequence number.
+	EvWireRetry
+	// EvWireDedup marks a duplicate frame discarded by the receiver;
+	// Arg1 = source PE, Arg2 = frame sequence number.
+	EvWireDedup
+	// EvWireTimeout marks a frame abandoned after the delivery timeout;
+	// Arg1 = destination PE, Arg2 = frame sequence number.
+	EvWireTimeout
+	// EvWireAck marks a standalone cumulative-ack frame sent;
+	// Arg1 = destination PE, Arg2 = cumulative sequence acked.
+	EvWireAck
+	// EvWireFault marks a fault-plan injection on a transmission;
+	// Sub = fabric.FaultKind, Arg1 = destination PE.
+	EvWireFault
 
-	numEventKinds = int(EvTaskPark) + 1
+	numEventKinds = int(EvWireFault) + 1
 )
 
 var eventNames = [numEventKinds]string{
@@ -76,6 +91,7 @@ var eventNames = [numEventKinds]string{
 	"am.issue", "am.encode", "am.exec", "am.return",
 	"agg.open", "agg.flush", "fabric.op", "gauge",
 	"task.park",
+	"wire.retry", "wire.dedup", "wire.timeout", "wire.ack", "wire.fault",
 }
 
 func (k EventKind) String() string {
