@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench agg-bench bench-sched sched-stress trace-smoke fault-stress
+.PHONY: build vet test race check bench agg-bench bench-sched sched-stress trace-smoke fault-stress bench-allocs
 
 build:
 	$(GO) build ./...
@@ -36,8 +36,16 @@ fault-stress:
 		./internal/runtime ./internal/darc ./internal/array \
 		./internal/bale/exstack ./internal/bale/exstack2 ./internal/bale/conveyor
 
+# Allocation-budget gate (ISSUE 6): the explicit per-path alloc budgets
+# (aggregated add, fetch-add round trip, wire send/ack) must hold, and
+# the -benchmem snapshot of the aggregated micro-benchmark is printed so
+# regressions against the bench_results.txt ALLOC table are visible.
+bench-allocs:
+	$(GO) test -count=1 -run 'TestAllocBudget' -v . ./internal/runtime
+	$(GO) test -run xxx -bench 'BenchmarkAtomicOpsAggregated$$' -benchtime=200x -benchmem -count=1 .
+
 # Tier-1 gate: everything that must stay green before a change lands.
-check: build vet race sched-stress fault-stress trace-smoke
+check: build vet race sched-stress fault-stress trace-smoke bench-allocs
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,84 @@
+// Allocation-budget regression tests (ISSUE 6): the steady-state AM hot
+// paths must stay near zero heap allocations. Budgets are explicit and
+// deliberately a little above the measured values so scheduling noise
+// (background flusher ticks, occasional pool growth) doesn't flake the
+// build — but far below any per-op regression: losing slab recycling or
+// the shared fire-and-forget future costs hundreds-to-thousands of
+// allocations per batch and fails these immediately.
+package lamellar_test
+
+import (
+	"math/rand"
+	"testing"
+
+	lamellar "repro"
+	"repro/internal/runtime"
+)
+
+// Aggregated fire-and-forget adds: 2048 ops + WaitAll per measured run.
+// Steady state the whole batch — buffering, flush, wire frames, remote
+// apply, acks — recycles everything, so the per-batch budget is 64
+// (the warmup ceiling from the acceptance criteria; measured steady
+// state is ~0 per batch).
+func TestAllocBudgetAggregatedAdd(t *testing.T) {
+	const tableLen = 8192
+	const opsPerBatch = 2048
+	cfg := runtime.Config{PEs: 2, WorkersPerPE: 2, Lamellae: runtime.LamellaeSim}
+	err := runtime.Run(cfg, func(w *runtime.World) {
+		a := lamellar.NewAtomicArray[uint64](w.Team(), tableLen, lamellar.Block)
+		defer a.Drop()
+		if w.MyPE() == 0 {
+			rng := rand.New(rand.NewSource(7))
+			idxs := make([]int, opsPerBatch)
+			for i := range idxs {
+				idxs[i] = tableLen/2 + rng.Intn(tableLen/2) // PE1's half
+			}
+			batch := func() {
+				for _, idx := range idxs {
+					a.Add(idx, 1)
+				}
+				w.WaitAll()
+			}
+			for i := 0; i < 20; i++ {
+				batch() // warm pools, slab classes, scratch encoders
+			}
+			if per := testing.AllocsPerRun(50, batch); per > 64 {
+				t.Errorf("aggregated add batch averaged %.1f allocs, budget 64", per)
+			}
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fetch-add round trip: one remote FetchAdd awaited to completion. The
+// fetch path still pays for its per-op future, result slot, and the
+// return-envelope decode; the budget bounds that tail.
+func TestAllocBudgetFetchAddRoundTrip(t *testing.T) {
+	const tableLen = 64
+	cfg := runtime.Config{PEs: 2, WorkersPerPE: 2, Lamellae: runtime.LamellaeSim}
+	err := runtime.Run(cfg, func(w *runtime.World) {
+		a := lamellar.NewAtomicArray[uint64](w.Team(), tableLen, lamellar.Block)
+		defer a.Drop()
+		if w.MyPE() == 0 {
+			idx := tableLen - 1 // owned by PE1
+			rt := func() {
+				if _, err := runtime.BlockOn(w, a.FetchAdd(idx, 1)); err != nil {
+					panic(err)
+				}
+			}
+			for i := 0; i < 200; i++ {
+				rt()
+			}
+			if per := testing.AllocsPerRun(500, rt); per > 48 {
+				t.Errorf("fetch-add round trip averaged %.1f allocs, budget 48", per)
+			}
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/serde"
 	"repro/internal/telemetry"
+	"repro/internal/tuning"
 )
 
 // Operation aggregation layer (§IV-B / Fig. 5): element ops on
@@ -46,7 +47,10 @@ const (
 // byte + fixed-width start and count) for the flush-threshold check.
 const aggEntryOverhead = 17
 
-// aggRoute remembers where one buffered entry's results go.
+// aggRoute remembers where one buffered entry's results go. A nil cd
+// means the entry came through the fire-and-forget scalar path: it is
+// tracked by the aggregator's shared pending counter (and shared
+// condition future) instead of a per-op countdown.
 type aggRoute[T serde.Number] struct {
 	cd  *scheduler.Countdown[[]T]
 	out []T // fetch results land here; nil when the entry returns nothing
@@ -65,12 +69,21 @@ type aggBatch[T serde.Number] struct {
 	bytes  int   // estimated wire payload bytes
 	openNs int64 // telemetry clock when the first op landed (0 = untraced)
 	fetch  bool
+
+	// am and onDone are the batch's recycled launch state: the AM struct
+	// the columns serialize through and the completion callback bound once
+	// when the batch object was created, so dispatching a flushed buffer
+	// allocates neither.
+	am     aggAM[T]
+	onDone func(any, error)
 }
 
-// resolve routes an aggAM's results (or error) back to every buffered
-// entry's countdown, in submission order.
-func (b *aggBatch[T]) resolve(res []T, err error) {
+// resolveBatch routes an aggAM's results (or error) back to every
+// buffered entry, in submission order: per-op countdowns for routed
+// entries, the shared pending counter for fire-and-forget ones.
+func (g *aggregator[T]) resolveBatch(b *aggBatch[T], res []T, err error) {
 	ri := 0
+	shared := int64(0)
 	for k := range b.routes {
 		r := b.routes[k]
 		if err == nil && r.out != nil {
@@ -78,8 +91,28 @@ func (b *aggBatch[T]) resolve(res []T, err error) {
 			copy(r.out, res[ri:ri+cnt])
 			ri += cnt
 		}
-		r.cd.Done(err)
+		if r.cd != nil {
+			r.cd.Done(err)
+		} else {
+			shared++
+		}
 	}
+	if shared > 0 {
+		if err != nil {
+			g.noteErr(err)
+		}
+		g.pending.Add(-shared)
+	}
+}
+
+// noteErr latches the first error seen by a fire-and-forget entry; the
+// shared condition future surfaces it on every subsequent await.
+func (g *aggregator[T]) noteErr(err error) {
+	g.errMu.Lock()
+	if g.stickyErr == nil {
+		g.stickyErr = err
+	}
+	g.errMu.Unlock()
 }
 
 type aggShard[T serde.Number] struct {
@@ -94,12 +127,21 @@ type aggregator[T serde.Number] struct {
 	st      *sharedState[T]
 	w       *runtime.World
 	team    *runtime.Team
-	flushB  int // byte threshold (Config.AggBufSize)
-	flushO  int // op threshold (Config.AggFlushOps)
+	knobs   *tuning.Atomics // live flush thresholds (AggBufSize/AggFlushOps)
 	elemSz  int
 	flushFn func() // FlushBatches method value, bound once (await hooks)
 	shards  []aggShard[T]
 	spares  sync.Pool // *aggBatch[T]
+
+	// Shared completion state for fire-and-forget scalar ops: every such
+	// op bumps pending and hands the caller sharedF, a reusable condition
+	// future that is done exactly when no buffered or in-flight
+	// fire-and-forget op remains — one allocation for the aggregator's
+	// lifetime instead of a countdown + future per op.
+	pending   atomic.Int64
+	errMu     sync.Mutex
+	stickyErr error
+	sharedF   *scheduler.Future[[]T]
 }
 
 // agg returns this PE's aggregator for the array, creating it (and
@@ -116,18 +158,34 @@ func (c *core[T]) agg() *aggregator[T] {
 	if g := s.aggPtrs[me].Load(); g != nil {
 		return g
 	}
-	cfg := c.w.Config()
 	g := &aggregator[T]{
 		st:     s,
 		w:      c.w,
 		team:   c.team,
-		flushB: cfg.AggBufSize,
-		flushO: cfg.AggFlushOps,
+		knobs:  c.w.TuneKnobs(),
 		elemSz: serde.SizeOf[T](),
 		shards: make([]aggShard[T], c.team.Size()),
 	}
-	g.spares.New = func() any { return new(aggBatch[T]) }
+	g.spares.New = func() any {
+		b := new(aggBatch[T])
+		b.onDone = func(v any, err error) {
+			res, _ := v.([]T)
+			g.resolveBatch(b, res, err)
+			g.putBatch(b)
+		}
+		return b
+	}
 	g.flushFn = g.FlushBatches
+	g.sharedF = scheduler.NewConditionFuture(c.w.Pool(), func() ([]T, error, bool) {
+		if g.pending.Load() != 0 {
+			return nil, nil, false
+		}
+		g.errMu.Lock()
+		err := g.stickyErr
+		g.errMu.Unlock()
+		return nil, err, true
+	})
+	g.sharedF.SetAwaitHook(g.flushFn)
 	s.aggPtrs[me].Store(g)
 	c.w.RegisterFlushHook(g.FlushBatches)
 	return g
@@ -181,7 +239,7 @@ func (g *aggregator[T]) FlushBatches() {
 // launch (aggregated destinations are always remote), so nothing else
 // references its column storage afterwards.
 func (g *aggregator[T]) dispatch(rank int, b *aggBatch[T], reason telemetry.FlushReason) {
-	g.w.CountAggFlush(reason, b.nops)
+	g.w.CountAggFlush(reason, b.nops, b.bytes)
 	if tc := telemetry.C(); tc != nil && b.openNs > 0 {
 		now := tc.Now()
 		dur := now - b.openNs
@@ -194,7 +252,7 @@ func (g *aggregator[T]) dispatch(rank int, b *aggBatch[T], reason telemetry.Flus
 			Arg1: int64(g.team.WorldPE(rank)), Arg2: int64(b.nops),
 		})
 	}
-	am := &aggAM[T]{
+	b.am = aggAM[T]{
 		ID:      g.st.id,
 		WantOut: b.fetch,
 		Ops:     b.ops,
@@ -203,18 +261,23 @@ func (g *aggregator[T]) dispatch(rank int, b *aggBatch[T], reason telemetry.Flus
 		Vals:    b.vals,
 		CasOld:  b.casOld,
 	}
-	runtime.ExecTyped[[]T](g.w, g.team.WorldPE(rank), am).OnDone(func(res []T, err error) {
-		b.resolve(res, err)
-		g.putBatch(b)
-	})
+	// The batch's pre-bound callback resolves routes and recycles the
+	// batch; the AM serializes synchronously during launch, so reusing
+	// b.am and the column storage afterwards is safe.
+	g.w.ExecAMCallback(g.team.WorldPE(rank), &b.am, b.onDone)
 }
 
 // append buffers one run for rank, flushing the shard if it crossed a
 // threshold. evals is the run's values (len 1 means broadcast when the
 // broadcast flag is set); eout, when non-nil, receives previous values.
+// A nil cd tracks the run on the shared pending counter instead.
 func (g *aggregator[T]) append(rank int, op Op, local, n int, broadcast bool,
 	evals, ecas, eout []T, cd *scheduler.Countdown[[]T], elemSz int) {
-	cd.Add(1)
+	if cd != nil {
+		cd.Add(1)
+	} else {
+		g.pending.Add(1)
+	}
 	sh := &g.shards[rank]
 	sh.mu.Lock()
 	b := sh.b
@@ -275,10 +338,10 @@ func (g *aggregator[T]) append(rank int, op Op, local, n int, broadcast bool,
 	b.bytes += aggEntryOverhead + nv*elemSz
 	var detached *aggBatch[T]
 	reason := telemetry.FlushSize
-	if b.nops >= g.flushO {
+	if b.nops >= int(g.knobs.AggFlushOps.Load()) {
 		detached, reason = b, telemetry.FlushOps
 		sh.b = nil
-	} else if b.bytes >= g.flushB {
+	} else if b.bytes >= int(g.knobs.AggBufSize.Load()) {
 		detached = b
 		sh.b = nil
 	}
@@ -306,7 +369,7 @@ func (g *aggregator[T]) dispatchRun(rank int, op Op, local, n int,
 	if b != nil {
 		g.dispatch(rank, b, telemetry.FlushDrain)
 	}
-	g.w.CountAggFlush(telemetry.FlushRun, n)
+	g.w.CountAggFlush(telemetry.FlushRun, n, aggEntryOverhead+n*g.elemSz)
 	flags := uint8(op)
 	if eout != nil {
 		flags |= entryFetch
@@ -350,6 +413,8 @@ func (c *core[T]) aggSubmit(op Op, fetch bool, idxs []int, vals, casOld []T) *sc
 	geom := c.st.geom
 	broadcast := len(vals) <= 1 && op != OpLoad
 	elemSz := serde.SizeOf[T]()
+	flushO := int(g.knobs.AggFlushOps.Load())
+	flushB := int(g.knobs.AggBufSize.Load())
 	mergeRuns := geom.dist == Block || geom.npes == 1
 	i := 0
 	for i < len(idxs) {
@@ -395,7 +460,7 @@ func (c *core[T]) aggSubmit(op Op, fetch bool, idxs []int, vals, casOld []T) *sc
 			// Owner-local run: apply immediately, no buffering.
 			cd.Add(1)
 			cd.Done(c.st.applyAggRun(me, rank, op, local, n, evals, ecas, eout))
-		} else if op != OpCAS && !broadcast && (n >= g.flushO || n*elemSz >= g.flushB) {
+		} else if op != OpCAS && !broadcast && (n >= flushO || n*elemSz >= flushB) {
 			g.dispatchRun(rank, op, local, n, evals, eout, cd)
 		} else {
 			g.append(rank, op, local, n, broadcast, evals, ecas, eout, cd, elemSz)
@@ -432,16 +497,36 @@ func (c *core[T]) singleOp(op Op, fetch bool, idx int, val, casOld T) *scheduler
 		return c.batchOp(op, fetch, []int{idx}, evals, ecas)
 	}
 	needOut := fetch || op == OpLoad || op == OpSwap || op == OpCAS
-	var out []T
-	var valueFn func() []T
-	if needOut {
-		out = make([]T, 1)
-		valueFn = func() []T { return out }
-	}
 	g := c.agg()
+	rank, local := c.st.geom.place(c.globalIndex(idx))
+	if !needOut {
+		// Fire-and-forget scalar op: no per-op future at all. The shared
+		// condition future (done ⇔ no buffered or in-flight ops) is the
+		// return value, so the steady-state aggregated add/store path
+		// allocates nothing.
+		if g.team.WorldPE(rank) == c.w.MyPE() {
+			vbuf := [1]T{val}
+			var evals []T
+			if op != OpLoad {
+				evals = vbuf[:]
+			}
+			if err := c.st.applyAggRun(c.w.MyPE(), rank, op, local, 1, evals, nil, nil); err != nil {
+				return scheduler.Fail[[]T](err)
+			}
+		} else {
+			vbuf := [1]T{val}
+			var evals []T
+			if op != OpLoad {
+				evals = vbuf[:]
+			}
+			g.append(rank, op, local, 1, false, evals, nil, nil, nil, g.elemSz)
+		}
+		return g.sharedF
+	}
+	out := make([]T, 1)
+	valueFn := func() []T { return out }
 	cd, future := scheduler.NewCountdown(c.w.Pool(), 1, valueFn)
 	future.SetAwaitHook(g.flushFn)
-	rank, local := c.st.geom.place(c.globalIndex(idx))
 	if g.team.WorldPE(rank) == c.w.MyPE() {
 		// Owner-local: apply immediately, no buffering. The operand
 		// buffers are scoped to this branch so the remote path's copies
@@ -483,6 +568,11 @@ type aggAM[T serde.Number] struct {
 	Vals    []T
 	CasOld  []T
 }
+
+// ResetLamellar clears the AM for its decode pool (RegisterAMPooled):
+// destination-side instances recycle after Exec instead of churning an
+// allocation per delivered batch.
+func (a *aggAM[T]) ResetLamellar() { *a = aggAM[T]{} }
 
 func (a *aggAM[T]) MarshalLamellar(e *serde.Encoder) {
 	e.PutUvarint(a.ID)

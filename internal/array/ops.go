@@ -585,7 +585,7 @@ func u64ToInts(xs []uint64) []int {
 func RegisterElemType[T serde.Number](name string) {
 	serde.RegisterNumeric[T]("array.num." + name)
 	runtime.RegisterAM[opAM[T]]("array.op." + name)
-	runtime.RegisterAM[aggAM[T]]("array.agg." + name)
+	runtime.RegisterAMPooled[aggAM[T]]("array.agg." + name)
 	runtime.RegisterAM[rangePutAM[T]]("array.rput." + name)
 	runtime.RegisterAM[rangeGetAM[T]]("array.rget." + name)
 	runtime.RegisterAM[reduceAM[T]]("array.reduce." + name)

@@ -83,15 +83,24 @@ func (a *Allocator) Alloc(n, align int) (int, error) {
 		if b.size < pad+n {
 			continue
 		}
-		// Carve [start, start+n) out of b; up to two remainder fragments.
-		var repl []block
-		if pad > 0 {
-			repl = append(repl, block{b.off, pad})
+		// Carve [start, start+n) out of b in place; up to two remainder
+		// fragments. No temporary slice: the steady-state alloc/free cycle
+		// of the send-staging heap must not churn the Go heap.
+		rest := b.size - pad - n
+		switch {
+		case pad == 0 && rest == 0:
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		case pad == 0:
+			a.free[i] = block{start + n, rest}
+		case rest == 0:
+			a.free[i] = block{b.off, pad}
+		default:
+			// Keep the pad fragment in slot i, shift the tail in after it.
+			a.free[i] = block{b.off, pad}
+			a.free = append(a.free, block{})
+			copy(a.free[i+2:], a.free[i+1:])
+			a.free[i+1] = block{start + n, rest}
 		}
-		if rest := b.size - pad - n; rest > 0 {
-			repl = append(repl, block{start + n, rest})
-		}
-		a.free = append(a.free[:i], append(repl, a.free[i+1:]...)...)
 		a.live[start] = n
 		a.inUse += n
 		if a.inUse > a.peak {

@@ -1,0 +1,104 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/slab"
+)
+
+// loopLam is a synchronous loopback transport: send copies the frame into
+// a slab buffer and delivers it straight back into the reliability layer,
+// exercising the full frame/ack/recycle cycle with no goroutines or
+// timers in the measured window.
+type loopLam struct {
+	r         *relLamellae
+	delivered atomic.Uint64
+}
+
+func (l *loopLam) name() LamellaeKind { return LamellaeShmem }
+
+func (l *loopLam) send(src, dst int, msg []byte) error {
+	buf := slab.Get(len(msg))
+	copy(buf, msg)
+	l.delivered.Add(1)
+	l.r.onDeliver(dst, src, slab.Owned(buf), buf)
+	return nil
+}
+
+func (l *loopLam) close() {}
+
+// allocBudgetConfig pins the knobs the alloc budgets depend on. The
+// LAMELLAR_FAULT_* / LAMELLAR_RETRY_MS env matrix (make fault-stress)
+// applies process-wide via withDefaults; an adversarial fabric
+// deliberately allocates (delay timers, reorder copies, retransmits), so
+// these deterministic budgets opt out with an explicit no-fault plan and
+// a retry interval far beyond the measured window.
+func allocBudgetConfig() Config {
+	cfg := Config{
+		PEs: 2, WorkersPerPE: 1, Lamellae: LamellaeShmem,
+		Faults: fabric.NewFaultPlan(0),
+	}.withDefaults()
+	cfg.RetryInterval = time.Minute
+	return cfg
+}
+
+// Satellite alloc budget: the reliable wire send/ack path. Every data
+// frame comes from the slab and returns to it on the piggybacked
+// cumulative ack of the reverse stream; frame structs recycle through
+// framePool. Steady state the full cycle — two sends, two deliveries,
+// ack application, frame release — must average under 2 allocs (the
+// budget absorbs map/timer noise, not a per-frame make).
+func TestAllocBudgetWireSendAck(t *testing.T) {
+	cfg := allocBudgetConfig()
+	r := newRelLamellae(cfg, func(dst, src int, ref slab.Ref, msg []byte) {
+		ref.Release()
+	}, nil)
+	inner := &loopLam{r: r}
+	r.start(inner)
+	defer r.close()
+
+	payload := make([]byte, 512)
+	// Warm the slab classes, frame pool, and receiver maps.
+	for i := 0; i < 64; i++ {
+		r.send(0, 1, payload)
+		r.send(1, 0, payload)
+	}
+	per := testing.AllocsPerRun(500, func() {
+		r.send(0, 1, payload) // data frame; piggybacks acks for 1→0
+		r.send(1, 0, payload) // reverse frame acks the one above
+	})
+	if per > 2 {
+		t.Fatalf("wire send/ack cycle averaged %.2f allocs, budget 2", per)
+	}
+	if inner.delivered.Load() == 0 {
+		t.Fatal("loopback transport saw no frames")
+	}
+}
+
+// Satellite alloc budget: a standalone ack frame (no reverse traffic to
+// piggyback on) must also come from the slab.
+func TestAllocBudgetStandaloneAck(t *testing.T) {
+	cfg := allocBudgetConfig()
+	r := newRelLamellae(cfg, func(dst, src int, ref slab.Ref, msg []byte) {
+		ref.Release()
+	}, nil)
+	inner := &loopLam{r: r}
+	r.start(inner)
+	defer r.close()
+
+	payload := make([]byte, 128)
+	for i := 0; i < 64; i++ {
+		r.send(0, 1, payload)
+		r.sendAck(1, 0)
+	}
+	per := testing.AllocsPerRun(500, func() {
+		r.send(0, 1, payload)
+		r.sendAck(1, 0) // standalone cumulative ack releases the frame
+	})
+	if per > 2 {
+		t.Fatalf("send+standalone-ack cycle averaged %.2f allocs, budget 2", per)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/scheduler"
 	"repro/internal/serde"
+	"repro/internal/slab"
 	"repro/internal/telemetry"
 )
 
@@ -29,12 +31,17 @@ func getEncoder(w *World) *serde.Encoder {
 	return e
 }
 
-func putEncoder(e *serde.Encoder) {
+// putEncoder returns an encoder to the pool, reporting whether it was
+// retained. Encoders grown past maxPooledEncoderBytes (a chunked
+// collective or bulk payload) are dropped so one large message cannot
+// permanently inflate pooled memory.
+func putEncoder(e *serde.Encoder) bool {
 	if e.Cap() > maxPooledEncoderBytes {
-		return
+		return false
 	}
 	e.Ctx = nil
 	encPool.Put(e)
+	return true
 }
 
 // ActiveMessage is the interface user AM types implement — the analogue of
@@ -88,6 +95,19 @@ func RegisterAMGob[T any](name string) {
 	serde.RegisterGob[T](name)
 }
 
+// RegisterAMPooled registers a high-rate AM type whose decoded instances
+// recycle through a pool: after the handler runs and any return value is
+// serialized, the runtime hands the instance back via serde.Recycle. *T
+// must additionally implement serde.Recyclable, clearing every reference
+// (in particular zero-copy views of the receive buffer) on reset.
+func RegisterAMPooled[T any](name string) {
+	var zero T
+	if _, ok := any(&zero).(ActiveMessage); !ok {
+		panic(fmt.Sprintf("runtime: *%T does not implement ActiveMessage", zero))
+	}
+	serde.RegisterPooled[T](name)
+}
+
 // Envelope kinds on the wire.
 const (
 	envExec   = 0 // uvarint reqID (0 = fire-and-forget), EncodeAny(am)
@@ -103,33 +123,40 @@ func (w *World) ExecAM(pe int, am ActiveMessage) {
 	w.launch(pe, am, 0)
 }
 
-// ExecAMReturn launches am on pe and returns a future resolving with the
-// handler's return value.
-func (w *World) ExecAMReturn(pe int, am ActiveMessage) *scheduler.Future[any] {
-	p, f := scheduler.NewPromise[any](w.pool)
+// ExecAMCallback launches am on pe and invokes cb exactly once with the
+// handler's return value (or error). This is the allocation-free core the
+// future-returning variants build on: cb may be a long-lived pooled
+// callback (the array aggregation layer dispatches every batch through
+// one), so the steady-state cost is a map insert that reuses buckets
+// freed by earlier deletes. The callback runs on whichever goroutine
+// processes the return envelope; it must not block.
+func (w *World) ExecAMCallback(pe int, am ActiveMessage, cb func(any, error)) {
 	req := w.nextReq.Add(1)
 	// Telemetry: stamp the issue so resolution yields the AM round-trip
-	// latency (issue → origin-side future completion).
-	var tc *telemetry.Collector
+	// latency (issue → origin-side callback).
 	var issueNs int64
 	if telemetry.Enabled() {
-		if tc = telemetry.C(); tc != nil {
+		if tc := telemetry.C(); tc != nil {
 			issueNs = tc.Now()
 		}
 	}
 	w.retMu.Lock()
-	w.returns[req] = func(v any, err error) {
-		if tc != nil {
-			tc.Hist(w.pe, telemetry.HistAMRoundTrip).Record(tc.Now() - issueNs)
-		}
+	w.returns[req] = retEntry{cb: cb, issueNs: issueNs}
+	w.retMu.Unlock()
+	w.launch(pe, am, req)
+}
+
+// ExecAMReturn launches am on pe and returns a future resolving with the
+// handler's return value.
+func (w *World) ExecAMReturn(pe int, am ActiveMessage) *scheduler.Future[any] {
+	p, f := scheduler.NewPromise[any](w.pool)
+	w.ExecAMCallback(pe, am, func(v any, err error) {
 		if err != nil {
 			p.CompleteErr(err)
 		} else {
 			p.Complete(v)
 		}
-	}
-	w.retMu.Unlock()
-	w.launch(pe, am, req)
+	})
 	return f
 }
 
@@ -196,6 +223,7 @@ func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
 	w.envSent.Add(1)
 	q := w.queues[pe]
 	cfg := w.env.cfg
+	threshold := int(w.env.knobs.AggThresholdBytes.Load())
 	var tc *telemetry.Collector
 	var t0 int64
 	if telemetry.Enabled() {
@@ -220,7 +248,7 @@ func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
 	}
 	binary.LittleEndian.PutUint32(q.enc.Bytes()[mark:], uint32(q.enc.Len()-bodyStart))
 	q.count++
-	bySize := q.enc.Len() >= cfg.AggThresholdBytes
+	bySize := q.enc.Len() >= threshold
 	full := bySize || (cfg.AggMaxOps > 0 && q.count >= cfg.AggMaxOps)
 	var out *serde.Encoder
 	var envs int
@@ -254,6 +282,7 @@ func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
 // behind the reliability layer, which always accepts the frame (failures
 // surface later through retry exhaustion, never here).
 func (w *World) sendBatch(dst int, batch []byte) {
+	w.batchBytes.Add(uint64(len(batch)))
 	if err := w.env.lam.send(w.pe, dst, batch); err != nil {
 		fmt.Fprintf(os.Stderr, "lamellar: PE%d: send to PE%d failed: %v\n", w.pe, dst, err)
 	}
@@ -268,13 +297,17 @@ func (w *World) runHandler(am ActiveMessage, src int) (v any, err error) {
 			fmt.Println(err)
 		}
 	}()
-	v = am.Exec(&Context{World: w, Src: src})
+	v = am.Exec(w.ctx(src))
 	return v, nil
 }
 
 // resolveReturn completes the origin-side future for req. If the returned
 // value is itself an AM, it executes here (on the origin) first.
 func (w *World) resolveReturn(src int, req uint64, v any, err error) {
+	w.retMu.Lock()
+	e, ok := w.returns[req]
+	delete(w.returns, req)
+	w.retMu.Unlock()
 	if telemetry.Enabled() {
 		if c := telemetry.C(); c != nil {
 			c.Emit(telemetry.Event{
@@ -282,16 +315,16 @@ func (w *World) resolveReturn(src int, req uint64, v any, err error) {
 				PE: int32(w.pe), Worker: telemetry.TidRuntime,
 				Arg1: int64(src), Arg2: int64(req),
 			})
+			if ok && e.issueNs > 0 {
+				c.Hist(w.pe, telemetry.HistAMRoundTrip).Record(c.Now() - e.issueNs)
+			}
 		}
 	}
-	w.retMu.Lock()
-	cb := w.returns[req]
-	delete(w.returns, req)
-	w.retMu.Unlock()
-	if cb == nil {
+	if !ok {
 		fmt.Printf("lamellar: PE%d: return for unknown request %d\n", w.pe, req)
 		return
 	}
+	cb := e.cb
 	if err == nil {
 		if ram, ok := v.(ActiveMessage); ok {
 			w.pool.Submit(func() {
@@ -312,6 +345,7 @@ func (w *World) enqueue(dst int, body []byte) {
 	w.envSent.Add(1)
 	q := w.queues[dst]
 	cfg := w.env.cfg
+	threshold := int(w.env.knobs.AggThresholdBytes.Load())
 	var tc *telemetry.Collector
 	var t0 int64
 	if telemetry.Enabled() {
@@ -330,7 +364,7 @@ func (w *World) enqueue(dst int, body []byte) {
 	q.enc.Align(8)
 	q.enc.PutRawBytes(body)
 	q.count++
-	bySize := q.enc.Len() >= cfg.AggThresholdBytes
+	bySize := q.enc.Len() >= threshold
 	full := bySize || (cfg.AggMaxOps > 0 && q.count >= cfg.AggMaxOps)
 	var out *serde.Encoder
 	var envs int
@@ -471,70 +505,125 @@ func (w *World) sampleGauges() {
 	})
 }
 
+// rxState is a pooled batch-walk context. It owns the delivered wire
+// buffer (via its slab ref) and carries the reusable decoders and task
+// scratch for one batch walk, so steady-state batch receipt performs no
+// heap allocation. The buffer refcount starts at 1 (the walk itself) and
+// gains one per exec task decoded from the batch: exec AM payloads alias
+// the batch through the serde zero-copy views, so the buffer may return
+// to the slab only after the walk AND every such task has finished.
+type rxState struct {
+	w      *World
+	src    int
+	ref    slab.Ref
+	batch  []byte
+	refs   atomic.Int64
+	dec    serde.Decoder // batch framing walker
+	envDec serde.Decoder // per-envelope header decoder
+	tasks  []scheduler.Task
+	run    func() // cached method value, submitted to the pool
+}
+
+var rxPool sync.Pool // New set in init to break the method-value cycle
+
+// execTask is one pooled exec-envelope task: decode the AM, run the
+// handler, ship results, then recycle itself, the decoded AM (when its
+// type is pooled), and its reference on the batch buffer.
+type execTask struct {
+	w    *World
+	src  int
+	req  uint64
+	body []byte
+	rx   *rxState
+	dec  serde.Decoder
+	run  func() // cached method value; the scheduler task
+}
+
+var execTaskPool sync.Pool
+
+func init() {
+	rxPool.New = func() any {
+		rx := new(rxState)
+		rx.run = rx.walk
+		return rx
+	}
+	execTaskPool.New = func() any {
+		t := new(execTask)
+		t.run = t.exec
+		return t
+	}
+}
+
 // receiveBatch is the lamellae delivery callback: it schedules an
 // asynchronous communication task that walks the batch, collecting one
 // task per exec AM (deserialize + execute + return results, §III-C) and
 // submitting them all through the executor's batch path — one injector
 // shard-lock round trip per delivered batch instead of one per AM, with
-// their relative FIFO order preserved.
-func (w *World) receiveBatch(src int, batch []byte) {
-	w.pool.SubmitGlobal(func() {
-		dec := serde.NewDecoder(batch)
-		var tasks []scheduler.Task
-		for dec.Remaining() > 0 {
-			n := dec.U32()
-			dec.Align(8)
-			body := dec.RawBytes(int(n))
-			if dec.Err() != nil {
-				fmt.Printf("lamellar: PE%d: corrupt batch from PE%d: %v\n", w.pe, src, dec.Err())
-				break
-			}
-			if t := w.handleEnvelope(src, body); t != nil {
-				tasks = append(tasks, t)
-			}
+// their relative FIFO order preserved. Ownership of ref (the batch
+// buffer) transfers in; it is released when the walk and every exec task
+// decoded from the batch have finished.
+func (w *World) receiveBatch(src int, ref slab.Ref, batch []byte) {
+	rx := rxPool.Get().(*rxState)
+	rx.w, rx.src, rx.ref, rx.batch = w, src, ref, batch
+	rx.refs.Store(1)
+	w.pool.SubmitGlobal(rx.run)
+}
+
+func (rx *rxState) retain() { rx.refs.Add(1) }
+
+// release drops one reference; the last one returns the wire buffer to
+// the slab and the rxState to its pool.
+func (rx *rxState) release() {
+	if rx.refs.Add(-1) != 0 {
+		return
+	}
+	rx.ref.Release()
+	rx.w, rx.batch = nil, nil
+	rxPool.Put(rx)
+}
+
+// walk processes one delivered batch (runs as a pool task).
+func (rx *rxState) walk() {
+	w, src := rx.w, rx.src
+	rx.dec.Reset(rx.batch)
+	dec := &rx.dec
+	tasks := rx.tasks[:0]
+	for dec.Remaining() > 0 {
+		n := dec.U32()
+		dec.Align(8)
+		body := dec.RawBytes(int(n))
+		if dec.Err() != nil {
+			fmt.Printf("lamellar: PE%d: corrupt batch from PE%d: %v\n", w.pe, src, dec.Err())
+			break
 		}
-		w.pool.SubmitBatch(tasks)
-	})
+		if t := w.handleEnvelope(rx, src, body); t != nil {
+			tasks = append(tasks, t)
+		}
+	}
+	w.pool.SubmitBatch(tasks)
+	for i := range tasks {
+		tasks[i] = nil
+	}
+	rx.tasks = tasks[:0]
+	rx.release()
 }
 
 // handleEnvelope dispatches one envelope: returns and acks resolve
-// inline; exec envelopes come back as a task for the caller to submit
-// (batched with the rest of the delivery).
-func (w *World) handleEnvelope(src int, body []byte) scheduler.Task {
-	dec := serde.NewDecoder(body)
+// inline; exec envelopes come back as a pooled task for the caller to
+// submit (batched with the rest of the delivery). Return-envelope values
+// never alias the batch — every return codec decodes into fresh memory —
+// so only exec tasks need to hold a reference on the buffer.
+func (w *World) handleEnvelope(rx *rxState, src int, body []byte) scheduler.Task {
+	dec := &rx.envDec
+	dec.Reset(body)
 	switch kind := dec.U8(); kind {
 	case envExec:
 		req := dec.Uvarint()
 		rest := dec.RawBytes(dec.Remaining())
-		return func() {
-			rd := serde.NewDecoder(rest)
-			rd.Ctx = &Context{World: w, Src: src}
-			v, err := serde.DecodeAny(rd)
-			if err != nil {
-				w.finishRemote(src, req, nil, fmt.Errorf("lamellar: PE%d: decode AM from PE%d: %w", w.pe, src, err))
-				return
-			}
-			am, ok := v.(ActiveMessage)
-			if !ok {
-				w.finishRemote(src, req, nil, fmt.Errorf("lamellar: PE%d: %T is not an ActiveMessage", w.pe, v))
-				return
-			}
-			var tc *telemetry.Collector
-			var t0 int64
-			if telemetry.Enabled() {
-				if tc = telemetry.C(); tc != nil {
-					t0 = tc.Now()
-				}
-			}
-			rv, rerr := w.runHandler(am, src)
-			if tc != nil {
-				tc.Emit(telemetry.Event{
-					TS: t0, Dur: tc.Now() - t0, Kind: telemetry.EvAMExec,
-					PE: int32(w.pe), Worker: telemetry.TidRuntime, Arg1: int64(src),
-				})
-			}
-			w.finishRemote(src, req, rv, rerr)
-		}
+		t := execTaskPool.Get().(*execTask)
+		t.w, t.src, t.req, t.body, t.rx = w, src, req, rest, rx
+		rx.retain()
+		return t.run
 	case envReturn:
 		req := dec.Uvarint()
 		isErr := dec.Bool()
@@ -542,8 +631,9 @@ func (w *World) handleEnvelope(src int, body []byte) scheduler.Task {
 			msg := dec.String()
 			w.resolveReturn(src, req, nil, errors.New(msg))
 		} else {
-			dec.Ctx = &Context{World: w, Src: src}
+			dec.Ctx = w.ctx(src)
 			v, err := serde.DecodeAny(dec)
+			dec.Ctx = nil
 			w.resolveReturn(src, req, v, err)
 		}
 		w.envProcessed.Add(1)
@@ -556,6 +646,54 @@ func (w *World) handleEnvelope(src int, body []byte) scheduler.Task {
 		w.envProcessed.Add(1)
 	}
 	return nil
+}
+
+// exec runs one exec envelope (as a pool task): decode, execute, return
+// results, recycle.
+func (t *execTask) exec() {
+	w, src := t.w, t.src
+	t.dec.Reset(t.body)
+	t.dec.Ctx = w.ctx(src)
+	v, err := serde.DecodeAny(&t.dec)
+	t.dec.Ctx = nil
+	if err != nil {
+		w.finishRemote(src, t.req, nil, fmt.Errorf("lamellar: PE%d: decode AM from PE%d: %w", w.pe, src, err))
+		t.recycle()
+		return
+	}
+	am, ok := v.(ActiveMessage)
+	if !ok {
+		w.finishRemote(src, t.req, nil, fmt.Errorf("lamellar: PE%d: %T is not an ActiveMessage", w.pe, v))
+		t.recycle()
+		return
+	}
+	var tc *telemetry.Collector
+	var t0 int64
+	if telemetry.Enabled() {
+		if tc = telemetry.C(); tc != nil {
+			t0 = tc.Now()
+		}
+	}
+	rv, rerr := w.runHandler(am, src)
+	if tc != nil {
+		tc.Emit(telemetry.Event{
+			TS: t0, Dur: tc.Now() - t0, Kind: telemetry.EvAMExec,
+			PE: int32(w.pe), Worker: telemetry.TidRuntime, Arg1: int64(src),
+		})
+	}
+	w.finishRemote(src, t.req, rv, rerr)
+	// The handler ran and the return value is serialized: the AM instance
+	// (and any batch views it held) is dead — recycle pooled types.
+	serde.Recycle(am)
+	t.recycle()
+}
+
+// recycle returns the task to its pool and drops its batch reference.
+func (t *execTask) recycle() {
+	rx := t.rx
+	t.w, t.rx, t.body = nil, nil, nil
+	execTaskPool.Put(t)
+	rx.release()
 }
 
 // finishRemote records completion of a remotely-launched AM: owes an ack

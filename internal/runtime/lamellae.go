@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/memregion"
+	"repro/internal/slab"
 )
 
 // lamellae is the transport interface between the runtime and the network
@@ -28,7 +29,12 @@ type lamellae interface {
 }
 
 // deliverFn is invoked on the destination side with a received batch.
-type deliverFn func(dst, src int, msg []byte)
+// ref owns msg's backing buffer when it came from the slab (transports
+// allocate receive buffers there so the wire path recycles instead of
+// allocating per frame); the callee assumes ownership and must arrange
+// exactly one Release once it is done with msg. A zero Ref means the
+// buffer is GC-owned (e.g. reassembled fragments) and Release is a no-op.
+type deliverFn func(dst, src int, ref slab.Ref, msg []byte)
 
 // ---------------------------------------------------------------------------
 // sim lamellae: the ROFI-like transport.
@@ -242,7 +248,7 @@ func (s *simLamellae) progress(pe int) {
 				off := binary.LittleEndian.Uint64(ring[0:])
 				lenWord := binary.LittleEndian.Uint64(ring[8:])
 				n := int(lenWord &^ fragFlag)
-				buf := make([]byte, n)
+				buf := slab.Get(n)
 				if n > 0 {
 					// RDMA-get the payload out of src's staging heap.
 					s.prov.Get(pe, src, s.seg, int(off), buf)
@@ -253,13 +259,19 @@ func (s *simLamellae) progress(pe int) {
 				advanced = true
 				if lenWord&fragFlag != 0 {
 					partial[src] = append(partial[src], buf...)
+					slab.Put(buf)
 					continue
 				}
 				if partial[src] != nil {
-					buf = append(partial[src], buf...)
+					// Reassembled payloads live in a GC-owned slice built
+					// from the recycled fragments; deliver with a zero Ref.
+					full := append(partial[src], buf...)
 					partial[src] = nil
+					slab.Put(buf)
+					s.deliver(pe, src, slab.Ref{}, full)
+					continue
 				}
-				s.deliver(pe, src, buf)
+				s.deliver(pe, src, slab.Owned(buf), buf)
 			}
 		}
 		if advanced {
@@ -298,6 +310,7 @@ func (s *simLamellae) close() {
 
 type shmemMsg struct {
 	src int
+	ref slab.Ref
 	buf []byte
 }
 
@@ -318,7 +331,7 @@ func newShmemLamellae(npes int, deliver deliverFn) *shmemLamellae {
 		go func(pe int) {
 			defer s.wg.Done()
 			for m := range s.queues[pe] {
-				s.deliver(pe, m.src, m.buf)
+				s.deliver(pe, m.src, m.ref, m.buf)
 			}
 		}(pe)
 	}
@@ -330,8 +343,10 @@ func (s *shmemLamellae) name() LamellaeKind { return LamellaeShmem }
 func (s *shmemLamellae) send(src, dst int, msg []byte) error {
 	// The runtime reuses batch buffers once send returns; copy before
 	// handing off to the delivery goroutine (the "shared memory write").
-	buf := append([]byte(nil), msg...)
-	s.queues[dst] <- shmemMsg{src: src, buf: buf}
+	// The copy comes from the slab and its ownership rides along.
+	buf := slab.Get(len(msg))
+	copy(buf, msg)
+	s.queues[dst] <- shmemMsg{src: src, ref: slab.Owned(buf), buf: buf}
 	return nil
 }
 

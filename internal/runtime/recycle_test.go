@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/serde"
+	"repro/internal/slab"
+)
+
+// sumAM carries a payload slice plus its expected checksum; the handler
+// reads the payload through the zero-copy aligned view — aliasing the
+// delivered wire buffer — and verifies the sum. Any use-after-recycle of
+// that buffer (a frame returned to the slab while a retransmission or an
+// executing handler still reads it) shows up as a checksum mismatch, and
+// slab check mode additionally poisons recycled buffers so stale reads
+// cannot accidentally still hold the right bytes.
+type sumAM struct {
+	Data []uint64
+	Want uint64
+}
+
+var (
+	sumOK  atomic.Uint64
+	sumBad atomic.Uint64
+)
+
+func (a *sumAM) MarshalLamellar(e *serde.Encoder) {
+	serde.PutNumericSliceAligned(e, a.Data)
+	e.PutUvarint(a.Want)
+}
+
+func (a *sumAM) UnmarshalLamellar(d *serde.Decoder) error {
+	a.Data = serde.NumericSliceViewAligned[uint64](d)
+	a.Want = d.Uvarint()
+	return d.Err()
+}
+
+func (a *sumAM) Exec(ctx *Context) any {
+	var sum uint64
+	for _, v := range a.Data {
+		sum += v
+	}
+	if sum == a.Want {
+		sumOK.Add(1)
+	} else {
+		sumBad.Add(1)
+	}
+	return nil
+}
+
+func init() { RegisterAM[sumAM]("test.sum") }
+
+// Satellite: retransmission racing frame recycling must never observe a
+// reused buffer. The fault plan drops, duplicates, reorders, and delays
+// frames, so retained frames are retransmitted while cumulative acks are
+// concurrently releasing them back to the slab; the generation-counter
+// guard panics on any frame used after recycle, check mode poisons
+// recycled slabs, and the payload checksums catch silent corruption.
+// Run with -race: the interleavings are the point.
+func TestFrameRecycleRetransmitRace(t *testing.T) {
+	slab.SetCheckMode(true)
+	defer slab.SetCheckMode(false)
+	sumOK.Store(0)
+	sumBad.Store(0)
+
+	plan := fabric.NewFaultPlan(0xF8A3E).SetDefault(fabric.LinkFaults{
+		DropRate:    0.05,
+		DupRate:     0.05,
+		ReorderRate: 0.05,
+		DelayRate:   0.05,
+		Delay:       200 * time.Microsecond,
+	})
+	cfg := Config{
+		PEs: 3, WorkersPerPE: 2, Lamellae: LamellaeShmem,
+		Faults:        plan,
+		RetryInterval: 2 * time.Millisecond, // aggressive: force live retransmits
+	}
+	const amsPerPE = 400
+	err := Run(cfg, func(w *World) {
+		data := make([]uint64, 128)
+		var want uint64
+		for i := range data {
+			data[i] = uint64(w.MyPE()*1000 + i)
+			want += data[i]
+		}
+		for i := 0; i < amsPerPE; i++ {
+			w.ExecAM((w.MyPE()+1+i)%w.NumPEs(), &sumAM{Data: data, Want: want})
+			if i%64 == 0 {
+				w.flushAll(0)
+			}
+		}
+		w.WaitAll()
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := sumBad.Load(); bad != 0 {
+		t.Fatalf("%d AMs observed corrupted payloads (use-after-recycle)", bad)
+	}
+	if ok := sumOK.Load(); ok != 3*amsPerPE {
+		t.Fatalf("executed %d AMs, want %d", ok, 3*amsPerPE)
+	}
+}
+
+// Satellite: pooled encoders must not retain oversized backing buffers —
+// one chunked collective payload must not permanently inflate the pool.
+func TestEncoderPoolCapsRetainedCapacity(t *testing.T) {
+	w := &World{}
+	small := getEncoder(w)
+	small.PutBytes(make([]byte, 1024))
+	if !putEncoder(small) {
+		t.Fatal("small encoder rejected from pool")
+	}
+	big := getEncoder(w)
+	for big.Cap() <= maxPooledEncoderBytes {
+		big.PutBytes(make([]byte, 1<<20))
+	}
+	if putEncoder(big) {
+		t.Fatalf("encoder with cap %d (> %d) was pooled", big.Cap(), maxPooledEncoderBytes)
+	}
+}
+
+// The wire-frame slab classes must round-trip without retaining
+// non-power-of-two capacities and Get must zero-fill class 0 for n <= 0.
+func TestSlabGetPutClasses(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 4096, 100_000} {
+		b := slab.Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) returned len %d", n, len(b))
+		}
+		slab.Put(b)
+	}
+	if b := slab.Get(0); b != nil && len(b) != 0 {
+		t.Fatalf("Get(0) returned len %d", len(b))
+	}
+}
+
+// Frames abandoned by the delivery timeout must not hang WaitAll, and
+// their buffers must stay valid for the reconciliation decode (they are
+// intentionally left to the GC, never recycled) — guarded here by the
+// partition test still passing under slab check mode.
+func TestAbandonedFramesNotRecycledUnderCheckMode(t *testing.T) {
+	slab.SetCheckMode(true)
+	defer slab.SetCheckMode(false)
+	plan := fabric.NewFaultPlan(77)
+	plan.Partition(0, 1, true)
+	cfg := Config{
+		PEs: 2, WorkersPerPE: 2, Lamellae: LamellaeShmem,
+		Faults:          plan,
+		RetryInterval:   time.Millisecond,
+		DeliveryTimeout: 50 * time.Millisecond,
+	}
+	err := Run(cfg, func(w *World) {
+		if w.MyPE() == 0 {
+			f := ExecTyped[uint64](w, 1, &incrAM{Delta: 1})
+			if _, ferr := BlockOn(w, f); ferr == nil {
+				panic("partitioned AM resolved without error")
+			} else if !strings.Contains(ferr.Error(), "delivery") {
+				panic("unexpected error: " + ferr.Error())
+			}
+		}
+		w.WaitAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

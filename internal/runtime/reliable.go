@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/slab"
 	"repro/internal/telemetry"
 )
 
@@ -53,37 +54,71 @@ const (
 	wireAck         = 0xA7
 )
 
-// relFrame is one retained, possibly-retransmitted data frame.
+// relFrame is one retained, possibly-retransmitted data frame. Frames and
+// their slab buffers recycle through framePool once cumulatively acked, so
+// the steady-state send path performs no heap allocation. gen increments
+// on every recycle; frameRef snapshots it so any stale handle touching a
+// recycled frame is caught immediately (see frameRef.frame).
 type relFrame struct {
 	seq      uint64
-	buf      []byte // header + body
+	buf      []byte // header + body, slab-owned
 	first    time.Time
 	deadline time.Time // next retransmission time
 	backoff  time.Duration
 	attempts int
+	gen      uint32 // bumped on recycle; use-after-recycle guard
+}
+
+var framePool = sync.Pool{New: func() any { return new(relFrame) }}
+
+// frameRef pairs a pooled frame with the generation observed when the
+// reference was taken. All later dereferences go through frame(), which
+// panics if the frame was recycled out from under the reference — turning
+// a silent use-after-recycle (retransmitting another stream's bytes) into
+// an immediate, attributable failure under test.
+type frameRef struct {
+	fr  *relFrame
+	gen uint32
+}
+
+func (e frameRef) frame() *relFrame {
+	if e.fr.gen != e.gen {
+		panic("lamellar: reliable-wire frame used after recycle")
+	}
+	return e.fr
 }
 
 // relPair is sender-side state for one (src,dst) stream.
 type relPair struct {
 	mu      sync.Mutex
 	nextSeq uint64
-	unacked []*relFrame // ascending seq
+	unacked []frameRef // ascending seq
 	// ackedTo is the cumulative ack received from the peer; updated
 	// lock-free from delivery goroutines (which must never block on mu),
 	// pruned by senders and the retry ticker.
 	ackedTo atomic.Uint64
 }
 
+// oooBody is an out-of-order frame body parked until its gap fills. The
+// slab ref travels with the body so ownership transfers to the runtime
+// when the frame finally delivers (or is released if it turns out to be a
+// duplicate).
+type oooBody struct {
+	ref  slab.Ref
+	body []byte
+}
+
 // relRecv is receiver-side state for one (receiver,sender) direction.
 type relRecv struct {
 	mu   sync.Mutex
-	next atomic.Uint64     // all seqs < next delivered in order
-	ooo  map[uint64][]byte // out-of-order bodies awaiting the gap
-	owed atomic.Bool       // an ack is owed to the sender
+	next atomic.Uint64       // all seqs < next delivered in order
+	ooo  map[uint64]oooBody  // out-of-order bodies awaiting the gap
+	owed atomic.Bool         // an ack is owed to the sender
 }
 
 // wireCounters aggregates one PE's reliable-wire activity.
 type wireCounters struct {
+	frames     atomic.Uint64 // data frames sent (sender)
 	retries    atomic.Uint64 // frames retransmitted (sender)
 	timeouts   atomic.Uint64 // frames abandoned after DeliveryTimeout (sender)
 	dupDropped atomic.Uint64 // duplicate frames discarded (receiver)
@@ -106,6 +141,11 @@ type relLamellae struct {
 	retryInterval time.Duration
 	backoffMax    time.Duration
 	deliveryTO    time.Duration // <= 0: never give up
+	// retryFloor, when non-nil, is the live retransmission floor (ns) the
+	// adaptive tuning controller adjusts; nil or zero falls back to the
+	// configured retryInterval. Only new sends read it — frames in flight
+	// keep the backoff they started with.
+	retryFloor *atomic.Int64
 
 	pairs    [][]*relPair // [src][dst]
 	recv     [][]*relRecv // [receiver][sender]
@@ -158,34 +198,62 @@ func (r *relLamellae) name() LamellaeKind { return r.inner.name() }
 // later (retry) or as a delivery timeout, never as a panic.
 func (r *relLamellae) send(src, dst int, msg []byte) error {
 	p := r.pairs[src][dst]
-	buf := make([]byte, wireHeaderBytes+len(msg))
+	buf := slab.Get(wireHeaderBytes + len(msg))
 	buf[0] = wireData
+	for i := 1; i < 8; i++ {
+		buf[i] = 0 // recycled slab memory: clear the header pad bytes
+	}
 	copy(buf[wireHeaderBytes:], msg)
+	floor := r.floorNow()
 	now := time.Now()
 	p.mu.Lock()
 	r.pruneLocked(p)
-	fr := &relFrame{
-		seq:      p.nextSeq,
-		buf:      buf,
-		first:    now,
-		backoff:  r.retryInterval,
-		deadline: now.Add(r.retryInterval),
-	}
+	fr := framePool.Get().(*relFrame)
+	fr.seq = p.nextSeq
+	fr.buf = buf
+	fr.first = now
+	fr.backoff = floor
+	fr.deadline = now.Add(floor)
+	fr.attempts = 0
 	p.nextSeq++
 	binary.LittleEndian.PutUint64(buf[8:], fr.seq)
-	p.unacked = append(p.unacked, fr)
+	p.unacked = append(p.unacked, frameRef{fr: fr, gen: fr.gen})
+	r.counters[src].frames.Add(1)
 	r.transmit(src, dst, fr.buf, fr.seq)
 	p.mu.Unlock()
 	return nil
 }
 
-// pruneLocked releases frames the peer has cumulatively acked. Caller
-// holds p.mu.
+// floorNow reports the current initial retransmission timeout.
+func (r *relLamellae) floorNow() time.Duration {
+	if r.retryFloor != nil {
+		if ns := r.retryFloor.Load(); ns > 0 {
+			return time.Duration(ns)
+		}
+	}
+	return r.retryInterval
+}
+
+// releaseFrame recycles one retained frame: slab buffer back to its size
+// class, frame struct back to framePool with its generation bumped so any
+// stale frameRef trips the guard. The caller must hold the only live
+// reference (acked under p.mu, or abandoned after removal from unacked).
+func (r *relLamellae) releaseFrame(e frameRef) {
+	fr := e.frame()
+	slab.Put(fr.buf)
+	fr.buf = nil
+	fr.gen++
+	framePool.Put(fr)
+}
+
+// pruneLocked releases frames the peer has cumulatively acked back to the
+// slab/frame pools. Caller holds p.mu.
 func (r *relLamellae) pruneLocked(p *relPair) {
 	acked := p.ackedTo.Load()
 	i := 0
-	for i < len(p.unacked) && p.unacked[i].seq < acked {
-		p.unacked[i] = nil
+	for i < len(p.unacked) && p.unacked[i].frame().seq < acked {
+		r.releaseFrame(p.unacked[i])
+		p.unacked[i] = frameRef{}
 		i++
 	}
 	if i > 0 {
@@ -219,9 +287,15 @@ func (r *relLamellae) transmit(src, dst int, buf []byte, seq uint64) {
 	case fabric.FaultReorder, fabric.FaultDelay:
 		// Defer a private copy so later frames overtake it; retransmits
 		// may patch buf concurrently with the timer, so aliasing is not
-		// safe.
-		cp := append([]byte(nil), buf...)
-		time.AfterFunc(d.Delay, func() { r.innerSend(src, dst, cp) })
+		// safe. The copy comes from (and returns to) the slab: the inner
+		// transports all copy-or-transmit synchronously, so the buffer is
+		// ours again when innerSend returns.
+		cp := slab.Get(len(buf))
+		copy(cp, buf)
+		time.AfterFunc(d.Delay, func() {
+			r.innerSend(src, dst, cp)
+			slab.Put(cp)
+		})
 		return
 	}
 	r.innerSend(src, dst, buf)
@@ -247,9 +321,16 @@ func (r *relLamellae) innerSend(src, dst int, buf []byte) {
 // in-order bodies to the runtime. It must never block on a pair mutex —
 // transport progress engines call it while senders may be stalled on
 // transport backpressure.
-func (r *relLamellae) onDeliver(dst, src int, msg []byte) {
+//
+// Buffer ownership: ref owns msg's backing slab buffer (zero Ref for
+// non-slab buffers such as reassembled fragments). onDeliver either
+// releases it (acks, duplicates, corrupt frames), parks it with an
+// out-of-order body, or transfers it to the runtime along with the
+// delivered body.
+func (r *relLamellae) onDeliver(dst, src int, ref slab.Ref, msg []byte) {
 	if len(msg) < wireHeaderBytes || (msg[0] != wireData && msg[0] != wireAck) {
 		fmt.Fprintf(os.Stderr, "lamellar: PE%d: corrupt wire frame from PE%d (%d bytes)\n", dst, src, len(msg))
+		ref.Release()
 		return
 	}
 	cum := binary.LittleEndian.Uint64(msg[16:])
@@ -257,6 +338,7 @@ func (r *relLamellae) onDeliver(dst, src int, msg []byte) {
 	// stream, whose sender-side state lives at pairs[dst][src].
 	maxUpdate(&r.pairs[dst][src].ackedTo, cum)
 	if msg[0] == wireAck {
+		ref.Release()
 		return
 	}
 	seq := binary.LittleEndian.Uint64(msg[8:])
@@ -269,27 +351,30 @@ func (r *relLamellae) onDeliver(dst, src int, msg []byte) {
 		// Redelivery of something already consumed: dedup.
 		rs.owed.Store(true) // re-ack so the sender stops retransmitting
 		rs.mu.Unlock()
+		ref.Release()
 		r.counters[dst].dupDropped.Add(1)
 		r.emitWire(telemetry.EvWireDedup, dst, int64(src), int64(seq), 0)
 		return
 	case seq > next:
 		if rs.ooo == nil {
-			rs.ooo = make(map[uint64][]byte)
+			rs.ooo = make(map[uint64]oooBody)
 		}
 		if _, dup := rs.ooo[seq]; dup {
 			rs.mu.Unlock()
+			ref.Release()
 			r.counters[dst].dupDropped.Add(1)
 			r.emitWire(telemetry.EvWireDedup, dst, int64(src), int64(seq), 0)
 			return
 		}
-		rs.ooo[seq] = body
+		rs.ooo[seq] = oooBody{ref: ref, body: body}
 		rs.owed.Store(true)
 		rs.mu.Unlock()
 		r.counters[dst].oooHeld.Add(1)
 		return
 	}
-	// In order: deliver, then drain any buffered successors.
-	r.deliver(dst, src, body)
+	// In order: deliver, then drain any buffered successors. Ownership of
+	// each body's buffer transfers to the runtime here.
+	r.deliver(dst, src, ref, body)
 	next++
 	for {
 		b, ok := rs.ooo[next]
@@ -297,7 +382,7 @@ func (r *relLamellae) onDeliver(dst, src int, msg []byte) {
 			break
 		}
 		delete(rs.ooo, next)
-		r.deliver(dst, src, b)
+		r.deliver(dst, src, b.ref, b.body)
 		next++
 	}
 	rs.next.Store(next)
@@ -360,15 +445,16 @@ func (r *relLamellae) sweepPair(src, dst int, now time.Time) {
 		return
 	}
 	r.pruneLocked(p)
-	var abandoned []*relFrame
+	var abandoned []frameRef
 	keep := p.unacked[:0]
-	for _, fr := range p.unacked {
+	for _, e := range p.unacked {
+		fr := e.frame()
 		if !now.After(fr.deadline) {
-			keep = append(keep, fr)
+			keep = append(keep, e)
 			continue
 		}
 		if r.deliveryTO > 0 && now.Sub(fr.first) >= r.deliveryTO {
-			abandoned = append(abandoned, fr)
+			abandoned = append(abandoned, e)
 			r.counters[src].timeouts.Add(1)
 			r.emitWire(telemetry.EvWireTimeout, src, int64(dst), int64(fr.seq), 0)
 			continue
@@ -382,16 +468,17 @@ func (r *relLamellae) sweepPair(src, dst int, now time.Time) {
 		r.counters[src].retries.Add(1)
 		r.emitWire(telemetry.EvWireRetry, src, int64(dst), int64(fr.seq), 0)
 		r.transmit(src, dst, fr.buf, fr.seq)
-		keep = append(keep, fr)
+		keep = append(keep, e)
 	}
 	for i := len(keep); i < len(p.unacked); i++ {
-		p.unacked[i] = nil
+		p.unacked[i] = frameRef{}
 	}
 	p.unacked = keep
 	p.mu.Unlock()
 	// Reconcile outside the pair lock: the handler touches world state
 	// (futures, completion accounting) and must not nest under it.
-	for _, fr := range abandoned {
+	for _, e := range abandoned {
+		fr := e.frame()
 		err := &DeliveryError{
 			Src: src, Dst: dst,
 			Attempts: fr.attempts + 1,
@@ -401,12 +488,25 @@ func (r *relLamellae) sweepPair(src, dst int, now time.Time) {
 		if r.giveUp != nil {
 			r.giveUp(src, dst, fr.buf[wireHeaderBytes:], err)
 		}
+		// The reconciler's zero-copy decode may alias the payload, so the
+		// abandoned buffer goes to the GC instead of back to the slab; the
+		// frame struct itself still recycles. Give-ups are the exceptional
+		// path — allocation here is irrelevant.
+		fr.buf = nil
+		fr.gen++
+		framePool.Put(fr)
 	}
 }
 
-// sendAck emits a standalone cumulative ack pe→peer.
+// sendAck emits a standalone cumulative ack pe→peer. The ack buffer comes
+// from the slab and returns to it once the inner transport has copied or
+// written it (a stack array would escape through the transport interface
+// call and allocate per ack).
 func (r *relLamellae) sendAck(pe, peer int) {
-	var buf [wireHeaderBytes]byte
+	buf := slab.Get(wireHeaderBytes)
+	for i := range buf {
+		buf[i] = 0
+	}
 	buf[0] = wireAck
 	cum := r.recv[pe][peer].next.Load()
 	binary.LittleEndian.PutUint64(buf[16:], cum)
@@ -417,14 +517,18 @@ func (r *relLamellae) sendAck(pe, peer int) {
 	case fabric.FaultDrop:
 		// A lost ack re-arms via the sender's retransmit → dedup → owed.
 		r.counters[pe].faults.Add(1)
+		slab.Put(buf)
 		return
 	case fabric.FaultReorder, fabric.FaultDelay:
 		r.counters[pe].faults.Add(1)
-		cp := buf
-		time.AfterFunc(d.Delay, func() { r.innerSend(pe, peer, cp[:]) })
+		time.AfterFunc(d.Delay, func() {
+			r.innerSend(pe, peer, buf)
+			slab.Put(buf)
+		})
 		return
 	}
-	r.innerSend(pe, peer, buf[:])
+	r.innerSend(pe, peer, buf)
+	slab.Put(buf)
 }
 
 // emitWire records one reliable-wire telemetry event.

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"repro/internal/slab"
 )
 
 // tcpLamellae is a transport that moves batches over real loopback TCP
@@ -102,11 +104,12 @@ func (t *tcpLamellae) serve(pe int, conn net.Conn) {
 		if src < 0 || src >= t.npes {
 			return // corrupt header: drop the connection, not the process
 		}
-		buf := make([]byte, n)
+		buf := slab.Get(n)
 		if _, err := io.ReadFull(r, buf); err != nil {
+			slab.Put(buf)
 			return
 		}
-		t.deliver(pe, src, buf)
+		t.deliver(pe, src, slab.Owned(buf), buf)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/slab"
 )
 
 // Regression: sends racing close() used to panic (dial of a closed
@@ -15,8 +17,9 @@ import (
 func TestTCPSendCloseRace(t *testing.T) {
 	for round := 0; round < 20; round++ {
 		var delivered atomic.Uint64
-		lam, err := newTCPLamellae(3, func(dst, src int, msg []byte) {
+		lam, err := newTCPLamellae(3, func(dst, src int, ref slab.Ref, msg []byte) {
 			delivered.Add(1)
+			ref.Release()
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -67,8 +70,9 @@ func TestTCPSendCloseRace(t *testing.T) {
 // reliability layer depends on this to replay unacked frames.
 func TestTCPSendErrorRedials(t *testing.T) {
 	var delivered atomic.Uint64
-	lam, err := newTCPLamellae(2, func(dst, src int, msg []byte) {
+	lam, err := newTCPLamellae(2, func(dst, src int, ref slab.Ref, msg []byte) {
 		delivered.Add(1)
+		ref.Release()
 	})
 	if err != nil {
 		t.Fatal(err)

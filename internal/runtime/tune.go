@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/tuning"
+)
+
+// tuneSnap is one cumulative reading of every counter the adaptive
+// controller samples; consecutive snapshots difference into a
+// tuning.Sample window.
+type tuneSnap struct {
+	wireBatches uint64
+	wireBytes   uint64
+	wireReasons [telemetry.NumFlushReasons]uint64
+	aggBatches  uint64
+	aggOps      uint64
+	aggBytes    uint64
+	aggReasons  [telemetry.NumFlushReasons]uint64
+	frames      uint64
+	retries     uint64
+}
+
+func (env *worldEnv) tuneSnapshot() tuneSnap {
+	var s tuneSnap
+	for _, w := range env.worlds {
+		s.wireBatches += w.batchesSent.Load()
+		s.wireBytes += w.batchBytes.Load()
+		s.aggBatches += w.aggBatches.Load()
+		s.aggOps += w.aggOps.Load()
+		s.aggBytes += w.aggBytes.Load()
+		for i := range s.wireReasons {
+			s.wireReasons[i] += w.batchReasons[i].Load()
+			s.aggReasons[i] += w.aggReasons[i].Load()
+		}
+	}
+	if env.rel != nil {
+		for pe := range env.rel.counters {
+			c := &env.rel.counters[pe]
+			s.frames += c.frames.Load()
+			s.retries += c.retries.Load()
+		}
+	}
+	return s
+}
+
+// tuneLoop is the adaptive controller driver: every few flush intervals
+// it differences the flush-reason/wire counters into a sample window,
+// asks tuning.Decide for the next knob setting, emits one EvTuneDecision
+// per moved knob, and (in "on" mode only) publishes the setting to the
+// live cells the hot paths read. Runs on env.flushWG; stopFlush ends it.
+func (env *worldEnv) tuneLoop() {
+	defer env.flushWG.Done()
+	period := 10 * env.cfg.FlushInterval
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+
+	prev := env.tuneSnapshot()
+	cur := env.knobs.Load()
+	for {
+		select {
+		case <-env.stopFlush:
+			return
+		case <-ticker.C:
+		}
+		now := env.tuneSnapshot()
+		sample := tuning.Sample{
+			Elapsed:     period,
+			WireBatches: now.wireBatches - prev.wireBatches,
+			WireBytes:   now.wireBytes - prev.wireBytes,
+			AggBatches:  now.aggBatches - prev.aggBatches,
+			AggOps:      now.aggOps - prev.aggOps,
+			AggBytes:    now.aggBytes - prev.aggBytes,
+			Retries:     now.retries - prev.retries,
+			FramesSent:  now.frames - prev.frames,
+		}
+		for i := range sample.WireReasons {
+			sample.WireReasons[i] = now.wireReasons[i] - prev.wireReasons[i]
+			sample.AggReasons[i] = now.aggReasons[i] - prev.aggReasons[i]
+		}
+		if tc := env.tele; tc != nil {
+			// Cumulative digests; Decide only reads the p90 bound, for
+			// which a cumulative view is the conservative choice.
+			for pe := 0; pe < tc.NumPEs(); pe++ {
+				if s := tc.Hist(pe, telemetry.HistAMRoundTrip).Summary(); s.P90 > sample.RoundTrip.P90 {
+					sample.RoundTrip = s
+				}
+				if s := tc.Hist(pe, telemetry.HistFlushInterval).Summary(); s.P90 > sample.FlushAge.P90 {
+					sample.FlushAge = s
+				}
+			}
+		}
+		prev = now
+
+		d := tuning.Decide(sample, cur, env.tuneLim)
+		if tc := env.tele; tc != nil {
+			ts := tc.Now()
+			for k := 0; k < tuning.NumKnobs; k++ {
+				if !d.Changed[k] {
+					continue
+				}
+				newV, oldV := knobValue(d.Knobs, tuning.Knob(k)), knobValue(cur, tuning.Knob(k))
+				tc.Emit(telemetry.Event{
+					TS: ts, Kind: telemetry.EvTuneDecision,
+					PE: 0, Worker: telemetry.TidRuntime,
+					Sub: uint8(k), Arg1: newV, Arg2: oldV,
+				})
+			}
+		}
+		cur = d.Knobs
+		if env.tuneMode == tuning.ModeOn {
+			env.knobs.Store(cur)
+		}
+	}
+}
+
+// knobValue projects one knob out of a Knobs setting for telemetry.
+func knobValue(k tuning.Knobs, id tuning.Knob) int64 {
+	switch id {
+	case tuning.KnobAggThresholdBytes:
+		return int64(k.AggThresholdBytes)
+	case tuning.KnobAggBufSize:
+		return int64(k.AggBufSize)
+	case tuning.KnobAggFlushOps:
+		return int64(k.AggFlushOps)
+	case tuning.KnobRetryFloor:
+		return int64(k.RetryFloor)
+	}
+	return 0
+}

@@ -10,7 +10,9 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/scheduler"
 	"repro/internal/serde"
+	"repro/internal/slab"
 	"repro/internal/telemetry"
+	"repro/internal/tuning"
 )
 
 // worldEnv is the state shared by all PEs of one world (one simulated job).
@@ -33,6 +35,13 @@ type worldEnv struct {
 
 	tele      *telemetry.Collector // active telemetry session, nil when off
 	teleOwned bool                 // this world started the session
+
+	// Adaptive tuning (internal/tuning): live knob cells read by the hot
+	// paths, the controller mode, and the clamp limits. With the
+	// controller off the cells hold the configured values forever.
+	knobs    tuning.Atomics
+	tuneMode tuning.Mode
+	tuneLim  tuning.Limits
 }
 
 type collEntry struct {
@@ -61,7 +70,11 @@ type World struct {
 
 	nextReq atomic.Uint64
 	retMu   sync.Mutex
-	returns map[uint64]func(any, error)
+	returns map[uint64]retEntry
+
+	// ctxs holds one long-lived decode Context per source PE so the
+	// steady-state receive path never allocates one.
+	ctxs []Context
 
 	worldTeam *Team
 	ext       extMap
@@ -69,6 +82,7 @@ type World struct {
 	// Wire-batch accounting: batches this PE put on the wire and why
 	// each one flushed (size threshold, op cap, drain cycle, timer).
 	batchesSent  atomic.Uint64
+	batchBytes   atomic.Uint64
 	batchReasons [telemetry.NumFlushReasons]atomic.Uint64
 
 	// Array-op aggregation accounting, bumped by the array layer through
@@ -76,18 +90,39 @@ type World struct {
 	// them, and per-reason flush counts.
 	aggBatches atomic.Uint64
 	aggOps     atomic.Uint64
+	aggBytes   atomic.Uint64
 	aggReasons [telemetry.NumFlushReasons]atomic.Uint64
 
 	flushHookMu sync.Mutex
 	flushHooks  []func()
 }
 
+// retEntry is one outstanding request awaiting a return envelope: the
+// completion callback plus the issue timestamp (telemetry clock) that
+// feeds the AM round-trip histogram — and through it the adaptive
+// retransmission floor.
+type retEntry struct {
+	cb      func(any, error)
+	issueNs int64
+}
+
+// ctx returns the PE's pre-built decode context for messages from src.
+func (w *World) ctx(src int) *Context { return &w.ctxs[src] }
+
+// TuneKnobs exposes the live tuned-knob cells. Higher layers (the array
+// aggregator) read their thresholds from here; the cells hold the
+// configured values unless the adaptive controller is on.
+func (w *World) TuneKnobs() *tuning.Atomics { return &w.env.knobs }
+
 // CountAggFlush records one array-op aggregation buffer dispatch for
-// Stats: why it flushed and how many coalesced element ops it carried.
-// The array layer calls this on every buffer it ships.
-func (w *World) CountAggFlush(reason telemetry.FlushReason, ops int) {
+// Stats: why it flushed, how many coalesced element ops it carried, and
+// roughly how many payload bytes. The byte count lets the adaptive
+// controller floor its shrink decisions at the observed batch size. The
+// array layer calls this on every buffer it ships.
+func (w *World) CountAggFlush(reason telemetry.FlushReason, ops, bytes int) {
 	w.aggBatches.Add(1)
 	w.aggOps.Add(uint64(ops))
+	w.aggBytes.Add(uint64(bytes))
 	if int(reason) < len(w.aggReasons) {
 		w.aggReasons[reason].Add(1)
 	}
@@ -211,6 +246,15 @@ func newEnv(cfg Config) (*worldEnv, error) {
 		coll:      make(map[string]*collEntry),
 		stopFlush: make(chan struct{}),
 	}
+	env.tuneMode = tuning.ParseMode(cfg.TuneMode)
+	base := tuning.Knobs{
+		AggThresholdBytes: cfg.AggThresholdBytes,
+		AggBufSize:        cfg.AggBufSize,
+		AggFlushOps:       cfg.AggFlushOps,
+		RetryFloor:        cfg.RetryInterval,
+	}
+	env.tuneLim = tuning.DefaultLimits(base, cfg.RetryBackoffMax)
+	env.knobs.Store(base)
 	if cfg.Telemetry {
 		// Start (or join) the process-global telemetry session before any
 		// pool exists so no event is lost to a disabled gate.
@@ -224,7 +268,11 @@ func newEnv(cfg Config) (*worldEnv, error) {
 			pool:        scheduler.NewPool(cfg.WorkersPerPE),
 			queues:      make([]*aggQueue, cfg.PEs),
 			pendingAcks: make([]atomic.Uint64, cfg.PEs),
-			returns:     make(map[uint64]func(any, error)),
+			returns:     make(map[uint64]retEntry),
+			ctxs:        make([]Context, cfg.PEs),
+		}
+		for s := range w.ctxs {
+			w.ctxs[s] = Context{World: w, Src: s}
 		}
 		w.pool.SetTelemetryPE(pe)
 		for d := range w.queues {
@@ -236,8 +284,8 @@ func newEnv(cfg Config) (*worldEnv, error) {
 		})
 		env.worlds[pe] = w
 	}
-	deliver := func(dst, src int, msg []byte) {
-		env.worlds[dst].receiveBatch(src, msg)
+	deliver := func(dst, src int, ref slab.Ref, msg []byte) {
+		env.worlds[dst].receiveBatch(src, ref, msg)
 	}
 	if cfg.Lamellae == LamellaeSMP {
 		env.lam = smpLamellae{}
@@ -260,6 +308,12 @@ func newEnv(cfg Config) (*worldEnv, error) {
 				return nil, err
 			}
 		}
+		if env.tuneMode == tuning.ModeOn {
+			// Only the applying controller redirects the retransmission
+			// floor through the knob cell: off/observe keep the wire layer
+			// byte-for-byte on its static configuration.
+			rel.retryFloor = &env.knobs.RetryFloorNs
+		}
 		rel.start(inner)
 		env.lam = rel
 		env.rel = rel
@@ -273,6 +327,10 @@ func newEnv(cfg Config) (*worldEnv, error) {
 	for pe := 0; pe < cfg.PEs; pe++ {
 		env.flushWG.Add(1)
 		go env.worlds[pe].flushLoop()
+	}
+	if env.tuneMode != tuning.ModeOff {
+		env.flushWG.Add(1)
+		go env.tuneLoop()
 	}
 	return env, nil
 }

@@ -3,6 +3,7 @@ package scheduler
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Future is the handle returned by asynchronous runtime operations —
@@ -22,6 +23,10 @@ type futState[T any] struct {
 	err  error
 	hook func() // runs at Await entry while unresolved; see SetAwaitHook
 	then []func(T, error)
+	// poll, when non-nil, makes this a condition future: resolution is
+	// defined by the predicate instead of a one-shot completion. See
+	// NewConditionFuture.
+	poll func() (T, error, bool)
 }
 
 // closedChan is the shared already-closed channel handed out by Done()
@@ -41,6 +46,23 @@ func NewPromise[T any](pool *Pool) (*Promise[T], *Future[T]) {
 	st := &futState[T]{pool: pool}
 	return &Promise[T]{st}, &Future[T]{st}
 }
+
+// NewConditionFuture returns a Future backed by a poll predicate instead
+// of a one-shot completion: the future counts as done whenever poll
+// currently reports (value, err, true). It is permanently reusable — the
+// aggregation layer hands every fire-and-forget element op the same
+// condition future (done ⇔ no buffered or in-flight ops), replacing a
+// per-op allocation with a shared handle whose Await still guarantees the
+// op completed, since the op was issued before Await observed the drained
+// state. Unlike promise futures, doneness is not monotonic: new work can
+// flip the condition back to pending, which only ever makes Await more
+// conservative. Done and OnDone fall back to a polling goroutine and are
+// intended for cold paths only.
+func NewConditionFuture[T any](pool *Pool, poll func() (T, error, bool)) *Future[T] {
+	return &Future[T]{&futState[T]{pool: pool, poll: poll}}
+}
+
+const condPollInterval = 5 * time.Microsecond
 
 // Ready returns an already-completed Future.
 func Ready[T any](v T) *Future[T] {
@@ -88,8 +110,15 @@ func (p *Promise[T]) finish(v T, err error) {
 	}
 }
 
-// IsDone reports whether the future has resolved.
-func (f *Future[T]) IsDone() bool { return f.st.set.Load() }
+// IsDone reports whether the future has resolved (for condition futures:
+// whether the condition currently holds).
+func (f *Future[T]) IsDone() bool {
+	if f.st.poll != nil {
+		_, _, ok := f.st.poll()
+		return ok
+	}
+	return f.st.set.Load()
+}
 
 // Done returns a channel closed on resolution (for select integration).
 // The channel is created on first request so futures that are never
@@ -97,6 +126,24 @@ func (f *Future[T]) IsDone() bool { return f.st.set.Load() }
 // allocation entirely.
 func (f *Future[T]) Done() <-chan struct{} {
 	st := f.st
+	if st.poll != nil {
+		// Condition futures have no completion edge to hook; watch the
+		// predicate from a goroutine. Cold path by design.
+		if _, _, ok := st.poll(); ok {
+			return closedChan
+		}
+		ch := make(chan struct{})
+		go func() {
+			for {
+				if _, _, ok := st.poll(); ok {
+					close(ch)
+					return
+				}
+				time.Sleep(condPollInterval)
+			}
+		}()
+		return ch
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.done == nil {
@@ -141,6 +188,22 @@ func (f *Future[T]) awaitHook() func() {
 // The runtime's own await points all follow the contract.
 func (f *Future[T]) Await() (T, error) {
 	st := f.st
+	if st.poll != nil {
+		if v, err, ok := st.poll(); ok {
+			return v, err
+		}
+		if h := f.awaitHook(); h != nil {
+			h()
+		}
+		for {
+			if v, err, ok := st.poll(); ok {
+				return v, err
+			}
+			if st.pool == nil || !st.pool.TryRunOne() {
+				time.Sleep(condPollInterval)
+			}
+		}
+	}
 	if st.set.Load() {
 		return st.val, st.err
 	}
@@ -180,6 +243,22 @@ func (f *Future[T]) MustAwait() T {
 // if already resolved). Callbacks run on the completer's goroutine.
 func (f *Future[T]) OnDone(cb func(T, error)) {
 	st := f.st
+	if st.poll != nil {
+		if v, err, ok := st.poll(); ok {
+			cb(v, err)
+			return
+		}
+		go func() {
+			for {
+				if v, err, ok := st.poll(); ok {
+					cb(v, err)
+					return
+				}
+				time.Sleep(condPollInterval)
+			}
+		}()
+		return
+	}
 	st.mu.Lock()
 	if st.set.Load() {
 		st.mu.Unlock()

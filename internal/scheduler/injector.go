@@ -47,11 +47,17 @@ type injChunk struct {
 type injShard struct {
 	count atomic.Int64 // entries queued (lock-free empty check)
 	mu    sync.Mutex
-	head  *injChunk // pop end (oldest)
-	tail  *injChunk // push end (newest)
-	spare *injChunk // recycled chunk, avoids alloc churn
-	_     [24]byte  // pad shards apart
+	head   *injChunk // pop end (oldest)
+	tail   *injChunk // push end (newest)
+	spare  *injChunk // recycled chunks (linked via next), avoids alloc churn
+	nspare int
+	_      [16]byte // pad shards apart
 }
+
+// maxSpareChunks bounds the per-shard recycled-chunk list so a burst's
+// spill buffers recycle instead of allocating, without pinning unbounded
+// chunk memory afterwards.
+const maxSpareChunks = 4
 
 func newInjector(shards int) *injector {
 	if shards < 1 {
@@ -141,7 +147,8 @@ func (s *injShard) pushBatch(es []taskEntry) {
 func (s *injShard) newTailLocked() *injChunk {
 	nc := s.spare
 	if nc != nil {
-		s.spare = nil
+		s.spare = nc.next
+		s.nspare--
 		nc.lo, nc.hi, nc.next = 0, 0, nil
 	} else {
 		nc = new(injChunk)
@@ -176,8 +183,13 @@ func (s *injShard) popBatch(out []taskEntry) int {
 				break
 			}
 			s.head = c.next
-			c.next = nil
-			s.spare = c
+			if s.nspare < maxSpareChunks {
+				c.next = s.spare
+				s.spare = c
+				s.nspare++
+			} else {
+				c.next = nil
+			}
 			continue
 		}
 		out[n] = c.buf[c.lo]

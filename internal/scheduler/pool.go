@@ -183,17 +183,32 @@ func (p *Pool) SubmitBatch(ts []Task) {
 	if p.closed.Load() {
 		panic("scheduler: submit on closed pool")
 	}
-	es := make([]taskEntry, len(ts))
-	for i, t := range ts {
+	// The entry slice is transient: pushBatch copies entries into the
+	// shard's chunks before returning, so a pooled scratch slice makes
+	// the delivery path allocation-free at steady state.
+	esp := entrySlicePool.Get().(*[]taskEntry)
+	es := (*esp)[:0]
+	for _, t := range ts {
 		if t == nil {
 			panic("scheduler: nil task")
 		}
-		es[i] = p.newEntry(t)
+		es = append(es, p.newEntry(t))
 	}
 	p.outstanding.Add(int64(len(ts)))
 	p.inj.pushBatch(es)
+	for i := range es {
+		es[i] = taskEntry{} // drop task references before pooling
+	}
+	*esp = es[:0]
+	entrySlicePool.Put(esp)
 	p.wake()
 }
+
+// entrySlicePool recycles SubmitBatch's scratch entry slices.
+var entrySlicePool = sync.Pool{New: func() any {
+	s := make([]taskEntry, 0, 64)
+	return &s
+}}
 
 // wake makes new work visible to sleepers: a non-blocking nudge for
 // helpers parked in Await/Quiesce, and — only when no worker is already

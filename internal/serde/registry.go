@@ -22,6 +22,9 @@ type regEntry struct {
 	name string
 	enc  func(*Encoder, any)
 	dec  func(*Decoder) (any, error)
+	// recycle, when non-nil, returns a decoded value to its type's pool
+	// (see RegisterPooled / Recycle).
+	recycle func(any)
 }
 
 type registry struct {
@@ -116,6 +119,63 @@ func Register[T any](name string) TypeID {
 	global.add(t, entry)
 	global.add(t.Elem(), entry) // allow encoding by value too
 	return id
+}
+
+// Recyclable is implemented by pooled-decode types (see RegisterPooled).
+// ResetLamellar must clear every reference the value holds — in
+// particular views aliasing a decoder's buffer — so pooling it cannot
+// retain foreign memory or leak stale state into the next decode.
+type Recyclable interface {
+	ResetLamellar()
+}
+
+// RegisterPooled is Register for high-rate message types: decoded values
+// come from a per-type sync.Pool instead of a fresh allocation, and the
+// consumer hands them back with Recycle once fully processed (for AMs,
+// after the handler ran and any return value was serialized). *T must
+// additionally implement Recyclable. Consumers that never call Recycle
+// merely fall back to GC behavior, so pooling is always safe to skip.
+func RegisterPooled[T any](name string) TypeID {
+	var zero T
+	if _, ok := any(&zero).(Recyclable); !ok {
+		panic(fmt.Sprintf("serde: *%v does not implement Recyclable", reflect.TypeOf(zero)))
+	}
+	id := Register[T](name)
+	pool := &sync.Pool{New: func() any { return new(T) }}
+	t := reflect.TypeOf(&zero)
+	global.mu.Lock()
+	entry := global.byType[t]
+	entry.dec = func(d *Decoder) (any, error) {
+		p := pool.Get().(*T)
+		if err := any(p).(Unmarshaler).UnmarshalLamellar(d); err != nil {
+			any(p).(Recyclable).ResetLamellar()
+			pool.Put(p)
+			return nil, err
+		}
+		return p, nil
+	}
+	entry.recycle = func(v any) {
+		if p, ok := v.(*T); ok {
+			any(p).(Recyclable).ResetLamellar()
+			pool.Put(p)
+		}
+	}
+	global.mu.Unlock()
+	return id
+}
+
+// Recycle returns a value decoded via a RegisterPooled codec to its pool;
+// a no-op for every other value (including nil). Callers must not touch v
+// afterwards.
+func Recycle(v any) {
+	if v == nil {
+		return
+	}
+	entry, ok := global.lookupType(reflect.TypeOf(v))
+	if !ok || entry.recycle == nil {
+		return
+	}
+	entry.recycle(v)
 }
 
 // RegisterGob registers T under name using encoding/gob, the convenience

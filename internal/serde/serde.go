@@ -144,6 +144,12 @@ type Decoder struct {
 // NewDecoder returns a Decoder reading from b. The Decoder does not copy b.
 func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
 
+// Reset repoints the Decoder at b and clears its position, error, and
+// context, so embedded/pooled decoders can be reused without allocating.
+func (d *Decoder) Reset(b []byte) {
+	d.buf, d.off, d.err, d.Ctx = b, 0, nil, nil
+}
+
 // Err returns the first error encountered, if any.
 func (d *Decoder) Err() error { return d.err }
 

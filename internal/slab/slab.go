@@ -1,0 +1,171 @@
+// Package slab provides size-classed recycling of the byte buffers that
+// carry wire frames through the transport stack. The reliable wire layer
+// allocates one buffer per frame (header + body) and retains it until the
+// peer's cumulative ack releases it; receivers allocate one buffer per
+// delivered frame and hold it until every envelope task decoded from it
+// has finished. Both directions churn through buffers at the batch rate,
+// so under sustained aggregated traffic the pools converge to a small
+// working set and the steady state allocates nothing.
+//
+// Ownership rules (see DESIGN.md "Memory recycling"):
+//
+//   - Get hands out a buffer with exactly one owner. Ownership transfers
+//     by passing the buffer (or a Ref wrapping it) along; it never forks.
+//   - The final owner calls Put (or Ref.Release) exactly once. Double
+//     release is a bug; the optional poison check (LAMELLAR_SLAB_CHECK=1)
+//     makes use-after-release visible by filling released buffers with a
+//     poison byte.
+//   - Put accepts only buffers whose capacity matches a size class —
+//     anything else (including interior slices) is left to the GC, so a
+//     misrouted buffer degrades to the old allocation behavior instead of
+//     corrupting a class.
+package slab
+
+import (
+	"math/bits"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits..maxClassBits bound the pooled size classes
+	// (64 B .. 4 MiB). Requests above the top class fall back to plain
+	// allocations that are never pooled.
+	minClassBits = 6
+	maxClassBits = 22
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// maxFreePerClass bounds retained buffers per class so an ephemeral
+	// burst cannot pin memory forever.
+	maxFreePerClass = 256
+
+	// poisonByte fills released buffers when the check mode is on.
+	poisonByte = 0xDB
+)
+
+// checkMode enables poison-on-release: any path that reads a frame after
+// returning it to the pool sees 0xDB garbage instead of stale (plausible)
+// bytes, turning silent use-after-recycle into loud corruption that the
+// wire layer's header validation and the tests' content checks catch.
+var checkMode = os.Getenv("LAMELLAR_SLAB_CHECK") == "1"
+
+// SetCheckMode toggles poison-on-release; tests use it to harden
+// use-after-recycle detection without environment plumbing.
+func SetCheckMode(on bool) { checkModeAtomic.Store(on) }
+
+var checkModeAtomic = func() *atomic.Bool {
+	b := new(atomic.Bool)
+	b.Store(checkMode)
+	return b
+}()
+
+type class struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+var (
+	classes [numClasses]class
+
+	// Counters for tests and stats: buffers served from a class free
+	// list, buffers allocated fresh, and buffers returned to a class.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+)
+
+// classFor maps a requested size to its class index, or -1 when the size
+// exceeds the largest pooled class.
+func classFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b < minClassBits {
+		b = minClassBits
+	}
+	if b > maxClassBits {
+		return -1
+	}
+	return b - minClassBits
+}
+
+// Get returns a buffer of length n backed by a pooled size-class
+// allocation (capacity 2^k). Contents are unspecified; callers must
+// overwrite every byte they later read. Oversized requests allocate
+// directly and are dropped again by Put.
+func Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		misses.Add(1)
+		return make([]byte, n)
+	}
+	c := &classes[ci]
+	c.mu.Lock()
+	if k := len(c.free); k > 0 {
+		b := c.free[k-1]
+		c.free[k-1] = nil
+		c.free = c.free[:k-1]
+		c.mu.Unlock()
+		hits.Add(1)
+		return b[:n]
+	}
+	c.mu.Unlock()
+	misses.Add(1)
+	return make([]byte, n, 1<<(ci+minClassBits))
+}
+
+// Put returns a buffer obtained from Get to its class. Buffers whose
+// capacity is not an exact class size (foreign allocations, interior
+// slices) are dropped for the GC. Safe for nil.
+func Put(b []byte) {
+	if b == nil {
+		return
+	}
+	cp := cap(b)
+	if cp == 0 || cp&(cp-1) != 0 {
+		return // not a class-sized allocation
+	}
+	ci := bits.Len(uint(cp)) - 1 - minClassBits
+	if ci < 0 || ci >= numClasses {
+		return
+	}
+	if checkModeAtomic.Load() {
+		b = b[:cp]
+		for i := range b {
+			b[i] = poisonByte
+		}
+	}
+	c := &classes[ci]
+	c.mu.Lock()
+	if len(c.free) < maxFreePerClass {
+		c.free = append(c.free, b[:0])
+		puts.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// Stats reports (hits, misses, puts) since process start; tests use it to
+// assert steady-state recycling.
+func Stats() (uint64, uint64, uint64) {
+	return hits.Load(), misses.Load(), puts.Load()
+}
+
+// Ref is a single-owner handle on a pooled buffer, passed by value
+// through delivery callbacks so no per-frame closure allocation is
+// needed. The zero Ref releases nothing (for buffers the GC owns, e.g.
+// reassembled fragments). Exactly one copy of a Ref may be Released.
+type Ref struct{ buf []byte }
+
+// Owned wraps a Get-allocated buffer for ownership transfer.
+func Owned(b []byte) Ref { return Ref{buf: b} }
+
+// Release returns the underlying buffer to its pool (once; subsequent
+// calls on the same copy are no-ops).
+func (r *Ref) Release() {
+	if r.buf != nil {
+		Put(r.buf)
+		r.buf = nil
+	}
+}

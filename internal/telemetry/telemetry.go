@@ -82,8 +82,11 @@ const (
 	// EvWireFault marks a fault-plan injection on a transmission;
 	// Sub = fabric.FaultKind, Arg1 = destination PE.
 	EvWireFault
+	// EvTuneDecision marks one adaptive-tuning controller decision;
+	// Sub = tuning knob id, Arg1 = new value, Arg2 = previous value.
+	EvTuneDecision
 
-	numEventKinds = int(EvWireFault) + 1
+	numEventKinds = int(EvTuneDecision) + 1
 )
 
 var eventNames = [numEventKinds]string{
@@ -92,6 +95,7 @@ var eventNames = [numEventKinds]string{
 	"agg.open", "agg.flush", "fabric.op", "gauge",
 	"task.park",
 	"wire.retry", "wire.dedup", "wire.timeout", "wire.ack", "wire.fault",
+	"tune.decision",
 }
 
 func (k EventKind) String() string {

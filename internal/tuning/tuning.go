@@ -1,0 +1,346 @@
+// Package tuning closes the loop from the telemetry layer back into the
+// runtime's aggregation and reliable-wire knobs. The ABL1/ABL2 sweeps in
+// bench_results.txt show the optimal aggregation threshold moves with the
+// workload (and "A Scalable Actor-based Programming System for PGAS
+// Runtimes" reports runtime-tuned buffers beating hand-tuned static
+// ones); instead of hand-picking a static point, a small controller
+// samples flush-reason counters, batch-age/occupancy histograms, and wire
+// retry rates, and nudges the live knobs toward the workload's optimum.
+//
+// The package separates the pure decision function (Decide — unit-testable
+// with synthetic samples) from the live knob cells (Atomics — lock-free
+// loads on the hot paths) and the mode plumbing (LAMELLAR_TUNE=off|
+// observe|on). The sampling driver lives in internal/runtime, which owns
+// the counters being sampled.
+package tuning
+
+import (
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Mode selects how the controller runs.
+type Mode uint8
+
+const (
+	// ModeOff disables the controller entirely: knobs keep their
+	// configured values and behavior is bit-identical to a static config.
+	ModeOff Mode = iota
+	// ModeObserve runs the controller and emits its decisions as
+	// telemetry events without applying them — a dry run for validating
+	// the policy against a live workload.
+	ModeObserve
+	// ModeOn applies decisions to the live knobs.
+	ModeOn
+)
+
+// ParseMode maps a LAMELLAR_TUNE value to a Mode (default off).
+func ParseMode(s string) Mode {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "on", "1", "true":
+		return ModeOn
+	case "observe":
+		return ModeObserve
+	}
+	return ModeOff
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOn:
+		return "on"
+	case ModeObserve:
+		return "observe"
+	}
+	return "off"
+}
+
+// Knob identifies one tuned parameter (telemetry EvTuneDecision.Sub).
+type Knob uint8
+
+const (
+	// KnobAggThresholdBytes is the wire-level destination-queue flush
+	// threshold (Config.AggThresholdBytes).
+	KnobAggThresholdBytes Knob = iota
+	// KnobAggBufSize is the array layer's per-destination aggregation
+	// buffer byte threshold (Config.AggBufSize).
+	KnobAggBufSize
+	// KnobAggFlushOps is the array layer's op-count flush cap
+	// (Config.AggFlushOps).
+	KnobAggFlushOps
+	// KnobRetryFloor is the reliable wire layer's initial retransmission
+	// timeout (Config.RetryInterval).
+	KnobRetryFloor
+
+	// NumKnobs is the number of tuned parameters.
+	NumKnobs = int(KnobRetryFloor) + 1
+)
+
+var knobNames = [NumKnobs]string{"agg_threshold_bytes", "agg_buf_size", "agg_flush_ops", "retry_floor"}
+
+func (k Knob) String() string {
+	if int(k) < NumKnobs {
+		return knobNames[k]
+	}
+	return "unknown"
+}
+
+// Knobs is one coherent setting of every tuned parameter.
+type Knobs struct {
+	AggThresholdBytes int
+	AggBufSize        int
+	AggFlushOps       int
+	RetryFloor        time.Duration
+}
+
+// Limits clamp every decision; the controller can never push a knob
+// outside them regardless of what the samples say.
+type Limits struct {
+	MinAggThresholdBytes, MaxAggThresholdBytes int
+	MinAggBufSize, MaxAggBufSize               int
+	MinAggFlushOps, MaxAggFlushOps             int
+	MinRetryFloor, MaxRetryFloor               time.Duration
+}
+
+// DefaultLimits derives clamp ranges from the configured baseline: the
+// aggregation knobs may roam the same span the ABL1/ABL2 sweeps cover,
+// and the retry floor may rise to a quarter of the backoff cap but never
+// fall below its configured value (retransmitting faster than configured
+// was never sanctioned by the user).
+func DefaultLimits(base Knobs, backoffMax time.Duration) Limits {
+	lim := Limits{
+		MinAggThresholdBytes: 4 << 10, MaxAggThresholdBytes: 4 << 20,
+		MinAggBufSize: 4 << 10, MaxAggBufSize: 4 << 20,
+		MinAggFlushOps: 256, MaxAggFlushOps: 1 << 16,
+		MinRetryFloor: base.RetryFloor,
+		MaxRetryFloor: backoffMax / 4,
+	}
+	if lim.MaxRetryFloor < lim.MinRetryFloor {
+		lim.MaxRetryFloor = lim.MinRetryFloor
+	}
+	return lim
+}
+
+// Sample is one observation window of the signals the controller reads:
+// flush-reason deltas at both aggregation layers, wire retry counts, and
+// (when a telemetry session is live) the batch-age and AM round-trip
+// histogram digests.
+type Sample struct {
+	// Elapsed is the window length.
+	Elapsed time.Duration
+	// WireBatches and WireReasons count wire batches flushed from the
+	// destination queues during the window, by flush reason; WireBytes is
+	// the bytes those batches carried. They drive KnobAggThresholdBytes.
+	WireBatches uint64
+	WireBytes   uint64
+	WireReasons [telemetry.NumFlushReasons]uint64
+	// AggBatches/AggOps/AggBytes/AggReasons count array-layer aggregation
+	// buffer dispatches, the element ops they coalesced, and their payload
+	// bytes. They drive KnobAggBufSize and KnobAggFlushOps.
+	AggBatches uint64
+	AggOps     uint64
+	AggBytes   uint64
+	AggReasons [telemetry.NumFlushReasons]uint64
+	// Retries counts wire retransmissions; FramesSent counts data frames
+	// put on the wire. They drive KnobRetryFloor.
+	Retries    uint64
+	FramesSent uint64
+	// FlushAge digests the aggregation open→flush age histogram
+	// (zero-Count when telemetry is off; the reason counters alone still
+	// steer the byte/op knobs).
+	FlushAge telemetry.HistSummary
+	// RoundTrip digests the AM round-trip histogram; it floors how low
+	// the retry floor may decay (retransmitting inside a healthy round
+	// trip only duplicates frames).
+	RoundTrip telemetry.HistSummary
+}
+
+// Decision is Decide's output: the next knob setting plus which knobs
+// moved (for telemetry emission).
+type Decision struct {
+	Knobs   Knobs
+	Changed [NumKnobs]bool
+}
+
+// Growth factors: multiplicative increase under saturation, gentler decay
+// when latency-bound, mirroring AIMD-style congestion control.
+const (
+	growNum, growDen     = 5, 4
+	shrinkNum, shrinkDen = 4, 5
+)
+
+// pressure classifies one reason vector into the two signals that carry
+// information about the thresholds: capacity flushes (size/ops/run — the
+// buffer filled before anything else happened) and timer flushes (the
+// background flusher found a buffer idling below threshold). Drain
+// flushes are deliberately excluded from both: they are user-forced
+// (WaitAll, barriers, explicit flushes) and say nothing about whether
+// the threshold is too small or too large — a WaitAll-heavy kernel
+// drains partial buffers constantly regardless of the knob setting.
+func pressure(reasons [telemetry.NumFlushReasons]uint64) (capacity, timer, total uint64) {
+	capacity = reasons[telemetry.FlushSize] + reasons[telemetry.FlushOps] + reasons[telemetry.FlushRun]
+	timer = reasons[telemetry.FlushTimer]
+	for _, n := range reasons {
+		total += n
+	}
+	return capacity, timer, total
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampDur(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// stepInt applies one multiplicative step and the clamp.
+func stepInt(v int, num, den, lo, hi int) int {
+	return clampInt(v*num/den, lo, hi)
+}
+
+// shrinkInt applies one shrink step but never lands below `floor` (the
+// headroom over the observed mean batch size): shrinking a threshold the
+// workload isn't hitting saves buffer memory, but pushing it below the
+// actual fill level converts latency-bound flushes into capacity-bound
+// ones — exactly the small-buffer regime where the ABL1/ABL2 sweeps show
+// throughput collapsing. A floor at or above the current value means the
+// knob is already as tight as the traffic allows: no change.
+func shrinkInt(v, floor, lo, hi int) int {
+	nv := stepInt(v, shrinkNum, shrinkDen, lo, hi)
+	if nv < floor {
+		nv = clampInt(floor, lo, v)
+	}
+	return nv
+}
+
+// meanPerBatch guards the observed-mean division for shrink floors.
+func meanPerBatch(total, batches uint64) int {
+	if batches == 0 {
+		return 0
+	}
+	return int(total / batches)
+}
+
+// Decide is the pure control policy — one step from a sample and the
+// current knobs to the next knobs, always inside lim:
+//
+//   - Saturation (≥ half the flushes at a layer forced by its size/op
+//     thresholds): the workload fills buffers faster than the flush
+//     interval, so grow that layer's knobs ×5/4 — more coalescing per
+//     wire batch, the regime where the ABL sweeps show throughput rising
+//     with buffer size.
+//   - Latency-bound (≤ 10% capacity flushes AND a timer-flush majority
+//     while ops are flowing): buffers never fill and every buffered op
+//     waits for the background flusher, so shrink ×4/5 — the observed
+//     flush age falls toward the actual fill rate. Drain flushes never
+//     trigger shrink (they are user-forced and threshold-agnostic), and
+//     shrink is floored at 4× the observed mean batch size: below that
+//     the threshold would start binding and force the small-batch regime
+//     the sweeps show collapsing throughput.
+//   - Wire health: a retransmission rate over 1% raises the retry floor
+//     ×3/2 (pace retries on a lossy/congested link); a clean window
+//     decays it ×4/5 back toward the configured floor. The floor never
+//     drops below twice the observed AM round-trip p90.
+//
+// Windows with no traffic change nothing. Decide never mutates state;
+// callers own applying (or merely observing) the result.
+func Decide(s Sample, k Knobs, lim Limits) Decision {
+	d := Decision{Knobs: k}
+
+	// Wire-level destination queues → AggThresholdBytes.
+	if capa, timer, total := pressure(s.WireReasons); total > 0 {
+		switch {
+		case capa*2 >= total:
+			d.Knobs.AggThresholdBytes = stepInt(k.AggThresholdBytes, growNum, growDen,
+				lim.MinAggThresholdBytes, lim.MaxAggThresholdBytes)
+		case capa*10 <= total && timer*2 >= total:
+			d.Knobs.AggThresholdBytes = shrinkInt(k.AggThresholdBytes,
+				4*meanPerBatch(s.WireBytes, s.WireBatches),
+				lim.MinAggThresholdBytes, lim.MaxAggThresholdBytes)
+		}
+		d.Changed[KnobAggThresholdBytes] = d.Knobs.AggThresholdBytes != k.AggThresholdBytes
+	}
+
+	// Array-layer aggregation buffers → AggBufSize / AggFlushOps.
+	if capa, timer, total := pressure(s.AggReasons); total > 0 && s.AggOps > 0 {
+		switch {
+		case capa*2 >= total:
+			d.Knobs.AggBufSize = stepInt(k.AggBufSize, growNum, growDen,
+				lim.MinAggBufSize, lim.MaxAggBufSize)
+			d.Knobs.AggFlushOps = stepInt(k.AggFlushOps, growNum, growDen,
+				lim.MinAggFlushOps, lim.MaxAggFlushOps)
+		case capa*10 <= total && timer*2 >= total:
+			d.Knobs.AggBufSize = shrinkInt(k.AggBufSize,
+				4*meanPerBatch(s.AggBytes, s.AggBatches),
+				lim.MinAggBufSize, lim.MaxAggBufSize)
+			d.Knobs.AggFlushOps = shrinkInt(k.AggFlushOps,
+				4*meanPerBatch(s.AggOps, s.AggBatches),
+				lim.MinAggFlushOps, lim.MaxAggFlushOps)
+		}
+		d.Changed[KnobAggBufSize] = d.Knobs.AggBufSize != k.AggBufSize
+		d.Changed[KnobAggFlushOps] = d.Knobs.AggFlushOps != k.AggFlushOps
+	}
+
+	// Reliable-wire retry floor.
+	if s.FramesSent > 0 {
+		floor := k.RetryFloor
+		if s.Retries*100 > s.FramesSent {
+			floor = clampDur(floor*3/2, lim.MinRetryFloor, lim.MaxRetryFloor)
+		} else if s.Retries == 0 {
+			floor = clampDur(floor*4/5, lim.MinRetryFloor, lim.MaxRetryFloor)
+		}
+		// Never retransmit inside a healthy round trip.
+		if rtt := s.RoundTrip.P90; rtt > 0 && floor < 2*rtt {
+			floor = clampDur(2*rtt, lim.MinRetryFloor, lim.MaxRetryFloor)
+		}
+		d.Knobs.RetryFloor = floor
+		d.Changed[KnobRetryFloor] = floor != k.RetryFloor
+	}
+	return d
+}
+
+// Atomics is the live, shared set of knob cells. Hot paths (per-envelope
+// enqueue, per-op append, the retry sweep) read them with single atomic
+// loads; the controller stores whole Knobs settings. With the controller
+// off the cells simply hold the configured values forever, making off
+// mode bit-identical to a static config.
+type Atomics struct {
+	AggThresholdBytes atomic.Int64
+	AggBufSize        atomic.Int64
+	AggFlushOps       atomic.Int64
+	RetryFloorNs      atomic.Int64
+}
+
+// Store publishes k to the live cells.
+func (a *Atomics) Store(k Knobs) {
+	a.AggThresholdBytes.Store(int64(k.AggThresholdBytes))
+	a.AggBufSize.Store(int64(k.AggBufSize))
+	a.AggFlushOps.Store(int64(k.AggFlushOps))
+	a.RetryFloorNs.Store(int64(k.RetryFloor))
+}
+
+// Load snapshots the live cells.
+func (a *Atomics) Load() Knobs {
+	return Knobs{
+		AggThresholdBytes: int(a.AggThresholdBytes.Load()),
+		AggBufSize:        int(a.AggBufSize.Load()),
+		AggFlushOps:       int(a.AggFlushOps.Load()),
+		RetryFloor:        time.Duration(a.RetryFloorNs.Load()),
+	}
+}

@@ -1,0 +1,254 @@
+package tuning
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func baseKnobs() Knobs {
+	return Knobs{
+		AggThresholdBytes: 100_000,
+		AggBufSize:        128 << 10,
+		AggFlushOps:       8192,
+		RetryFloor:        20 * time.Millisecond,
+	}
+}
+
+func baseLimits() Limits { return DefaultLimits(baseKnobs(), 500*time.Millisecond) }
+
+// Bursty load: most flushes forced by the size/op thresholds means the
+// buffers fill before the flush timer — the controller must grow them.
+func TestBurstyLoadGrowsBuffers(t *testing.T) {
+	k, lim := baseKnobs(), baseLimits()
+	var s Sample
+	s.WireBatches = 100
+	s.WireReasons[telemetry.FlushSize] = 80
+	s.WireReasons[telemetry.FlushDrain] = 20
+	s.AggBatches, s.AggOps = 100, 50_000
+	s.AggReasons[telemetry.FlushOps] = 70
+	s.AggReasons[telemetry.FlushTimer] = 30
+
+	d := Decide(s, k, lim)
+	if d.Knobs.AggThresholdBytes <= k.AggThresholdBytes {
+		t.Errorf("AggThresholdBytes %d did not grow from %d", d.Knobs.AggThresholdBytes, k.AggThresholdBytes)
+	}
+	if d.Knobs.AggBufSize <= k.AggBufSize {
+		t.Errorf("AggBufSize %d did not grow from %d", d.Knobs.AggBufSize, k.AggBufSize)
+	}
+	if d.Knobs.AggFlushOps <= k.AggFlushOps {
+		t.Errorf("AggFlushOps %d did not grow from %d", d.Knobs.AggFlushOps, k.AggFlushOps)
+	}
+	if !d.Changed[KnobAggThresholdBytes] || !d.Changed[KnobAggBufSize] || !d.Changed[KnobAggFlushOps] {
+		t.Errorf("Changed flags = %v, want aggregation knobs marked", d.Changed)
+	}
+}
+
+// Steady sparse load: ~all flushes come from the background flush timer
+// while ops are flowing, so buffers never fill — shrink them so the
+// observed flush age tracks the actual fill rate.
+func TestSteadyLoadShrinksBuffers(t *testing.T) {
+	k, lim := baseKnobs(), baseLimits()
+	var s Sample
+	s.WireBatches = 100
+	s.WireReasons[telemetry.FlushTimer] = 90
+	s.WireReasons[telemetry.FlushDrain] = 10
+	s.AggBatches, s.AggOps = 100, 2_000
+	s.AggReasons[telemetry.FlushTimer] = 95
+	s.AggReasons[telemetry.FlushDrain] = 5
+
+	d := Decide(s, k, lim)
+	if d.Knobs.AggThresholdBytes >= k.AggThresholdBytes {
+		t.Errorf("AggThresholdBytes %d did not shrink from %d", d.Knobs.AggThresholdBytes, k.AggThresholdBytes)
+	}
+	if d.Knobs.AggBufSize >= k.AggBufSize {
+		t.Errorf("AggBufSize %d did not shrink from %d", d.Knobs.AggBufSize, k.AggBufSize)
+	}
+	if d.Knobs.AggFlushOps >= k.AggFlushOps {
+		t.Errorf("AggFlushOps %d did not shrink from %d", d.Knobs.AggFlushOps, k.AggFlushOps)
+	}
+}
+
+// Drain-dominated windows (WaitAll-heavy kernels force-flush partial
+// buffers constantly) carry no information about the thresholds and must
+// not shrink them.
+func TestDrainFlushesDoNotShrink(t *testing.T) {
+	k, lim := baseKnobs(), baseLimits()
+	var s Sample
+	s.WireBatches = 100
+	s.WireReasons[telemetry.FlushDrain] = 95
+	s.WireReasons[telemetry.FlushTimer] = 5
+	s.AggBatches, s.AggOps = 100, 50_000
+	s.AggReasons[telemetry.FlushDrain] = 100
+
+	d := Decide(s, k, lim)
+	if d.Knobs != k {
+		t.Errorf("drain-dominated window moved knobs: %+v -> %+v", k, d.Knobs)
+	}
+}
+
+// A latency-bound window whose batches are already large must not shrink
+// the thresholds into the small-batch regime: shrink floors at 4x the
+// observed mean batch size, and a floor at/above the current knob leaves
+// it untouched.
+func TestShrinkBoundedByObservedBatchSize(t *testing.T) {
+	k, lim := baseKnobs(), baseLimits()
+	var s Sample
+	s.WireBatches = 100
+	s.WireBytes = 100 * 30_000 // mean 30 KB -> floor 120 KB > current 100 KB
+	s.WireReasons[telemetry.FlushTimer] = 100
+	s.AggBatches, s.AggOps = 100, 100*4000
+	s.AggBytes = 100 * 40_000 // mean 40 KB -> floor 160 KB > current 128 KB
+	s.AggReasons[telemetry.FlushTimer] = 100
+
+	d := Decide(s, k, lim)
+	if d.Knobs.AggThresholdBytes != k.AggThresholdBytes {
+		t.Errorf("AggThresholdBytes %d moved despite floor above current %d", d.Knobs.AggThresholdBytes, k.AggThresholdBytes)
+	}
+	if d.Knobs.AggBufSize != k.AggBufSize {
+		t.Errorf("AggBufSize %d moved despite floor above current %d", d.Knobs.AggBufSize, k.AggBufSize)
+	}
+	// mean 4000 ops -> floor 16000 > 8192: op cap pinned too.
+	if d.Knobs.AggFlushOps != k.AggFlushOps {
+		t.Errorf("AggFlushOps %d moved despite floor above current %d", d.Knobs.AggFlushOps, k.AggFlushOps)
+	}
+
+	// Smaller batches shrink, but only down to their floor, not the step.
+	s.WireBytes = 100 * 25_000 // floor 100 KB exactly = current: unchanged
+	d = Decide(s, k, lim)
+	if d.Knobs.AggThresholdBytes != 100_000 {
+		t.Errorf("AggThresholdBytes = %d, want held at floor 100000", d.Knobs.AggThresholdBytes)
+	}
+	s.WireBytes = 100 * 21_000 // floor 84 KB inside the step (80 KB)
+	d = Decide(s, k, lim)
+	if d.Knobs.AggThresholdBytes != 84_000 {
+		t.Errorf("AggThresholdBytes = %d, want shrink stopped at floor 84000", d.Knobs.AggThresholdBytes)
+	}
+}
+
+// A window with no traffic must change nothing.
+func TestIdleWindowChangesNothing(t *testing.T) {
+	k, lim := baseKnobs(), baseLimits()
+	d := Decide(Sample{Elapsed: time.Second}, k, lim)
+	if d.Knobs != k {
+		t.Errorf("idle window moved knobs: %+v -> %+v", k, d.Knobs)
+	}
+	for i, c := range d.Changed {
+		if c {
+			t.Errorf("idle window marked knob %v changed", Knob(i))
+		}
+	}
+}
+
+// Clamps: no matter how many saturated (or starved) windows arrive in a
+// row, every knob stays inside its limits.
+func TestClampsRespected(t *testing.T) {
+	lim := baseLimits()
+	k := baseKnobs()
+	var grow Sample
+	grow.WireReasons[telemetry.FlushSize] = 100
+	grow.AggOps = 1_000_000
+	grow.AggReasons[telemetry.FlushSize] = 100
+	grow.FramesSent, grow.Retries = 100, 50 // lossy: retry floor rises
+	for i := 0; i < 100; i++ {
+		k = Decide(grow, k, lim).Knobs
+	}
+	if k.AggThresholdBytes != lim.MaxAggThresholdBytes {
+		t.Errorf("AggThresholdBytes = %d, want pinned at max %d", k.AggThresholdBytes, lim.MaxAggThresholdBytes)
+	}
+	if k.AggBufSize != lim.MaxAggBufSize || k.AggFlushOps != lim.MaxAggFlushOps {
+		t.Errorf("agg knobs %d/%d not pinned at max %d/%d", k.AggBufSize, k.AggFlushOps, lim.MaxAggBufSize, lim.MaxAggFlushOps)
+	}
+	if k.RetryFloor != lim.MaxRetryFloor {
+		t.Errorf("RetryFloor = %v, want pinned at max %v", k.RetryFloor, lim.MaxRetryFloor)
+	}
+
+	var shrink Sample
+	shrink.WireReasons[telemetry.FlushTimer] = 100
+	shrink.AggOps = 10
+	shrink.AggReasons[telemetry.FlushTimer] = 100
+	shrink.FramesSent = 100 // clean window: retry floor decays
+	for i := 0; i < 100; i++ {
+		k = Decide(shrink, k, lim).Knobs
+	}
+	if k.AggThresholdBytes != lim.MinAggThresholdBytes {
+		t.Errorf("AggThresholdBytes = %d, want pinned at min %d", k.AggThresholdBytes, lim.MinAggThresholdBytes)
+	}
+	if k.AggBufSize != lim.MinAggBufSize || k.AggFlushOps != lim.MinAggFlushOps {
+		t.Errorf("agg knobs %d/%d not pinned at min %d/%d", k.AggBufSize, k.AggFlushOps, lim.MinAggBufSize, lim.MinAggFlushOps)
+	}
+	if k.RetryFloor != lim.MinRetryFloor {
+		t.Errorf("RetryFloor = %v, want decayed to min %v", k.RetryFloor, lim.MinRetryFloor)
+	}
+}
+
+// The retry floor must never drop below twice the observed AM round-trip
+// p90 — retransmitting inside a healthy round trip only duplicates
+// frames.
+func TestRetryFloorRespectsRoundTrip(t *testing.T) {
+	k, lim := baseKnobs(), baseLimits()
+	var s Sample
+	s.FramesSent = 1000 // clean: would decay toward MinRetryFloor
+	s.RoundTrip = telemetry.HistSummary{Count: 1000, P90: 40 * time.Millisecond}
+	d := Decide(s, k, lim)
+	if want := 80 * time.Millisecond; d.Knobs.RetryFloor != want {
+		t.Errorf("RetryFloor = %v, want 2×p90 = %v", d.Knobs.RetryFloor, want)
+	}
+}
+
+// A lossy window (>1% retransmit rate) raises the floor; a clean one
+// decays it back toward the configured value.
+func TestRetryFloorTracksLossRate(t *testing.T) {
+	k, lim := baseKnobs(), baseLimits()
+	var lossy Sample
+	lossy.FramesSent, lossy.Retries = 1000, 100
+	d := Decide(lossy, k, lim)
+	if d.Knobs.RetryFloor <= k.RetryFloor {
+		t.Errorf("lossy window: RetryFloor %v did not rise from %v", d.Knobs.RetryFloor, k.RetryFloor)
+	}
+	var clean Sample
+	clean.FramesSent = 1000
+	d2 := Decide(clean, d.Knobs, lim)
+	if d2.Knobs.RetryFloor >= d.Knobs.RetryFloor {
+		t.Errorf("clean window: RetryFloor %v did not decay from %v", d2.Knobs.RetryFloor, d.Knobs.RetryFloor)
+	}
+	if d2.Knobs.RetryFloor < lim.MinRetryFloor {
+		t.Errorf("RetryFloor %v decayed below configured floor %v", d2.Knobs.RetryFloor, lim.MinRetryFloor)
+	}
+}
+
+// Off mode: the knob cells are written once from the config and never
+// touched again, so hot-path loads are bit-identical to a static config.
+func TestOffModeBitIdentical(t *testing.T) {
+	if ParseMode("off") != ModeOff || ParseMode("") != ModeOff || ParseMode("garbage") != ModeOff {
+		t.Error("ParseMode must default to off")
+	}
+	if ParseMode("on") != ModeOn || ParseMode("1") != ModeOn || ParseMode("observe") != ModeObserve {
+		t.Error("ParseMode on/observe mapping broken")
+	}
+	var a Atomics
+	base := baseKnobs()
+	a.Store(base)
+	if got := a.Load(); got != base {
+		t.Fatalf("Atomics round-trip: got %+v, want %+v", got, base)
+	}
+}
+
+// DefaultLimits must keep MinRetryFloor at the configured interval (the
+// controller may never retransmit faster than the user sanctioned) and
+// cope with a backoff cap below the configured floor.
+func TestDefaultLimits(t *testing.T) {
+	base := baseKnobs()
+	lim := DefaultLimits(base, 500*time.Millisecond)
+	if lim.MinRetryFloor != base.RetryFloor {
+		t.Errorf("MinRetryFloor = %v, want %v", lim.MinRetryFloor, base.RetryFloor)
+	}
+	if lim.MaxRetryFloor != 125*time.Millisecond {
+		t.Errorf("MaxRetryFloor = %v, want backoffMax/4", lim.MaxRetryFloor)
+	}
+	tight := DefaultLimits(base, 10*time.Millisecond)
+	if tight.MaxRetryFloor < tight.MinRetryFloor {
+		t.Errorf("degenerate cap: max %v < min %v", tight.MaxRetryFloor, tight.MinRetryFloor)
+	}
+}
