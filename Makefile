@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench agg-bench bench-sched sched-stress trace-smoke fault-stress bench-allocs
+.PHONY: build vet test race check bench agg-bench bench-sched sched-stress trace-smoke watchdog-smoke fault-stress bench-allocs
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,7 @@ bench-allocs:
 	$(GO) test -run xxx -bench 'BenchmarkAtomicOpsAggregated$$' -benchtime=200x -benchmem -count=1 .
 
 # Tier-1 gate: everything that must stay green before a change lands.
-check: build vet race sched-stress fault-stress trace-smoke bench-allocs
+check: build vet race sched-stress fault-stress trace-smoke watchdog-smoke bench-allocs
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -62,8 +62,27 @@ bench-sched:
 	$(GO) test -run xxx -bench 'Injector' -benchtime=1000000x -count=1 ./internal/scheduler
 
 # Telemetry smoke test: run a kernel with the timeline exporter and fail
-# unless the written file is valid Chrome trace JSON (lamellar-trace
-# re-parses it and errors otherwise).
+# unless the written file is valid Chrome trace JSON with a complete
+# causal-flow graph (lamellar-trace re-parses and validates it, rejecting
+# dangling flow references). The timeline must actually contain flow
+# starts — a trace with zero "s" events means span propagation broke.
+# The -critical-path pass then proves the flow links are rich enough to
+# decompose an aggregated fetch-add round trip into queue/encode/wire/
+# exec/return segments.
 trace-smoke:
 	$(GO) run ./cmd/lamellar-trace -kernel histo -cores 4 -workers 1 -updates 2000 -timeline /tmp/lamellar-trace-smoke.json > /dev/null
-	@echo "trace-smoke: /tmp/lamellar-trace-smoke.json OK"
+	@grep -q '"ph":"s"' /tmp/lamellar-trace-smoke.json || \
+		{ echo "trace-smoke: timeline has no flow starts" >&2; exit 1; }
+	$(GO) run ./cmd/lamellar-trace -critical-path -cores 8 -workers 2 -ops 128 -timeline /tmp/lamellar-critpath-smoke.json | tee /tmp/critpath-smoke.out > /dev/null
+	@grep -q 'complete flows' /tmp/critpath-smoke.out || \
+		{ echo "trace-smoke: critical-path produced no decomposition" >&2; exit 1; }
+	@echo "trace-smoke: /tmp/lamellar-trace-smoke.json OK (flow-linked, critical path decomposed)"
+
+# Watchdog smoke test: a partitioned link under a 5% fault plan must be
+# detected by the stall sampler (health counters move) and then recover
+# once healed. Grep for the PASS marker so a skip or rename fails loudly,
+# same contract as sched-stress.
+watchdog-smoke:
+	$(GO) test -race -count=1 -run TestWatchdogDetectsPartitionStall -v ./internal/runtime | tee /tmp/watchdog-smoke.out
+	@grep -q -- '--- PASS: TestWatchdogDetectsPartitionStall' /tmp/watchdog-smoke.out || \
+		{ echo "check: TestWatchdogDetectsPartitionStall did not run/pass" >&2; exit 1; }

@@ -15,6 +15,14 @@
 // latency histograms:
 //
 //	lamellar-trace -kernel histo -timeline /tmp/histo.json -metrics
+//
+// With -critical-path the command instead runs an aggregated fetch-add
+// round-trip workload under causal tracing, exports the flow-linked
+// timeline, and decomposes each AM round trip into queue / encode /
+// wire (incl. retransmissions) / exec / return segments reconstructed
+// from the trace's cross-PE flow links:
+//
+//	lamellar-trace -critical-path -cores 8 -timeline /tmp/critpath.json
 package main
 
 import (
@@ -36,8 +44,25 @@ func main() {
 		workers  = flag.Int("workers", 4, "threads per multithreaded PE")
 		timeline = flag.String("timeline", "", "write a Perfetto-loadable Chrome trace-event JSON timeline to this path")
 		metrics  = flag.Bool("metrics", false, "print a Prometheus-style dump of telemetry counters and histograms")
+		critPath = flag.Bool("critical-path", false, "run an aggregated fetch-add workload and decompose round-trip latency from the flow-linked trace")
+		ops      = flag.Int("ops", 256, "awaited fetch-adds per PE in -critical-path mode")
 	)
 	flag.Parse()
+	if *critPath {
+		path := *timeline
+		if path == "" {
+			path = "/tmp/lamellar-critpath.json"
+		}
+		pes := *cores / max(1, *workers)
+		if pes < 2 {
+			pes = 2
+		}
+		if err := bench.RunCriticalPath(pes, *workers, *ops, path, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lamellar-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg := bench.KernelFigConfig{
 		Params: kernels.Params{
 			TablePerPE:   1000,

@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+	"repro/internal/telemetry"
+)
+
+// Critical-path mode: run an aggregated fetch-add workload with causal
+// tracing on, export the flow-linked timeline, then re-read it and
+// decompose every complete AM round trip into the segments an operator
+// actually tunes against:
+//
+//	queue   time the op sat in the aggregation buffer before encoding
+//	encode  serializing the batch into the wire envelope
+//	wire    departure to remote execution start, including any
+//	        retransmissions the reliable layer had to pay
+//	exec    remote handler execution
+//	return  remote completion back to the origin's callback resolve
+//
+// Everything is derived from the exported Perfetto JSON, not from
+// internal counters — so this doubles as an end-to-end proof that the
+// flow links written by the exporter are complete enough to reconstruct
+// causality across PEs.
+
+// cpEvent is the subset of a Chrome trace event the analyzer reads.
+// ts/dur are microseconds (fractional, nanosecond resolution).
+type cpEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Args struct {
+		Dst    int    `json:"dst"`
+		Src    int    `json:"src"`
+		From   int    `json:"from"`
+		Flow   uint64 `json:"flow"`
+		Parent uint64 `json:"parent"`
+		Peer   int    `json:"peer"`
+		Seq    int64  `json:"seq"`
+	} `json:"args"`
+}
+
+// cpFlow accumulates the per-flow spans as the event stream is scanned.
+type cpFlow struct {
+	issuePE int
+	dst     int
+	issueTS float64
+	haveIss bool
+
+	encTS  float64
+	encDur float64
+	haveEnc bool
+
+	execTS  float64
+	execDur float64
+	haveExec bool
+
+	retTS   float64
+	haveRet bool
+
+	retransmits int
+}
+
+// cpSegments is one completed flow's decomposition, all in microseconds.
+type cpSegments struct {
+	flow                            uint64
+	queue, encode, wire, exec, ret  float64
+	total                           float64
+	retransmits                     int
+}
+
+// RunCriticalPath drives the lamellar-trace -critical-path mode: an
+// aggregated fetch-add workload (every PE fetch-adding into its right
+// neighbor's block partition), traced, exported to timeline, and
+// decomposed. opsPerPE is the number of awaited fetch-adds each PE
+// issues.
+func RunCriticalPath(pes, workers, opsPerPE int, timeline string, out io.Writer) error {
+	if pes < 2 {
+		pes = 2
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if opsPerPE < 1 {
+		opsPerPE = 1
+	}
+	tc, owned := telemetry.StartGlobal(pes, 0)
+	if owned {
+		defer telemetry.StopGlobal(tc)
+	}
+	cfg := runtime.Config{
+		PEs:          pes,
+		WorkersPerPE: workers,
+		Lamellae:     runtime.LamellaeSim,
+		Cost:         fabric.DefaultCostModel(),
+		Telemetry:    true,
+	}
+	const blk = 64
+	err := runtime.Run(cfg, func(w *runtime.World) {
+		a := array.NewAtomicArray[uint64](w.Team(), pes*blk, array.Block)
+		defer a.Drop()
+		w.Barrier()
+		// Fetch-add into the right neighbor's partition, each awaited to
+		// completion so every round trip is a full issue→return flow.
+		idx := ((w.MyPE() + 1) % pes) * blk
+		for i := 0; i < opsPerPE; i++ {
+			if _, err := runtime.BlockOn(w, a.FetchAdd(idx+i%blk, 1)); err != nil {
+				panic(err)
+			}
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		return err
+	}
+	nev, nflows, err := writeTimelineValidated(tc, timeline)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "critical path: %d PEs x %d workers, %d awaited fetch-adds/PE\n", pes, workers, opsPerPE)
+	fmt.Fprintf(out, "timeline: %s (%d events, %d flows)\n", timeline, nev, nflows)
+	return AnalyzeCriticalPath(timeline, out)
+}
+
+// AnalyzeCriticalPath reads a flow-linked timeline JSON previously
+// written by the exporter and renders the round-trip decomposition.
+func AnalyzeCriticalPath(timeline string, out io.Writer) error {
+	raw, err := os.ReadFile(timeline)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("bench: %s is not valid trace JSON: %w", timeline, err)
+	}
+
+	flows := make(map[uint64]*cpFlow)
+	// wire.send / wire.retry departures keyed by (sender PE, peer PE).
+	type wireKey struct{ pe, peer int }
+	type wireEv struct {
+		ts  float64
+		seq int64
+	}
+	sends := make(map[wireKey][]wireEv)
+	retries := make(map[wireKey][]wireEv)
+
+	get := func(id uint64) *cpFlow {
+		f := flows[id]
+		if f == nil {
+			f = &cpFlow{}
+			flows[id] = f
+		}
+		return f
+	}
+	for _, r := range doc.TraceEvents {
+		var ev cpEvent
+		if err := json.Unmarshal(r, &ev); err != nil {
+			return fmt.Errorf("bench: unparseable trace event in %s: %w", timeline, err)
+		}
+		switch ev.Name {
+		case "am.issue":
+			if ev.Args.Flow != 0 {
+				f := get(ev.Args.Flow)
+				f.issuePE, f.dst, f.issueTS, f.haveIss = ev.Pid, ev.Args.Dst, ev.TS, true
+			}
+		case "am.encode":
+			if ev.Args.Flow != 0 {
+				f := get(ev.Args.Flow)
+				f.encTS, f.encDur, f.haveEnc = ev.TS, ev.Dur, true
+			}
+		case "am.exec":
+			if ev.Args.Flow != 0 {
+				f := get(ev.Args.Flow)
+				f.execTS, f.execDur, f.haveExec = ev.TS, ev.Dur, true
+			}
+		case "am.return":
+			if ev.Args.Flow != 0 {
+				f := get(ev.Args.Flow)
+				f.retTS, f.haveRet = ev.TS, true
+			}
+		case "wire.send":
+			k := wireKey{ev.Pid, ev.Args.Peer}
+			sends[k] = append(sends[k], wireEv{ev.TS, ev.Args.Seq})
+		case "wire.retry":
+			k := wireKey{ev.Pid, ev.Args.Peer}
+			retries[k] = append(retries[k], wireEv{ev.TS, ev.Args.Seq})
+		}
+	}
+	for k := range sends {
+		s := sends[k]
+		sort.Slice(s, func(a, b int) bool { return s[a].ts < s[b].ts })
+	}
+
+	var segs []cpSegments
+	skipped := 0
+	for id, f := range flows {
+		if !(f.haveIss && f.haveEnc && f.haveExec && f.haveRet) {
+			skipped++ // ring wraparound or a local (non-wire) flow
+			continue
+		}
+		encEnd := f.encTS + f.encDur
+		// Match the frame departure: the first wire.send on the
+		// origin→dst link at or after encode completion (small epsilon
+		// for clock granularity). Retransmits of that seq are then
+		// attributable to this flow's wire segment.
+		if dep := sends[wireKey{f.issuePE, f.dst}]; len(dep) > 0 {
+			i := sort.Search(len(dep), func(i int) bool { return dep[i].ts >= encEnd-0.5 })
+			if i < len(dep) {
+				seq := dep[i].seq
+				for _, r := range retries[wireKey{f.issuePE, f.dst}] {
+					if r.seq == seq {
+						f.retransmits++
+					}
+				}
+			}
+		}
+		s := cpSegments{
+			flow:        id,
+			queue:       f.encTS - f.issueTS,
+			encode:      f.encDur,
+			wire:        f.execTS - encEnd,
+			exec:        f.execDur,
+			ret:         f.retTS - (f.execTS + f.execDur),
+			total:       f.retTS - f.issueTS,
+			retransmits: f.retransmits,
+		}
+		segs = append(segs, s)
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("bench: %s contains no complete flows to decompose (skipped %d partial)", timeline, skipped)
+	}
+
+	fmt.Fprintf(out, "\n# AM round-trip critical path (%d complete flows, %d partial skipped)\n", len(segs), skipped)
+	fmt.Fprintf(out, "%-8s %10s %10s %10s %10s %8s\n", "segment", "mean", "p50", "p90", "max", "share")
+	totalMean := cpStat(segs, func(s cpSegments) float64 { return s.total }).mean
+	for _, seg := range []struct {
+		name string
+		get  func(cpSegments) float64
+	}{
+		{"queue", func(s cpSegments) float64 { return s.queue }},
+		{"encode", func(s cpSegments) float64 { return s.encode }},
+		{"wire", func(s cpSegments) float64 { return s.wire }},
+		{"exec", func(s cpSegments) float64 { return s.exec }},
+		{"return", func(s cpSegments) float64 { return s.ret }},
+		{"total", func(s cpSegments) float64 { return s.total }},
+	} {
+		st := cpStat(segs, seg.get)
+		share := 0.0
+		if totalMean > 0 {
+			share = 100 * st.mean / totalMean
+		}
+		fmt.Fprintf(out, "%-8s %9.1fus %9.1fus %9.1fus %9.1fus %7.1f%%\n",
+			seg.name, st.mean, st.p50, st.p90, st.max, share)
+	}
+
+	nretrans := 0
+	for _, s := range segs {
+		nretrans += s.retransmits
+	}
+	fmt.Fprintf(out, "\nretransmissions attributed to flows: %d\n", nretrans)
+
+	sort.Slice(segs, func(a, b int) bool { return segs[a].total > segs[b].total })
+	n := len(segs)
+	if n > 5 {
+		n = 5
+	}
+	fmt.Fprintf(out, "\nslowest round trips:\n")
+	for _, s := range segs[:n] {
+		fmt.Fprintf(out, "  flow %-6d total %8.1fus = queue %6.1f + encode %5.1f + wire %7.1f + exec %6.1f + return %6.1f  (retrans %d)\n",
+			s.flow, s.total, s.queue, s.encode, s.wire, s.exec, s.ret, s.retransmits)
+	}
+	return nil
+}
+
+type cpStatR struct{ mean, p50, p90, max float64 }
+
+func cpStat(segs []cpSegments, get func(cpSegments) float64) cpStatR {
+	vals := make([]float64, len(segs))
+	sum := 0.0
+	for i, s := range segs {
+		vals[i] = get(s)
+		sum += vals[i]
+	}
+	sort.Float64s(vals)
+	q := func(p float64) float64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		i := int(math.Ceil(p*float64(len(vals)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return vals[i]
+	}
+	return cpStatR{
+		mean: sum / float64(len(vals)),
+		p50:  q(0.50),
+		p90:  q(0.90),
+		max:  vals[len(vals)-1],
+	}
+}

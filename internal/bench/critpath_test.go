@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func rawEvents(lines ...string) []json.RawMessage {
+	out := make([]json.RawMessage, len(lines))
+	for i, l := range lines {
+		out[i] = json.RawMessage(l)
+	}
+	return out
+}
+
+// The timeline validator must accept a complete flow graph and count its
+// flows.
+func TestValidateTraceFlowsAccepts(t *testing.T) {
+	evs := rawEvents(
+		`{"name":"am.issue","ph":"i","pid":0,"ts":1,"args":{"dst":1,"req":5,"flow":3,"parent":0}}`,
+		`{"name":"am.flow","cat":"am","ph":"s","id":3,"pid":0,"ts":1}`,
+		`{"name":"am.encode","ph":"X","pid":0,"ts":2,"dur":1,"args":{"dst":1,"flow":3}}`,
+		`{"name":"am.exec","ph":"X","pid":1,"ts":10,"dur":2,"args":{"src":0,"flow":3}}`,
+		`{"name":"am.flow","cat":"am","ph":"t","id":3,"pid":1,"ts":10}`,
+		`{"name":"am.return","ph":"i","pid":0,"ts":20,"args":{"from":1,"req":5,"flow":3}}`,
+		`{"name":"am.flow","cat":"am","ph":"f","bp":"e","id":3,"pid":0,"ts":20}`,
+		`{"name":"task.run","ph":"X","pid":0,"ts":0,"dur":1}`,
+	)
+	flows, err := validateTraceFlows(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flows != 1 {
+		t.Errorf("flows = %d, want 1", flows)
+	}
+}
+
+// A "t"/"f" step without a matching "s" is a dangling reference and must
+// be rejected — as must a span claiming a flow no issue opened.
+func TestValidateTraceFlowsRejectsDangling(t *testing.T) {
+	_, err := validateTraceFlows(rawEvents(
+		`{"name":"am.flow","cat":"am","ph":"t","id":9,"pid":1,"ts":10}`,
+	))
+	if err == nil || !strings.Contains(err.Error(), "dangling flow reference") {
+		t.Errorf("dangling step not rejected: %v", err)
+	}
+
+	_, err = validateTraceFlows(rawEvents(
+		`{"name":"am.exec","ph":"X","pid":1,"ts":10,"dur":2,"args":{"src":0,"flow":77}}`,
+	))
+	if err == nil || !strings.Contains(err.Error(), "dangling span reference") {
+		t.Errorf("dangling span arg not rejected: %v", err)
+	}
+}
+
+// End to end: the critical-path mode must produce a decomposition whose
+// segments are all present, from a timeline that passes flow validation.
+func TestCriticalPathEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a traced world")
+	}
+	var out bytes.Buffer
+	path := t.TempDir() + "/critpath.json"
+	if err := RunCriticalPath(2, 2, 64, path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, seg := range []string{"queue", "encode", "wire", "exec", "return", "total", "complete flows"} {
+		if !strings.Contains(got, seg) {
+			t.Errorf("critical-path output missing %q:\n%s", seg, got)
+		}
+	}
+}

@@ -237,7 +237,7 @@ func traceOne(fn kernels.KernelFunc, name string, cores int, cfg KernelFigConfig
 	fmt.Fprintf(out, "kernel=%s impl=%s cores=%d (PEs=%d x %d workers)\n", "trace", name, cores, pes, workers)
 	tr.Render(out)
 	if opts.Timeline != "" {
-		n, err := writeTimelineValidated(tc, opts.Timeline)
+		n, flows, err := writeTimelineValidated(tc, opts.Timeline)
 		if err != nil {
 			return err
 		}
@@ -245,7 +245,7 @@ func traceOne(fn kernels.KernelFunc, name string, cores int, cfg KernelFigConfig
 		for pe := 0; pe < tc.NumPEs(); pe++ {
 			dropped += tc.Dropped(pe)
 		}
-		fmt.Fprintf(out, "\ntimeline: %s (%d events, %d dropped)\n", opts.Timeline, n, dropped)
+		fmt.Fprintf(out, "\ntimeline: %s (%d events, %d flows, %d dropped)\n", opts.Timeline, n, flows, dropped)
 	}
 	if opts.Metrics {
 		fmt.Fprintf(out, "\n# telemetry metrics\n")
@@ -258,28 +258,85 @@ func traceOne(fn kernels.KernelFunc, name string, cores int, cfg KernelFigConfig
 
 // writeTimelineValidated exports the collector's Chrome trace timeline to
 // path, then re-reads and JSON-parses the file, returning the trace-event
-// count. A timeline Perfetto cannot load is an error, not a warning.
-func writeTimelineValidated(c *telemetry.Collector, path string) (int, error) {
+// and causal-flow counts. A timeline Perfetto cannot load is an error,
+// not a warning — and so is a flow graph with dangling references (a
+// "t"/"f" step whose flow was never opened by an "s", or an exec/return
+// span claiming a flow id no issue span carries).
+func writeTimelineValidated(c *telemetry.Collector, path string) (int, int, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if err := c.WriteChromeTrace(f); err != nil {
 		f.Close()
-		return 0, err
+		return 0, 0, err
 	}
 	if err := f.Close(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	var doc struct {
 		TraceEvents []json.RawMessage `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		return 0, fmt.Errorf("bench: timeline %s is not valid trace JSON: %w", path, err)
+		return 0, 0, fmt.Errorf("bench: timeline %s is not valid trace JSON: %w", path, err)
 	}
-	return len(doc.TraceEvents), nil
+	flows, err := validateTraceFlows(doc.TraceEvents)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench: timeline %s: %w", path, err)
+	}
+	return len(doc.TraceEvents), flows, nil
+}
+
+// flowEvent is the subset of a trace event the flow validator reads.
+type flowEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	ID   *uint64 `json:"id"`
+	Args struct {
+		Flow uint64 `json:"flow"`
+	} `json:"args"`
+}
+
+// validateTraceFlows checks the causal-flow graph of an exported
+// timeline: every flow step ("t") and finish ("f") must reference a flow
+// opened by a start ("s"), and every span annotated with a flow id
+// (am.encode/am.exec/am.return) must belong to a flow some am.issue
+// opened. Returns the number of distinct flows. The exporter's
+// wraparound suppression is supposed to guarantee this; the validator is
+// the check that it actually did.
+func validateTraceFlows(events []json.RawMessage) (int, error) {
+	opened := make(map[uint64]bool)
+	var parsed []flowEvent
+	for _, raw := range events {
+		var ev flowEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return 0, fmt.Errorf("unparseable trace event: %w", err)
+		}
+		if ev.Ph == "s" {
+			if ev.ID == nil {
+				return 0, fmt.Errorf("flow start %q has no id", ev.Name)
+			}
+			opened[*ev.ID] = true
+		}
+		parsed = append(parsed, ev)
+	}
+	for _, ev := range parsed {
+		switch ev.Ph {
+		case "t", "f":
+			if ev.ID == nil {
+				return 0, fmt.Errorf("flow event %q (ph=%s) has no id", ev.Name, ev.Ph)
+			}
+			if !opened[*ev.ID] {
+				return 0, fmt.Errorf("dangling flow reference: %q (ph=%s) id=%d has no matching start", ev.Name, ev.Ph, *ev.ID)
+			}
+		}
+		if ev.Args.Flow != 0 && !opened[ev.Args.Flow] {
+			return 0, fmt.Errorf("dangling span reference: %q carries flow=%d but no am.issue opened it", ev.Name, ev.Args.Flow)
+		}
+	}
+	return len(opened), nil
 }

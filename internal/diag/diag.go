@@ -1,0 +1,117 @@
+// Package diag is the runtime's leveled diagnostic logger. It replaces
+// the scattered raw fmt.Printf sites (unknown envelope kinds, corrupt
+// batches, handler panics) with one env-gated, structured channel that
+// the stall watchdog also reports through.
+//
+// Level comes from LAMELLAR_LOG (none|error|warn|info|debug, default
+// warn). The level check is a single atomic load, so disabled call
+// sites cost nothing beyond evaluating their arguments — hot paths
+// should guard with Enabled() when argument construction is non-trivial.
+package diag
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Level is a diagnostic severity threshold.
+type Level int32
+
+const (
+	// LevelNone suppresses all diagnostics.
+	LevelNone Level = iota
+	// LevelError reports unrecoverable or data-losing conditions
+	// (corrupt frames, abandoned deliveries).
+	LevelError
+	// LevelWarn reports suspicious-but-survivable conditions (unknown
+	// envelope kinds, watchdog stall flags). The default.
+	LevelWarn
+	// LevelInfo reports notable lifecycle events.
+	LevelInfo
+	// LevelDebug reports per-operation detail.
+	LevelDebug
+)
+
+var levelNames = [...]string{"NONE", "ERROR", "WARN", "INFO", "DEBUG"}
+
+func (l Level) String() string {
+	if l >= 0 && int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return "UNKNOWN"
+}
+
+// ParseLevel maps a LAMELLAR_LOG value to a Level. Unrecognized or
+// empty values fall back to def.
+func ParseLevel(s string, def Level) Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "off", "silent":
+		return LevelNone
+	case "error", "err":
+		return LevelError
+	case "warn", "warning":
+		return LevelWarn
+	case "info":
+		return LevelInfo
+	case "debug", "all":
+		return LevelDebug
+	default:
+		return def
+	}
+}
+
+var (
+	level atomic.Int32
+	outMu sync.Mutex
+	out   atomic.Pointer[io.Writer]
+)
+
+func init() {
+	level.Store(int32(ParseLevel(os.Getenv("LAMELLAR_LOG"), LevelWarn)))
+	var w io.Writer = os.Stderr
+	out.Store(&w)
+}
+
+// SetLevel overrides the current level (normally set from LAMELLAR_LOG).
+func SetLevel(l Level) { level.Store(int32(l)) }
+
+// CurrentLevel reports the active threshold.
+func CurrentLevel() Level { return Level(level.Load()) }
+
+// Enabled reports whether messages at l would be emitted.
+func Enabled(l Level) bool { return l <= Level(level.Load()) && l != LevelNone }
+
+// SetOutput redirects diagnostics (tests; default os.Stderr).
+func SetOutput(w io.Writer) {
+	if w == nil {
+		w = os.Stderr
+	}
+	out.Store(&w)
+}
+
+// logf emits one line: "lamellar/<component> <LEVEL>: <message>".
+func logf(l Level, component, format string, args ...any) {
+	if !Enabled(l) {
+		return
+	}
+	w := *out.Load()
+	outMu.Lock()
+	fmt.Fprintf(w, "lamellar/%s %s: %s\n", component, l, fmt.Sprintf(format, args...))
+	outMu.Unlock()
+}
+
+// Errorf reports an error-level diagnostic for component.
+func Errorf(component, format string, args ...any) { logf(LevelError, component, format, args...) }
+
+// Warnf reports a warn-level diagnostic for component.
+func Warnf(component, format string, args ...any) { logf(LevelWarn, component, format, args...) }
+
+// Infof reports an info-level diagnostic for component.
+func Infof(component, format string, args ...any) { logf(LevelInfo, component, format, args...) }
+
+// Debugf reports a debug-level diagnostic for component.
+func Debugf(component, format string, args ...any) { logf(LevelDebug, component, format, args...) }

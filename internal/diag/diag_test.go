@@ -1,0 +1,92 @@
+package diag
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLevelGating(t *testing.T) {
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	defer SetOutput(nil)
+	old := CurrentLevel()
+	defer SetLevel(old)
+
+	SetLevel(LevelWarn)
+	Errorf("t", "e1")
+	Warnf("t", "w1")
+	Infof("t", "i1")
+	Debugf("t", "d1")
+	out := buf.String()
+	if !strings.Contains(out, "ERROR: e1") || !strings.Contains(out, "WARN: w1") {
+		t.Fatalf("error/warn suppressed at LevelWarn: %q", out)
+	}
+	if strings.Contains(out, "i1") || strings.Contains(out, "d1") {
+		t.Fatalf("info/debug leaked at LevelWarn: %q", out)
+	}
+
+	buf.Reset()
+	SetLevel(LevelNone)
+	Errorf("t", "e2")
+	if buf.Len() != 0 {
+		t.Fatalf("LevelNone still wrote: %q", buf.String())
+	}
+
+	buf.Reset()
+	SetLevel(LevelDebug)
+	Debugf("comp", "d2 %d", 7)
+	if got := buf.String(); !strings.Contains(got, "lamellar/comp DEBUG: d2 7") {
+		t.Fatalf("debug line malformed: %q", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"none": LevelNone, "off": LevelNone, "silent": LevelNone,
+		"error": LevelError, "err": LevelError,
+		"warn": LevelWarn, "warning": LevelWarn,
+		"info": LevelInfo, "debug": LevelDebug, "all": LevelDebug,
+		"ERROR": LevelError, " Info ": LevelInfo,
+	}
+	for s, want := range cases {
+		if got := ParseLevel(s, LevelWarn); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if got := ParseLevel("bogus", LevelInfo); got != LevelInfo {
+		t.Errorf("unknown level did not fall back to default: %v", got)
+	}
+}
+
+// Concurrent writers must interleave whole lines, never bytes.
+func TestConcurrentWrites(t *testing.T) {
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	defer SetOutput(nil)
+	old := CurrentLevel()
+	SetLevel(LevelInfo)
+	defer SetLevel(old)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Infof("race", "goroutine %d line %d", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "lamellar/race INFO: goroutine ") {
+			t.Fatalf("torn line: %q", l)
+		}
+	}
+}

@@ -4,15 +4,16 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/scheduler"
 	"repro/internal/serde"
 	"repro/internal/slab"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/recorder"
 )
 
 // encPool recycles envelope body encoders on the launch/return/ack hot
@@ -68,6 +69,10 @@ type Context struct {
 	World *World
 	// Src is the PE that launched this AM.
 	Src int
+	// span is the causal trace context of the executing AM (zero when no
+	// telemetry session stamped the launch). Sub-AMs launched through the
+	// Context methods below inherit it as their parent.
+	span telemetry.SpanContext
 }
 
 // CurrentPE reports the PE executing the handler (Lamellar::current_pe).
@@ -75,6 +80,25 @@ func (c *Context) CurrentPE() int { return c.World.MyPE() }
 
 // NumPEs reports the world size.
 func (c *Context) NumPEs() int { return c.World.NumPEs() }
+
+// ExecAM launches a sub-AM from inside a handler, causally linked to the
+// executing AM's span (prefer this over c.World.ExecAM in handlers so
+// cross-PE traces keep their parent links).
+func (c *Context) ExecAM(pe int, am ActiveMessage) {
+	c.World.launchFrom(pe, am, c.span)
+}
+
+// ExecAMCallback launches a causally-linked sub-AM with a return
+// callback; see World.ExecAMCallback.
+func (c *Context) ExecAMCallback(pe int, am ActiveMessage, cb func(any, error)) {
+	c.World.execAMCallbackFrom(pe, am, cb, c.span)
+}
+
+// ExecAMReturn launches a causally-linked sub-AM returning a future; see
+// World.ExecAMReturn.
+func (c *Context) ExecAMReturn(pe int, am ActiveMessage) *scheduler.Future[any] {
+	return c.World.execAMReturnFrom(pe, am, c.span)
+}
 
 // RegisterAM registers an AM type with a hand-written codec. *T must
 // implement ActiveMessage, serde.Marshaler and serde.Unmarshaler.
@@ -113,14 +137,42 @@ const (
 	envExec   = 0 // uvarint reqID (0 = fire-and-forget), EncodeAny(am)
 	envReturn = 1 // uvarint reqID, bool isErr, (string | EncodeAny(val))
 	envAck    = 2 // uvarint count of completed AMs
+
+	// envFlagTrace marks an envelope carrying a causal trace context:
+	// two uvarints (traceID, spanID) immediately follow the kind byte,
+	// before the kind's normal payload. Only set while a telemetry
+	// session is live, so the untraced wire format is byte-identical to
+	// PR 2-6. Because the context rides inside the envelope body, it
+	// survives reliable-wire retransmission and dedup for free — the
+	// retained frame bytes are what get retransmitted.
+	envFlagTrace = 0x80
 )
+
+// newSpan mints a child span of parent, or the zero SpanContext when no
+// telemetry session is live (the untraced fast path: no ID allocation,
+// no extra envelope bytes).
+func newSpan(parent telemetry.SpanContext) telemetry.SpanContext {
+	if !telemetry.Enabled() {
+		return telemetry.SpanContext{}
+	}
+	sp := telemetry.SpanContext{Trace: parent.Trace, Span: telemetry.NewSpanID()}
+	if sp.Trace == 0 {
+		sp.Trace = sp.Span // root span: the trace is named after it
+	}
+	return sp
+}
 
 // ----- launch API -------------------------------------------------------
 
 // ExecAM launches am on pe without expecting a return value; completion is
 // observable through WaitAll (world.exec_am_pe).
 func (w *World) ExecAM(pe int, am ActiveMessage) {
-	w.launch(pe, am, 0)
+	w.launchFrom(pe, am, telemetry.SpanContext{})
+}
+
+// launchFrom launches a fire-and-forget AM as a child of parent.
+func (w *World) launchFrom(pe int, am ActiveMessage, parent telemetry.SpanContext) {
+	w.launchSpan(pe, am, 0, newSpan(parent), parent)
 }
 
 // ExecAMCallback launches am on pe and invokes cb exactly once with the
@@ -131,39 +183,45 @@ func (w *World) ExecAM(pe int, am ActiveMessage) {
 // freed by earlier deletes. The callback runs on whichever goroutine
 // processes the return envelope; it must not block.
 func (w *World) ExecAMCallback(pe int, am ActiveMessage, cb func(any, error)) {
+	w.execAMCallbackFrom(pe, am, cb, telemetry.SpanContext{})
+}
+
+func (w *World) execAMCallbackFrom(pe int, am ActiveMessage, cb func(any, error), parent telemetry.SpanContext) {
 	req := w.nextReq.Add(1)
-	// Telemetry: stamp the issue so resolution yields the AM round-trip
-	// latency (issue → origin-side callback).
-	var issueNs int64
-	if telemetry.Enabled() {
-		if tc := telemetry.C(); tc != nil {
-			issueNs = tc.Now()
-		}
-	}
+	sp := newSpan(parent)
+	// The issue is stamped unconditionally: resolution feeds the always-on
+	// flight recorder's round-trip digest (tuner + watchdog input), not
+	// just a live telemetry session. One monotonic clock read per
+	// return-style AM; fire-and-forget AMs pay nothing.
+	issueNs := telemetry.MonoNow()
 	w.retMu.Lock()
-	w.returns[req] = retEntry{cb: cb, issueNs: issueNs}
+	w.returns[req] = retEntry{cb: cb, issueNs: issueNs, span: sp, dst: int32(pe)}
 	w.retMu.Unlock()
-	w.launch(pe, am, req)
+	w.launchSpan(pe, am, req, sp, parent)
 }
 
 // ExecAMReturn launches am on pe and returns a future resolving with the
 // handler's return value.
 func (w *World) ExecAMReturn(pe int, am ActiveMessage) *scheduler.Future[any] {
+	return w.execAMReturnFrom(pe, am, telemetry.SpanContext{})
+}
+
+func (w *World) execAMReturnFrom(pe int, am ActiveMessage, parent telemetry.SpanContext) *scheduler.Future[any] {
 	p, f := scheduler.NewPromise[any](w.pool)
-	w.ExecAMCallback(pe, am, func(v any, err error) {
+	w.execAMCallbackFrom(pe, am, func(v any, err error) {
 		if err != nil {
 			p.CompleteErr(err)
 		} else {
 			p.Complete(v)
 		}
-	})
+	}, parent)
 	return f
 }
 
 // ExecAMAll launches am on every PE in the world (world.exec_am_all).
 func (w *World) ExecAMAll(am ActiveMessage) {
 	for pe := 0; pe < w.NumPEs(); pe++ {
-		w.launch(pe, am, 0)
+		w.launchFrom(pe, am, telemetry.SpanContext{})
 	}
 }
 
@@ -188,8 +246,9 @@ func ExecTyped[R any](w *World, pe int, am ActiveMessage) *scheduler.Future[R] {
 	})
 }
 
-// launch routes an AM to pe. req 0 means no return expected.
-func (w *World) launch(pe int, am ActiveMessage, req uint64) {
+// launchSpan routes an AM to pe as span sp (child of parent). req 0
+// means no return expected.
+func (w *World) launchSpan(pe int, am ActiveMessage, req uint64, sp, parent telemetry.SpanContext) {
 	w.issued.Add(1)
 	if telemetry.Enabled() {
 		if c := telemetry.C(); c != nil {
@@ -197,6 +256,7 @@ func (w *World) launch(pe int, am ActiveMessage, req uint64) {
 				TS: c.Now(), Kind: telemetry.EvAMIssue,
 				PE: int32(w.pe), Worker: telemetry.TidRuntime,
 				Arg1: int64(pe), Arg2: int64(req),
+				Flow: sp.Span, Parent: parent.Span,
 			})
 		}
 	}
@@ -204,7 +264,7 @@ func (w *World) launch(pe int, am ActiveMessage, req uint64) {
 		// Local fast path: no serialization, mirroring the SMP Lamellae and
 		// the local arm of exec_am_* on distributed lamellae.
 		w.pool.Submit(func() {
-			v, err := w.runHandler(am, w.pe)
+			v, err := w.runHandlerSpan(am, w.pe, sp)
 			w.completed.Add(1)
 			if req != 0 {
 				w.resolveReturn(w.pe, req, v, err)
@@ -212,14 +272,14 @@ func (w *World) launch(pe int, am ActiveMessage, req uint64) {
 		})
 		return
 	}
-	w.enqueueAM(pe, req, am)
+	w.enqueueAM(pe, req, am, sp)
 }
 
 // enqueueAM encodes an exec envelope directly into pe's aggregation
 // queue, skipping the intermediate body encoder and its extra copy —
 // significant for multi-megabyte aggregated array payloads. The length
 // prefix is fixed-width so it can be patched once the body size is known.
-func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
+func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage, sp telemetry.SpanContext) {
 	w.envSent.Add(1)
 	q := w.queues[pe]
 	cfg := w.env.cfg
@@ -233,13 +293,25 @@ func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
 	}
 	q.mu.Lock()
 	if q.count == 0 {
-		q.openNs = t0
+		// The batch-open stamp is taken even without a session: the flush
+		// records batch age into the always-on recorder either way.
+		if t0 != 0 {
+			q.openNs = t0
+		} else {
+			q.openNs = telemetry.MonoNow()
+		}
 	}
 	mark := q.enc.Len()
 	q.enc.PutU32(0) // body length, patched below
 	q.enc.Align(8)
 	bodyStart := q.enc.Len()
-	q.enc.PutU8(envExec)
+	if sp.Valid() {
+		q.enc.PutU8(envExec | envFlagTrace)
+		q.enc.PutUvarint(sp.Trace)
+		q.enc.PutUvarint(sp.Span)
+	} else {
+		q.enc.PutU8(envExec)
+	}
 	q.enc.PutUvarint(req)
 	q.enc.Ctx = w
 	if err := serde.EncodeAny(q.enc, am); err != nil {
@@ -265,6 +337,7 @@ func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
 		tc.Emit(telemetry.Event{
 			TS: t0, Dur: tc.Now() - t0, Kind: telemetry.EvAMEncode,
 			PE: int32(w.pe), Worker: telemetry.TidRuntime, Arg1: int64(pe),
+			Flow: sp.Span,
 		})
 	}
 	if full {
@@ -284,20 +357,36 @@ func (w *World) enqueueAM(pe int, req uint64, am ActiveMessage) {
 func (w *World) sendBatch(dst int, batch []byte) {
 	w.batchBytes.Add(uint64(len(batch)))
 	if err := w.env.lam.send(w.pe, dst, batch); err != nil {
-		fmt.Fprintf(os.Stderr, "lamellar: PE%d: send to PE%d failed: %v\n", w.pe, dst, err)
+		diag.Errorf("am", "PE%d: send to PE%d failed: %v", w.pe, dst, err)
 	}
 }
 
 // runHandler executes an AM with panic containment, converting panics to
 // errors so origin-side futures and wait_all cannot hang.
-func (w *World) runHandler(am ActiveMessage, src int) (v any, err error) {
+func (w *World) runHandler(am ActiveMessage, src int) (any, error) {
+	return w.runHandlerCtx(am, w.ctx(src))
+}
+
+// runHandlerSpan is runHandler for a span-carrying execution: sub-AMs
+// launched through the handler's Context inherit sp as their parent. The
+// span-free path (no session at launch) reuses the world's prebuilt
+// contexts and allocates nothing.
+func (w *World) runHandlerSpan(am ActiveMessage, src int, sp telemetry.SpanContext) (any, error) {
+	if !sp.Valid() {
+		return w.runHandlerCtx(am, w.ctx(src))
+	}
+	ctx := Context{World: w, Src: src, span: sp}
+	return w.runHandlerCtx(am, &ctx)
+}
+
+func (w *World) runHandlerCtx(am ActiveMessage, ctx *Context) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("lamellar: AM %T panicked on PE%d: %v", am, w.pe, r)
-			fmt.Println(err)
+			diag.Errorf("am", "%v", err)
 		}
 	}()
-	v = am.Exec(w.ctx(src))
+	v = am.Exec(ctx)
 	return v, nil
 }
 
@@ -308,27 +397,34 @@ func (w *World) resolveReturn(src int, req uint64, v any, err error) {
 	e, ok := w.returns[req]
 	delete(w.returns, req)
 	w.retMu.Unlock()
-	if telemetry.Enabled() {
-		if c := telemetry.C(); c != nil {
-			c.Emit(telemetry.Event{
-				TS: c.Now(), Kind: telemetry.EvAMReturn,
-				PE: int32(w.pe), Worker: telemetry.TidRuntime,
-				Arg1: int64(src), Arg2: int64(req),
-			})
-			if ok && e.issueNs > 0 {
-				c.Hist(w.pe, telemetry.HistAMRoundTrip).Record(c.Now() - e.issueNs)
+	if !ok {
+		diag.Warnf("am", "PE%d: return for unknown request %d from PE%d", w.pe, req, src)
+		return
+	}
+	if e.issueNs > 0 {
+		now := telemetry.MonoNow()
+		rt := now - e.issueNs
+		// Round-trip latency always feeds the flight recorder; a live
+		// session additionally gets the event + session histogram.
+		w.env.rec.PE(w.pe).Record(recorder.HistRoundTrip, rt)
+		if telemetry.Enabled() {
+			if c := telemetry.C(); c != nil {
+				c.Emit(telemetry.Event{
+					TS: now, Kind: telemetry.EvAMReturn,
+					PE: int32(w.pe), Worker: telemetry.TidRuntime,
+					Arg1: int64(src), Arg2: int64(req),
+					Flow: e.span.Span,
+				})
+				c.Hist(w.pe, telemetry.HistAMRoundTrip).Record(rt)
 			}
 		}
 	}
-	if !ok {
-		fmt.Printf("lamellar: PE%d: return for unknown request %d\n", w.pe, req)
-		return
-	}
 	cb := e.cb
 	if err == nil {
-		if ram, ok := v.(ActiveMessage); ok {
+		if ram, isAM := v.(ActiveMessage); isAM {
+			sp := e.span
 			w.pool.Submit(func() {
-				rv, rerr := w.runHandler(ram, src)
+				rv, rerr := w.runHandlerSpan(ram, src, sp)
 				cb(rv, rerr)
 			})
 			return
@@ -355,7 +451,11 @@ func (w *World) enqueue(dst int, body []byte) {
 	}
 	q.mu.Lock()
 	if q.count == 0 {
-		q.openNs = t0
+		if t0 != 0 {
+			q.openNs = t0
+		} else {
+			q.openNs = telemetry.MonoNow()
+		}
 	}
 	// Envelope bodies start 8-aligned in the batch so numeric payloads
 	// inside them can be aliased (not copied) on the receiving side; the
@@ -389,19 +489,21 @@ func (w *World) enqueue(dst int, body []byte) {
 }
 
 // noteBatchFlush records one wire batch leaving this PE: always counted
-// for Stats, and — when a telemetry session is active — emitted as an
-// agg.flush span covering the queue's open→flush age, which also feeds
-// the flush-interval histogram.
+// for Stats and recorded into the flight recorder's batch-age digest
+// (tuner input in every mode), and — when a telemetry session is active
+// — emitted as an agg.flush span covering the queue's open→flush age,
+// which also feeds the session's flush-interval histogram.
 func (w *World) noteBatchFlush(dst int, reason telemetry.FlushReason, envs int, openNs int64, tc *telemetry.Collector) {
 	w.batchesSent.Add(1)
 	w.batchReasons[reason].Add(1)
-	if tc == nil {
-		return
-	}
-	now := tc.Now()
+	now := telemetry.MonoNow() // same clock as tc.Now()
 	var dur int64
 	if openNs > 0 && now > openNs {
 		dur = now - openNs
+	}
+	w.env.rec.PE(w.pe).Record(recorder.HistBatchAge, dur)
+	if tc == nil {
+		return
 	}
 	tc.Hist(w.pe, telemetry.HistFlushInterval).Record(dur)
 	tc.Emit(telemetry.Event{
@@ -421,6 +523,9 @@ func (w *World) flush(dst int, reason telemetry.FlushReason) {
 		body.PutUvarint(acks)
 		q := w.queues[dst]
 		q.mu.Lock()
+		if q.count == 0 {
+			q.openNs = telemetry.MonoNow()
+		}
 		q.enc.PutU32(uint32(body.Len()))
 		q.enc.Align(8)
 		q.enc.PutRawBytes(body.Bytes())
@@ -535,6 +640,8 @@ type execTask struct {
 	req  uint64
 	body []byte
 	rx   *rxState
+	span telemetry.SpanContext
+	ctx  Context // reused span-carrying handler context (zero alloc)
 	dec  serde.Decoder
 	run  func() // cached method value; the scheduler task
 }
@@ -593,7 +700,7 @@ func (rx *rxState) walk() {
 		dec.Align(8)
 		body := dec.RawBytes(int(n))
 		if dec.Err() != nil {
-			fmt.Printf("lamellar: PE%d: corrupt batch from PE%d: %v\n", w.pe, src, dec.Err())
+			diag.Errorf("am", "PE%d: corrupt batch from PE%d: %v", w.pe, src, dec.Err())
 			break
 		}
 		if t := w.handleEnvelope(rx, src, body); t != nil {
@@ -616,12 +723,19 @@ func (rx *rxState) walk() {
 func (w *World) handleEnvelope(rx *rxState, src int, body []byte) scheduler.Task {
 	dec := &rx.envDec
 	dec.Reset(body)
-	switch kind := dec.U8(); kind {
+	kind := dec.U8()
+	var sp telemetry.SpanContext
+	if kind&envFlagTrace != 0 {
+		sp.Trace = dec.Uvarint()
+		sp.Span = dec.Uvarint()
+		kind &^= envFlagTrace
+	}
+	switch kind {
 	case envExec:
 		req := dec.Uvarint()
 		rest := dec.RawBytes(dec.Remaining())
 		t := execTaskPool.Get().(*execTask)
-		t.w, t.src, t.req, t.body, t.rx = w, src, req, rest, rx
+		t.w, t.src, t.req, t.body, t.rx, t.span = w, src, req, rest, rx, sp
 		rx.retain()
 		return t.run
 	case envReturn:
@@ -642,7 +756,7 @@ func (w *World) handleEnvelope(rx *rxState, src int, body []byte) scheduler.Task
 		w.completed.Add(n)
 		w.envProcessed.Add(1)
 	default:
-		fmt.Printf("lamellar: PE%d: unknown envelope kind %d from PE%d\n", w.pe, kind, src)
+		diag.Warnf("am", "PE%d: unknown envelope kind %d from PE%d", w.pe, kind, src)
 		w.envProcessed.Add(1)
 	}
 	return nil
@@ -674,11 +788,22 @@ func (t *execTask) exec() {
 			t0 = tc.Now()
 		}
 	}
-	rv, rerr := w.runHandler(am, src)
+	var rv any
+	var rerr error
+	if t.span.Valid() {
+		// Reuse the task's embedded Context so span-carrying executions
+		// stay allocation-free; sub-AMs launched through it inherit the
+		// wire-delivered span as parent.
+		t.ctx = Context{World: w, Src: src, span: t.span}
+		rv, rerr = w.runHandlerCtx(am, &t.ctx)
+	} else {
+		rv, rerr = w.runHandler(am, src)
+	}
 	if tc != nil {
 		tc.Emit(telemetry.Event{
 			TS: t0, Dur: tc.Now() - t0, Kind: telemetry.EvAMExec,
 			PE: int32(w.pe), Worker: telemetry.TidRuntime, Arg1: int64(src),
+			Flow: t.span.Span,
 		})
 	}
 	w.finishRemote(src, t.req, rv, rerr)
@@ -692,6 +817,8 @@ func (t *execTask) exec() {
 func (t *execTask) recycle() {
 	rx := t.rx
 	t.w, t.rx, t.body = nil, nil, nil
+	t.span = telemetry.SpanContext{}
+	t.ctx = Context{}
 	execTaskPool.Put(t)
 	rx.release()
 }

@@ -118,6 +118,15 @@ type Config struct {
 	// and wire retry rates). Empty reads LAMELLAR_TUNE from the
 	// environment.
 	TuneMode string
+	// WatchdogInterval is the stall-watchdog sampling period. 0 selects
+	// the default (250ms, or LAMELLAR_WATCHDOG_MS when set); negative
+	// disables the watchdog entirely.
+	WatchdogInterval time.Duration
+	// WatchdogStallFactor scales the stall threshold: an outstanding
+	// return-style AM is flagged once its age exceeds this multiple of
+	// the recorded round-trip p99 (floored at 8× the sampling interval so
+	// cold digests cannot trigger false positives). Default 8.
+	WatchdogStallFactor int
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +189,19 @@ func (c Config) withDefaults() Config {
 		// LAMELLAR_TUNE applies process-wide (like the fault knobs) so the
 		// benchmark matrix can A/B the controller without editing Configs.
 		c.TuneMode = os.Getenv("LAMELLAR_TUNE")
+	}
+	if c.WatchdogInterval == 0 {
+		c.WatchdogInterval = 250 * time.Millisecond
+		if ms, ok := envInt("LAMELLAR_WATCHDOG_MS"); ok {
+			if ms < 0 {
+				c.WatchdogInterval = -1 // disabled
+			} else if ms > 0 {
+				c.WatchdogInterval = time.Duration(ms) * time.Millisecond
+			}
+		}
+	}
+	if c.WatchdogStallFactor <= 0 {
+		c.WatchdogStallFactor = 8
 	}
 	if c.Faults == nil {
 		// LAMELLAR_FAULT_* knobs apply process-wide so the existing test

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package runtime
+
+// diagSignalInit is a no-op on platforms without SIGUSR1/SIGUSR2;
+// diagnostic dumps remain available through World.WriteDiagnostics and
+// DumpAllDiagnostics.
+func diagSignalInit() {}

@@ -1,0 +1,44 @@
+//go:build unix
+
+package runtime
+
+import (
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/diag"
+)
+
+// diagSignalOnce installs the LAMELLAR_DIAG dump signal handler the
+// first time a world is built. Values: "1" or "usr1" → SIGUSR1, "usr2"
+// → SIGUSR2, anything else (or unset) → no handler. The handler
+// goroutine lives for the process (signal dumps must work while a
+// world is wedged, which is precisely when it cannot be torn down).
+var diagSignalOnce sync.Once
+
+func diagSignalInit() {
+	diagSignalOnce.Do(func() {
+		var sig os.Signal
+		switch strings.ToLower(os.Getenv("LAMELLAR_DIAG")) {
+		case "1", "usr1", "sigusr1":
+			sig = syscall.SIGUSR1
+		case "usr2", "sigusr2":
+			sig = syscall.SIGUSR2
+		default:
+			return
+		}
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, sig)
+		diag.Infof("diag", "diagnostic dumps armed on %v (LAMELLAR_DIAG)", sig)
+		go func() {
+			for range ch {
+				out, done := diagDumpTarget()
+				DumpAllDiagnostics(out)
+				done()
+			}
+		}()
+	})
+}

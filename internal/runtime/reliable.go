@@ -3,11 +3,11 @@ package runtime
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/fabric"
 	"repro/internal/slab"
 	"repro/internal/telemetry"
@@ -219,9 +219,36 @@ func (r *relLamellae) send(src, dst int, msg []byte) error {
 	binary.LittleEndian.PutUint64(buf[8:], fr.seq)
 	p.unacked = append(p.unacked, frameRef{fr: fr, gen: fr.gen})
 	r.counters[src].frames.Add(1)
+	r.emitWire(telemetry.EvWireSend, src, int64(dst), int64(fr.seq), 0)
 	r.transmit(src, dst, fr.buf, fr.seq)
 	p.mu.Unlock()
 	return nil
+}
+
+// unackedFrames reports how many data frames src currently retains
+// awaiting acknowledgment across all destinations, and the age of the
+// oldest such frame — the wire backlog the watchdog samples into the
+// flight recorder. On a healthy loaded link the count hovers above zero
+// but the oldest age stays at ack-latency scale; only a stuck link lets
+// a frame's age grow.
+func (r *relLamellae) unackedFrames(src int) (total int, oldest time.Duration) {
+	now := time.Now()
+	for dst := 0; dst < r.npes; dst++ {
+		if dst == src {
+			continue
+		}
+		p := r.pairs[src][dst]
+		p.mu.Lock()
+		r.pruneLocked(p)
+		total += len(p.unacked)
+		if len(p.unacked) > 0 {
+			if age := now.Sub(p.unacked[0].frame().first); age > oldest {
+				oldest = age
+			}
+		}
+		p.mu.Unlock()
+	}
+	return total, oldest
 }
 
 // floorNow reports the current initial retransmission timeout.
@@ -312,7 +339,7 @@ func (r *relLamellae) innerSend(src, dst int, buf []byte) {
 		return
 	}
 	if err := r.inner.send(src, dst, buf); err != nil {
-		fmt.Fprintf(os.Stderr, "lamellar: PE%d→PE%d transport error (will retry): %v\n", src, dst, err)
+		diag.Warnf("wire", "PE%d→PE%d transport error (will retry): %v", src, dst, err)
 	}
 }
 
@@ -329,7 +356,7 @@ func (r *relLamellae) innerSend(src, dst int, buf []byte) {
 // delivered body.
 func (r *relLamellae) onDeliver(dst, src int, ref slab.Ref, msg []byte) {
 	if len(msg) < wireHeaderBytes || (msg[0] != wireData && msg[0] != wireAck) {
-		fmt.Fprintf(os.Stderr, "lamellar: PE%d: corrupt wire frame from PE%d (%d bytes)\n", dst, src, len(msg))
+		diag.Errorf("wire", "PE%d: corrupt wire frame from PE%d (%d bytes)", dst, src, len(msg))
 		ref.Release()
 		return
 	}
@@ -484,7 +511,7 @@ func (r *relLamellae) sweepPair(src, dst int, now time.Time) {
 			Attempts: fr.attempts + 1,
 			Elapsed:  now.Sub(fr.first),
 		}
-		fmt.Fprintln(os.Stderr, "lamellar: "+err.Error())
+		diag.Errorf("wire", "%s", err.Error())
 		if r.giveUp != nil {
 			r.giveUp(src, dst, fr.buf[wireHeaderBytes:], err)
 		}

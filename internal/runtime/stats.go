@@ -175,6 +175,23 @@ func (r StatsReport) String() string {
 //	                     open it in Perfetto (ui.perfetto.dev)
 //	LAMELLAR_TRACE_RING  per-PE telemetry event-ring capacity
 //
+// Observability knobs (see the README's "observability in production"
+// section):
+//
+//	LAMELLAR_LOG           diag-logger level: none|error|warn|info|debug
+//	                       (default warn; read at process start by
+//	                       internal/diag)
+//	LAMELLAR_WATCHDOG_MS   stall-watchdog sampling period in ms (default
+//	                       250; negative disables the watchdog). Read in
+//	                       withDefaults, so it reaches every world.
+//	LAMELLAR_DIAG          diagnostic-dump signal: 1/usr1 installs a
+//	                       SIGUSR1 handler, usr2 uses SIGUSR2; on signal
+//	                       every live world dumps a structured JSON
+//	                       snapshot (flight-recorder digests, health
+//	                       counters, oldest outstanding ops)
+//	LAMELLAR_DIAG_OUT      append diagnostic dumps to this file instead
+//	                       of stderr
+//
 // Fault-injection and reliability knobs (see fabric.FaultPlan and the
 // README's fault-model table):
 //

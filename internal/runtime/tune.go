@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/recorder"
 	"repro/internal/tuning"
 )
 
@@ -45,6 +46,41 @@ func (env *worldEnv) tuneSnapshot() tuneSnap {
 	return s
 }
 
+// buildSample differences two counter snapshots into the window
+// tuning.Decide consumes, attaching the latency digests from the
+// always-on flight recorder. Before PR 7 these digests only existed
+// while a telemetry session was live — the controller's latency-bound
+// decisions were blind otherwise (the ROADMAP follow-up this closes);
+// the recorder now supplies them in every LAMELLAR_TUNE mode.
+func (env *worldEnv) buildSample(prev, now tuneSnap, period time.Duration) tuning.Sample {
+	sample := tuning.Sample{
+		Elapsed:     period,
+		WireBatches: now.wireBatches - prev.wireBatches,
+		WireBytes:   now.wireBytes - prev.wireBytes,
+		AggBatches:  now.aggBatches - prev.aggBatches,
+		AggOps:      now.aggOps - prev.aggOps,
+		AggBytes:    now.aggBytes - prev.aggBytes,
+		Retries:     now.retries - prev.retries,
+		FramesSent:  now.frames - prev.frames,
+	}
+	for i := range sample.WireReasons {
+		sample.WireReasons[i] = now.wireReasons[i] - prev.wireReasons[i]
+		sample.AggReasons[i] = now.aggReasons[i] - prev.aggReasons[i]
+	}
+	// Cumulative digests; Decide only reads the p90 bound, for which a
+	// cumulative view is the conservative choice. Max across PEs.
+	for pe := 0; pe < env.rec.NumPEs(); pe++ {
+		p := env.rec.PE(pe)
+		if s := p.Hist(recorder.HistRoundTrip).Summary(); s.P90 > sample.RoundTrip.P90 {
+			sample.RoundTrip = s
+		}
+		if s := p.Hist(recorder.HistBatchAge).Summary(); s.P90 > sample.FlushAge.P90 {
+			sample.FlushAge = s
+		}
+	}
+	return sample
+}
+
 // tuneLoop is the adaptive controller driver: every few flush intervals
 // it differences the flush-reason/wire counters into a sample window,
 // asks tuning.Decide for the next knob setting, emits one EvTuneDecision
@@ -68,32 +104,7 @@ func (env *worldEnv) tuneLoop() {
 		case <-ticker.C:
 		}
 		now := env.tuneSnapshot()
-		sample := tuning.Sample{
-			Elapsed:     period,
-			WireBatches: now.wireBatches - prev.wireBatches,
-			WireBytes:   now.wireBytes - prev.wireBytes,
-			AggBatches:  now.aggBatches - prev.aggBatches,
-			AggOps:      now.aggOps - prev.aggOps,
-			AggBytes:    now.aggBytes - prev.aggBytes,
-			Retries:     now.retries - prev.retries,
-			FramesSent:  now.frames - prev.frames,
-		}
-		for i := range sample.WireReasons {
-			sample.WireReasons[i] = now.wireReasons[i] - prev.wireReasons[i]
-			sample.AggReasons[i] = now.aggReasons[i] - prev.aggReasons[i]
-		}
-		if tc := env.tele; tc != nil {
-			// Cumulative digests; Decide only reads the p90 bound, for
-			// which a cumulative view is the conservative choice.
-			for pe := 0; pe < tc.NumPEs(); pe++ {
-				if s := tc.Hist(pe, telemetry.HistAMRoundTrip).Summary(); s.P90 > sample.RoundTrip.P90 {
-					sample.RoundTrip = s
-				}
-				if s := tc.Hist(pe, telemetry.HistFlushInterval).Summary(); s.P90 > sample.FlushAge.P90 {
-					sample.FlushAge = s
-				}
-			}
-		}
+		sample := env.buildSample(prev, now, period)
 		prev = now
 
 		d := tuning.Decide(sample, cur, env.tuneLim)

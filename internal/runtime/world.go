@@ -7,11 +7,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/fabric"
 	"repro/internal/scheduler"
 	"repro/internal/serde"
 	"repro/internal/slab"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/recorder"
 	"repro/internal/tuning"
 )
 
@@ -36,6 +38,12 @@ type worldEnv struct {
 	tele      *telemetry.Collector // active telemetry session, nil when off
 	teleOwned bool                 // this world started the session
 
+	// rec is the always-on flight recorder: per-PE digests that feed the
+	// tuner, the watchdog, and diagnostic dumps in every mode.
+	rec *recorder.Recorder
+	// dog is the stall watchdog sampler (nil when disabled).
+	dog *watchdog
+
 	// Adaptive tuning (internal/tuning): live knob cells read by the hot
 	// paths, the controller mode, and the clamp limits. With the
 	// controller off the cells hold the configured values forever.
@@ -49,6 +57,7 @@ type collEntry struct {
 	val     any
 	kind    string
 	fetched int
+	created int64 // MonoNow stamp, watchdog collective-stall input
 }
 
 // World is one PE's handle on the runtime, the analogue of the
@@ -95,15 +104,24 @@ type World struct {
 
 	flushHookMu sync.Mutex
 	flushHooks  []func()
+
+	// waitingSince is nonzero (a MonoNow stamp) while this PE's
+	// application goroutine is blocked in WaitAll; the watchdog pairs it
+	// with a stalled completion counter to flag wait stalls.
+	waitingSince atomic.Int64
 }
 
 // retEntry is one outstanding request awaiting a return envelope: the
-// completion callback plus the issue timestamp (telemetry clock) that
-// feeds the AM round-trip histogram — and through it the adaptive
-// retransmission floor.
+// completion callback plus the issue timestamp (monotonic clock) that
+// feeds the round-trip digests — and through them the adaptive
+// retransmission floor and the watchdog's stall threshold. span and dst
+// let the watchdog name the oldest outstanding ops and the telemetry
+// exporter close the causal flow.
 type retEntry struct {
 	cb      func(any, error)
 	issueNs int64
+	span    telemetry.SpanContext
+	dst     int32
 }
 
 // ctx returns the PE's pre-built decode context for messages from src.
@@ -260,6 +278,7 @@ func newEnv(cfg Config) (*worldEnv, error) {
 		// pool exists so no event is lost to a disabled gate.
 		env.tele, env.teleOwned = telemetry.StartGlobal(cfg.PEs, cfg.TraceRingCap)
 	}
+	env.rec = recorder.New(cfg.PEs)
 	env.worlds = make([]*World, cfg.PEs)
 	for pe := 0; pe < cfg.PEs; pe++ {
 		w := &World{
@@ -275,12 +294,13 @@ func newEnv(cfg Config) (*worldEnv, error) {
 			w.ctxs[s] = Context{World: w, Src: s}
 		}
 		w.pool.SetTelemetryPE(pe)
+		w.pool.SetQueueWaitRecorder(env.rec.PE(pe).Hist(recorder.HistQueueWait))
 		for d := range w.queues {
 			w.queues[d] = newAggQueue()
 		}
 		pe := pe
 		w.pool.SetPanicHandler(func(r any) {
-			fmt.Printf("lamellar: PE%d: task panicked: %v\n", pe, r)
+			diag.Errorf("runtime", "PE%d: task panicked: %v", pe, r)
 		})
 		env.worlds[pe] = w
 	}
@@ -332,6 +352,12 @@ func newEnv(cfg Config) (*worldEnv, error) {
 		env.flushWG.Add(1)
 		go env.tuneLoop()
 	}
+	if cfg.WatchdogInterval > 0 {
+		env.dog = newWatchdog(env, cfg.WatchdogInterval, cfg.WatchdogStallFactor)
+		env.flushWG.Add(1)
+		go env.dog.run()
+	}
+	registerEnv(env)
 	return env, nil
 }
 
@@ -347,6 +373,7 @@ func (env *worldEnv) close() {
 	if env.closed.Swap(true) {
 		return
 	}
+	unregisterEnv(env)
 	close(env.stopFlush)
 	env.flushWG.Wait()
 	env.lam.close()
@@ -358,7 +385,7 @@ func (env *worldEnv) close() {
 		// so exporting and tearing the session down is safe here.
 		if env.cfg.TraceOut != "" {
 			if err := writeTimeline(env.tele, env.cfg.TraceOut); err != nil {
-				fmt.Fprintf(os.Stderr, "lamellar: writing trace timeline: %v\n", err)
+				diag.Errorf("runtime", "writing trace timeline: %v", err)
 			}
 		}
 		telemetry.StopGlobal(env.tele)
@@ -417,6 +444,9 @@ func (w *World) Barrier() {
 // including AMs executed remotely (tracked through ack envelopes), helping
 // the executor while waiting. It mirrors world.wait_all().
 func (w *World) WaitAll() {
+	// Mark the wait window for the stall watchdog; cleared on return.
+	w.waitingSince.Store(telemetry.MonoNow())
+	defer w.waitingSince.Store(0)
 	for {
 		w.flushAll(telemetry.FlushDrain)
 		if w.completed.Load() >= w.issued.Load() {
@@ -486,11 +516,17 @@ func (env *worldEnv) handleUndeliverable(src, dst int, payload []byte, cause err
 		dec.Align(8)
 		body := dec.RawBytes(int(n))
 		if dec.Err() != nil {
-			fmt.Fprintf(os.Stderr, "lamellar: PE%d: corrupt abandoned frame to PE%d: %v\n", src, dst, dec.Err())
+			diag.Errorf("runtime", "PE%d: corrupt abandoned frame to PE%d: %v", src, dst, dec.Err())
 			return
 		}
 		bd := serde.NewDecoder(body)
-		switch kind := bd.U8(); kind {
+		kind := bd.U8()
+		if kind&envFlagTrace != 0 {
+			bd.Uvarint() // trace ID
+			bd.Uvarint() // span ID
+			kind &^= envFlagTrace
+		}
+		switch kind {
 		case envExec:
 			req := bd.Uvarint()
 			ws.completed.Add(1)
@@ -520,7 +556,7 @@ func (env *worldEnv) collective(key, kind string, teamSize int, build func() any
 	env.collMu.Lock()
 	e, ok := env.coll[key]
 	if !ok {
-		e = &collEntry{done: make(chan struct{}), kind: kind}
+		e = &collEntry{done: make(chan struct{}), kind: kind, created: telemetry.MonoNow()}
 		env.coll[key] = e
 		env.collMu.Unlock()
 		e.val = build()

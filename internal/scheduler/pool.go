@@ -9,11 +9,11 @@
 package scheduler
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/telemetry"
 )
 
@@ -75,6 +75,12 @@ type Pool struct {
 
 	tracePE atomic.Int32 // PE label for telemetry events
 
+	// qwaitHist, when set, receives queue-wait samples even without a
+	// telemetry session (the always-on flight recorder). qwaitTick
+	// drives the 1-in-64 sampling of spawn timestamps on that path.
+	qwaitHist atomic.Pointer[telemetry.Histogram]
+	qwaitTick atomic.Uint64
+
 	onPanic atomic.Pointer[PanicHandler]
 
 	spill func(taskEntry) // overflow route back to the injector
@@ -125,6 +131,22 @@ func (p *Pool) Workers() int { return p.workers }
 // PE's rank (pools default to PE 0).
 func (p *Pool) SetTelemetryPE(pe int) { p.tracePE.Store(int32(pe)) }
 
+// SetQueueWaitRecorder routes queue-wait latencies into h even when no
+// telemetry session is live. To keep the disabled hot path at zero
+// extra clock reads, only 1 in 64 submissions is stamped on that path;
+// a live session stamps (and records) every task as before.
+func (p *Pool) SetQueueWaitRecorder(h *telemetry.Histogram) {
+	p.qwaitHist.Store(h)
+}
+
+// Starved reports whether workers are parked while the injector holds
+// runnable tasks — the scheduler-starvation signal the stall watchdog
+// samples. A transiently true value is normal (parking races with
+// submission); the watchdog requires it across consecutive ticks.
+func (p *Pool) Starved() bool {
+	return p.parker.waiters() > 0 && p.inj.nonEmpty()
+}
+
 // SetPanicHandler installs a handler for panics escaping tasks. The
 // default prints and continues, mirroring "shut down a failing goroutine
 // without killing the others".
@@ -146,7 +168,13 @@ func (p *Pool) newEntry(t Task) taskEntry {
 				TS: e.spawnNs, Kind: telemetry.EvTaskSpawn,
 				PE: p.tracePE.Load(), Worker: telemetry.TidRuntime,
 			})
+			return e
 		}
+	}
+	// No session: stamp 1 in 64 tasks so the always-on recorder keeps a
+	// live queue-wait digest at ~1/64th of the clock-read cost.
+	if p.qwaitHist.Load() != nil && p.qwaitTick.Add(1)&63 == 0 {
+		e.spawnNs = telemetry.MonoNow()
 	}
 	return e
 }
@@ -435,9 +463,19 @@ func (p *Pool) runTask(t taskEntry, worker int) {
 	if telemetry.Enabled() {
 		if c = telemetry.C(); c != nil {
 			t0 = c.Now()
-			if t.spawnNs != 0 {
-				c.Hist(int(p.tracePE.Load()), telemetry.HistQueueWait).Record(t0 - t.spawnNs)
-			}
+		}
+	}
+	if t.spawnNs != 0 {
+		now := t0
+		if now == 0 {
+			now = telemetry.MonoNow()
+		}
+		wait := now - t.spawnNs
+		if c != nil {
+			c.Hist(int(p.tracePE.Load()), telemetry.HistQueueWait).Record(wait)
+		}
+		if h := p.qwaitHist.Load(); h != nil {
+			h.Record(wait)
 		}
 	}
 	defer func() {
@@ -457,7 +495,7 @@ func (p *Pool) runTask(t taskEntry, worker int) {
 			if h := p.onPanic.Load(); h != nil {
 				(*h)(r)
 			} else {
-				fmt.Printf("scheduler: task panicked: %v\n", r)
+				diag.Errorf("scheduler", "task panicked: %v", r)
 			}
 		}
 	}()

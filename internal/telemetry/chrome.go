@@ -37,9 +37,25 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, format, args...)
 	}
+	// Pass 1: snapshot every ring once and collect the flows whose issue
+	// event survived ring wraparound. Flow steps ("t"/"f") and flow args
+	// are only emitted for flows the file actually opens with an "s"
+	// event — a dangling flow reference would make the exported timeline
+	// fail its own validation.
+	snaps := make([][]Event, c.npes)
+	live := make(map[uint64]bool)
 	for pe := 0; pe < c.npes; pe++ {
 		events := c.rings[pe].snapshot()
 		sort.SliceStable(events, func(a, b int) bool { return events[a].TS < events[b].TS })
+		snaps[pe] = events
+		for _, ev := range events {
+			if ev.Kind == EvAMIssue && ev.Flow != 0 {
+				live[ev.Flow] = true
+			}
+		}
+	}
+	for pe := 0; pe < c.npes; pe++ {
+		events := snaps[pe]
 		item(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"PE%d"}}`, pe, pe)
 		item(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`, pe, pe)
 		for _, tid := range threadsOf(events) {
@@ -47,7 +63,7 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 				pe, tid, threadName(tid))
 		}
 		for _, ev := range events {
-			writeEvent(item, pe, ev)
+			writeEvent(item, pe, ev, live)
 		}
 	}
 	bw.WriteString("\n]}\n")
@@ -95,7 +111,7 @@ func threadName(tid int32) string {
 // keeping nanosecond resolution.
 func us(ns int64) string { return fmt.Sprintf("%d.%03d", ns/1000, ns%1000) }
 
-func writeEvent(item func(string, ...any), pe int, ev Event) {
+func writeEvent(item func(string, ...any), pe int, ev Event, live map[uint64]bool) {
 	tid := tidOf(ev)
 	switch ev.Kind {
 	case EvTaskRun:
@@ -111,17 +127,43 @@ func writeEvent(item func(string, ...any), pe int, ev Event) {
 		item(`{"name":"task.park","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s}`,
 			pe, tid, us(ev.TS), us(ev.Dur))
 	case EvAMIssue:
-		item(`{"name":"am.issue","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"dst":%d,"req":%d}}`,
-			pe, tid, us(ev.TS), ev.Arg1, ev.Arg2)
+		if ev.Flow == 0 {
+			item(`{"name":"am.issue","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"dst":%d,"req":%d}}`,
+				pe, tid, us(ev.TS), ev.Arg1, ev.Arg2)
+			break
+		}
+		item(`{"name":"am.issue","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"dst":%d,"req":%d,"flow":%d,"parent":%d}}`,
+			pe, tid, us(ev.TS), ev.Arg1, ev.Arg2, ev.Flow, ev.Parent)
+		item(`{"name":"am.flow","cat":"am","ph":"s","id":%d,"pid":%d,"tid":%d,"ts":%s}`,
+			ev.Flow, pe, tid, us(ev.TS))
 	case EvAMEncode:
+		if ev.Flow != 0 && live[ev.Flow] {
+			item(`{"name":"am.encode","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"dst":%d,"flow":%d}}`,
+				pe, tid, us(ev.TS), us(ev.Dur), ev.Arg1, ev.Flow)
+			break
+		}
 		item(`{"name":"am.encode","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"dst":%d}}`,
 			pe, tid, us(ev.TS), us(ev.Dur), ev.Arg1)
 	case EvAMExec:
-		item(`{"name":"am.exec","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"src":%d}}`,
-			pe, tid, us(ev.TS), us(ev.Dur), ev.Arg1)
+		if ev.Flow == 0 || !live[ev.Flow] {
+			item(`{"name":"am.exec","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"src":%d}}`,
+				pe, tid, us(ev.TS), us(ev.Dur), ev.Arg1)
+			break
+		}
+		item(`{"name":"am.exec","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"src":%d,"flow":%d}}`,
+			pe, tid, us(ev.TS), us(ev.Dur), ev.Arg1, ev.Flow)
+		item(`{"name":"am.flow","cat":"am","ph":"t","id":%d,"pid":%d,"tid":%d,"ts":%s}`,
+			ev.Flow, pe, tid, us(ev.TS))
 	case EvAMReturn:
-		item(`{"name":"am.return","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"from":%d,"req":%d}}`,
-			pe, tid, us(ev.TS), ev.Arg1, ev.Arg2)
+		if ev.Flow == 0 || !live[ev.Flow] {
+			item(`{"name":"am.return","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"from":%d,"req":%d}}`,
+				pe, tid, us(ev.TS), ev.Arg1, ev.Arg2)
+			break
+		}
+		item(`{"name":"am.return","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"from":%d,"req":%d,"flow":%d}}`,
+			pe, tid, us(ev.TS), ev.Arg1, ev.Arg2, ev.Flow)
+		item(`{"name":"am.flow","cat":"am","ph":"f","bp":"e","id":%d,"pid":%d,"tid":%d,"ts":%s}`,
+			ev.Flow, pe, tid, us(ev.TS))
 	case EvBatchOpen:
 		item(`{"name":"agg.open","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"dst":%d}}`,
 			pe, tid, us(ev.TS), ev.Arg1)
@@ -134,6 +176,14 @@ func writeEvent(item func(string, ...any), pe int, ev Event) {
 	case EvGauge:
 		item(`{"name":"%s","ph":"C","pid":%d,"ts":%s,"args":{"value":%d}}`,
 			GaugeID(ev.Sub), pe, us(ev.TS), ev.Arg1)
+	case EvWireSend, EvWireRetry, EvWireDedup, EvWireTimeout, EvWireAck, EvWireFault:
+		// The peer/seq args let the critical-path analyzer match frames
+		// across PEs (wire.send departure, wire.retry retransmissions).
+		item(`{"name":"%s","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"peer":%d,"seq":%d}}`,
+			ev.Kind, pe, tid, us(ev.TS), ev.Arg1, ev.Arg2)
+	case EvHealth:
+		item(`{"name":"health.%s","ph":"i","s":"p","pid":%d,"tid":%d,"ts":%s,"args":{"value":%d}}`,
+			HealthKind(ev.Sub), pe, tid, us(ev.TS), ev.Arg1)
 	default:
 		item(`{"name":"%s","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s}`,
 			ev.Kind, pe, tid, us(ev.TS))

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// A flow-stamped issue→encode→exec→return chain must export as a
+// Perfetto flow: one "s" start, a "t" step at the exec, an "f" finish at
+// the return — all with the same id — and flow/parent args on the spans.
+func TestChromeTraceFlowExport(t *testing.T) {
+	c := NewCollector(2, 64)
+	const flow, parent = 42, 7
+	c.Emit(Event{TS: 100, Kind: EvAMIssue, PE: 0, Worker: 1, Arg1: 1, Arg2: 9, Flow: flow, Parent: parent})
+	c.Emit(Event{TS: 150, Kind: EvAMEncode, PE: 0, Worker: 1, Dur: 10, Arg1: 1, Flow: flow})
+	c.Emit(Event{TS: 300, Kind: EvAMExec, PE: 1, Worker: 0, Dur: 20, Arg1: 0, Flow: flow})
+	c.Emit(Event{TS: 500, Kind: EvAMReturn, PE: 0, Worker: 1, Arg1: 1, Arg2: 9, Flow: flow})
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"name":"am.flow","cat":"am","ph":"s","id":42`,
+		`"name":"am.flow","cat":"am","ph":"t","id":42`,
+		`"name":"am.flow","cat":"am","ph":"f","bp":"e","id":42`,
+		`"flow":42,"parent":7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %s\n%s", want, out)
+		}
+	}
+}
+
+// An exec/return whose issue event was lost to ring wraparound must NOT
+// emit flow steps or flow args: a "t"/"f" without its "s" is a dangling
+// reference Perfetto renders as a broken arrow and our own validator
+// rejects.
+func TestChromeTraceOrphanFlowSuppressed(t *testing.T) {
+	c := NewCollector(2, 64)
+	// Flow 99's issue never made it into any ring.
+	c.Emit(Event{TS: 300, Kind: EvAMExec, PE: 1, Worker: 0, Dur: 20, Arg1: 0, Flow: 99})
+	c.Emit(Event{TS: 500, Kind: EvAMReturn, PE: 0, Worker: 1, Arg1: 1, Arg2: 9, Flow: 99})
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `"name":"am.flow"`) {
+		t.Errorf("orphaned flow emitted flow events:\n%s", out)
+	}
+	if strings.Contains(out, `"flow":99`) {
+		t.Errorf("orphaned flow leaked flow args:\n%s", out)
+	}
+	// The spans themselves must still appear, just unlinked.
+	if !strings.Contains(out, `"name":"am.exec"`) || !strings.Contains(out, `"name":"am.return"`) {
+		t.Errorf("orphaned spans dropped entirely:\n%s", out)
+	}
+}

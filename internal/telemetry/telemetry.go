@@ -85,8 +85,16 @@ const (
 	// EvTuneDecision marks one adaptive-tuning controller decision;
 	// Sub = tuning knob id, Arg1 = new value, Arg2 = previous value.
 	EvTuneDecision
+	// EvWireSend marks a reliable-wire data frame's first transmission;
+	// Arg1 = destination PE, Arg2 = frame sequence number. Together with
+	// am.encode flows it lets the critical-path analyzer attribute
+	// queue-wait vs wire time to each cross-PE op.
+	EvWireSend
+	// EvHealth marks one stall-watchdog finding; Sub = HealthKind,
+	// Arg1 = the kind-specific magnitude (stall age ns, backlog frames).
+	EvHealth
 
-	numEventKinds = int(EvTuneDecision) + 1
+	numEventKinds = int(EvHealth) + 1
 )
 
 var eventNames = [numEventKinds]string{
@@ -96,6 +104,7 @@ var eventNames = [numEventKinds]string{
 	"task.park",
 	"wire.retry", "wire.dedup", "wire.timeout", "wire.ack", "wire.fault",
 	"tune.decision",
+	"wire.send", "health",
 }
 
 func (k EventKind) String() string {
@@ -137,6 +146,44 @@ func (r FlushReason) String() string {
 	return "unknown"
 }
 
+// HealthKind classifies one stall-watchdog finding (EvHealth.Sub).
+type HealthKind uint8
+
+// Watchdog findings. Each names a distinct liveness signature; the
+// runtime counts them per PE and emits one EvHealth event per flag.
+const (
+	// HealthFutureStall: a future has been outstanding beyond N× the
+	// recorded round-trip p99.
+	HealthFutureStall HealthKind = iota
+	// HealthWaitStall: WaitAll is blocked with no completion progress.
+	HealthWaitStall
+	// HealthCollectiveStall: a collective rendezvous is waiting on
+	// stragglers beyond the stall threshold.
+	HealthCollectiveStall
+	// HealthStarvation: workers are parked while the injector holds
+	// runnable tasks.
+	HealthStarvation
+	// HealthBacklogGrowth: the unacked wire backlog grew monotonically
+	// over several watchdog ticks.
+	HealthBacklogGrowth
+
+	numHealthKinds = int(HealthBacklogGrowth) + 1
+	// NumHealthKinds is the number of distinct watchdog findings, for
+	// callers keeping per-kind counter arrays.
+	NumHealthKinds = numHealthKinds
+)
+
+var healthNames = [numHealthKinds]string{
+	"future_stall", "wait_stall", "collective_stall", "starvation", "backlog_growth",
+}
+
+func (k HealthKind) String() string {
+	if int(k) < numHealthKinds {
+		return healthNames[k]
+	}
+	return "unknown"
+}
+
 // GaugeID names a periodically sampled level.
 type GaugeID uint8
 
@@ -171,20 +218,43 @@ const (
 	TidRuntime = 98
 )
 
-// Event is one recorded lifecycle event. TS is nanoseconds since the
-// collector started; Dur is the span length (0 for instants); Worker is
-// the pool worker index or a Tid* constant; Sub carries the kind-specific
-// subcode (FlushReason, fabric op kind, GaugeID).
+// Event is one recorded lifecycle event. TS is nanoseconds on the
+// process-monotonic clock (MonoNow); Dur is the span length (0 for
+// instants); Worker is the pool worker index or a Tid* constant; Sub
+// carries the kind-specific subcode (FlushReason, fabric op kind,
+// GaugeID, HealthKind). Flow/Parent carry the causal span id (and the
+// launching span for am.issue); 0 means the event belongs to no flow.
 type Event struct {
 	TS     int64
 	Dur    int64
 	Arg1   int64
 	Arg2   int64
+	Flow   uint64
+	Parent uint64
 	PE     int32
 	Worker int32
 	Kind   EventKind
 	Sub    uint8
 }
+
+// SpanContext is the compact causal trace context stamped onto AM
+// envelopes: Trace identifies the whole causal chain (the root span's
+// id), Span this particular operation. The zero SpanContext means "not
+// traced" and costs nothing on the wire.
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context carries a live span.
+func (s SpanContext) Valid() bool { return s.Span != 0 }
+
+// spanIDs allocates process-unique span identifiers. Starting from 1
+// keeps 0 free as the "no span" sentinel.
+var spanIDs atomic.Uint64
+
+// NewSpanID returns a fresh process-unique span id.
+func NewSpanID() uint64 { return spanIDs.Add(1) }
 
 // Histogram identifiers (per PE).
 const (
@@ -200,10 +270,20 @@ const (
 
 var histNames = [numHists]string{"am_round_trip", "task_queue_wait", "agg_flush_interval"}
 
+// procStart anchors the process-monotonic event clock. Every telemetry
+// timestamp — session events, the always-on flight recorder, AM issue
+// stamps — shares this one time base, so latencies computed across
+// subsystems (and across sessions starting mid-run) stay comparable.
+var procStart = time.Now()
+
+// MonoNow returns nanoseconds since process start on the monotonic
+// clock. Unlike Now it needs no active session, making it the clock for
+// always-on instrumentation (the flight recorder, AM issue stamps).
+func MonoNow() int64 { return int64(time.Since(procStart)) }
+
 // Collector owns the per-PE rings, histograms, and counters of one
 // telemetry session.
 type Collector struct {
-	start    time.Time
 	npes     int
 	rings    []Ring
 	hists    [][numHists]Histogram // [pe][hist]
@@ -225,7 +305,6 @@ func NewCollector(npes, ringCap int) *Collector {
 		ringCap = DefaultRingCap
 	}
 	c := &Collector{
-		start:    time.Now(),
 		npes:     npes,
 		rings:    make([]Ring, npes),
 		hists:    make([][numHists]Histogram, npes),
@@ -240,9 +319,9 @@ func NewCollector(npes, ringCap int) *Collector {
 // NumPEs reports the collector's world size.
 func (c *Collector) NumPEs() int { return c.npes }
 
-// Now returns the event timestamp clock: nanoseconds since the collector
-// started, from the monotonic clock.
-func (c *Collector) Now() int64 { return int64(time.Since(c.start)) }
+// Now returns the event timestamp clock — an alias of MonoNow, so
+// session events and always-on recorder stamps share one time base.
+func (c *Collector) Now() int64 { return MonoNow() }
 
 // Emit records ev into its PE's ring. Out-of-range PEs clamp to 0 so a
 // mislabeled emitter cannot crash the run.
