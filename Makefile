@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench agg-bench bench-sched sched-stress trace-smoke watchdog-smoke fault-stress bench-allocs
+.PHONY: build vet test race check bench agg-bench bench-sched bench-wire wire-smoke sched-stress trace-smoke watchdog-smoke fault-stress bench-allocs
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,7 @@ bench-allocs:
 	$(GO) test -run xxx -bench 'BenchmarkAtomicOpsAggregated$$' -benchtime=200x -benchmem -count=1 .
 
 # Tier-1 gate: everything that must stay green before a change lands.
-check: build vet race sched-stress fault-stress trace-smoke watchdog-smoke bench-allocs
+check: build vet race sched-stress fault-stress wire-smoke trace-smoke watchdog-smoke bench-allocs
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -61,7 +61,21 @@ bench-sched:
 	$(GO) test -run xxx -bench 'Sched' -benchtime=1000000x -benchmem -count=1 .
 	$(GO) test -run xxx -bench 'Injector' -benchtime=1000000x -count=1 ./internal/scheduler
 
-# Telemetry smoke test: run a kernel with the timeline exporter and fail
+# Wire flow-control benchmark (bench_results.txt §WIRE): sustained AM
+# throughput over the reliable wire on clean and adversarial fabrics
+# (5% drop / drop+dup+reorder / 10% reorder), with the retransmitted
+# share of all transmissions. The fabrics are explicit seeded plans
+# inside the benchmark, so no FAULT_ENV here.
+bench-wire:
+	$(GO) run ./cmd/lamellar-bench wire
+
+# Fast wire gate for check: a short run across all four fabrics (the
+# benchmark's own seeded fault plans — clean, 5% drop, drop+dup+reorder,
+# 10% reorder) proves the AM surface sustains throughput on a damaged
+# fabric; it fails loudly if delivery wedges (WaitAll never returns and
+# the run hangs) without the full benchmark's duration.
+wire-smoke:
+	$(GO) run ./cmd/lamellar-bench wire -quick
 # unless the written file is valid Chrome trace JSON with a complete
 # causal-flow graph (lamellar-trace re-parses and validates it, rejecting
 # dangling flow references). The timeline must actually contain flow

@@ -10,6 +10,7 @@
 //	lamellar-bench ablate-agg    aggregation-threshold sweep (§IV-A remark)
 //	lamellar-bench ablate-batch  array sub-batch size sweep (§IV-B remark)
 //	lamellar-bench ablate-pes    PEs vs workers-per-PE tradeoff (§IV-B)
+//	lamellar-bench wire          reliable-wire AM throughput, clean vs faulted fabrics
 //	lamellar-bench all           everything above
 //
 // Absolute numbers come from the cost model plus real software overheads;
@@ -41,6 +42,7 @@ func main() {
 		seed     = fs.Int64("seed", 0xBA1E, "workload seed")
 		csv      = fs.Bool("csv", false, "also emit CSV")
 		quick    = fs.Bool("quick", false, "tiny workloads for a fast smoke run")
+		retryMS  = fs.Int("retry_ms", 0, "wire bench: initial retransmission timeout override in ms")
 	)
 	if len(os.Args) < 2 {
 		usage()
@@ -99,6 +101,13 @@ func main() {
 			return bench.RunFig2Get(f2, os.Stdout)
 		case "fig2-agg":
 			return bench.RunFig2Agg(f2, os.Stdout)
+		case "wire":
+			wcfg := bench.WireConfig{CSV: *csv, RetryMS: *retryMS}
+			if *quick {
+				wcfg.AMs = 2000
+				wcfg.Reps = 2
+			}
+			return bench.RunWire(wcfg, os.Stdout)
 		default:
 			usage()
 			return fmt.Errorf("unknown subcommand %q", name)
@@ -150,6 +159,6 @@ func parseStrs(s string) []string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lamellar-bench <fig2|fig2-get|fig2-agg|fig3|fig4|fig5|ablate-agg|ablate-batch|ablate-pes|ablate-rack|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: lamellar-bench <fig2|fig2-get|fig2-agg|fig3|fig4|fig5|ablate-agg|ablate-batch|ablate-pes|ablate-rack|wire|all> [flags]
 run "lamellar-bench fig3 -h" for flags`)
 }

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	stdruntime "runtime"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+	"repro/internal/serde"
+)
+
+// Wire flow-control benchmark: sustained one-way AM throughput over the
+// reliable wire layer, on a clean fabric and on adversarial ones (drop,
+// drop+dup+reorder, reorder). The clean row bounds the no-fault overhead
+// of the flow-control machinery; the faulted rows measure how fast the
+// retransmission/ack machinery repairs damage — on a lossy link the
+// sustained rate is repair-latency-bound, so the AIMD window, adaptive
+// RTO, and ack coalescing show up directly as throughput.
+//
+// The retx column reports the retransmitted share of all wire
+// transmissions (retries / (batches + retries)), computed from counters
+// present in every revision so seed-vs-new A/B runs use one harness.
+
+// WireConfig controls the wire throughput benchmark.
+type WireConfig struct {
+	// AMs per timed rep (default 20000).
+	AMs int
+	// Payload bytes per AM (default 1024).
+	Payload int
+	// Reps takes the best of this many timed reps (default 5).
+	Reps int
+	// WorkersPerPE for the 2-PE world (default 2).
+	Workers int
+	// RetryMS overrides the initial retransmission timeout (0 = config
+	// default). Older revisions without an adaptive RTO are only
+	// competitive on faulted fabrics when this is tightened.
+	RetryMS int
+	// CSV additionally emits CSV.
+	CSV bool
+}
+
+func (c WireConfig) withDefaults() WireConfig {
+	if c.AMs <= 0 {
+		c.AMs = 20_000
+	}
+	if c.Payload <= 0 {
+		c.Payload = 1024
+	}
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	return c
+}
+
+// wireBwAM is the benchmark payload: a byte vector applied and dropped
+// on the target.
+type wireBwAM struct {
+	Data []byte
+}
+
+func (a *wireBwAM) MarshalLamellar(e *serde.Encoder)         { e.PutBytes(a.Data) }
+func (a *wireBwAM) UnmarshalLamellar(d *serde.Decoder) error { a.Data = d.Bytes(); return d.Err() }
+func (a *wireBwAM) Exec(ctx *runtime.Context) any            { return nil }
+
+func init() {
+	runtime.RegisterAM[wireBwAM]("bench.wireBwAM")
+}
+
+// RunWire produces the wire throughput table.
+func RunWire(cfg WireConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	fabrics := []struct {
+		name string
+		plan *fabric.FaultPlan
+	}{
+		// Explicit plans opt out of the process-wide LAMELLAR_FAULT_* env
+		// so the rows stay what they claim to be.
+		{"clean", fabric.NewFaultPlan(0)},
+		{"drop5", fabric.NewFaultPlan(40).SetDefault(fabric.LinkFaults{DropRate: 0.05})},
+		{"faulted5", fabric.NewFaultPlan(41).SetDefault(fabric.LinkFaults{
+			DropRate: 0.05, DupRate: 0.05, ReorderRate: 0.05, Delay: 500 * time.Microsecond})},
+		{"reorder10", fabric.NewFaultPlan(42).SetDefault(fabric.LinkFaults{
+			ReorderRate: 0.10, Delay: 500 * time.Microsecond})},
+	}
+	table := NewTable("WIRE sustained AM throughput over the reliable wire", "fabric", "value")
+	for _, f := range fabrics {
+		rcfg := runtime.Config{
+			PEs:          2,
+			WorkersPerPE: cfg.Workers,
+			Lamellae:     runtime.LamellaeShmem,
+			Faults:       f.plan,
+		}
+		if cfg.RetryMS > 0 {
+			rcfg.RetryInterval = time.Duration(cfg.RetryMS) * time.Millisecond
+		}
+		var kamsPerS, mbPerS, retxPct float64
+		err := runtime.Run(rcfg, func(w *runtime.World) {
+			if w.MyPE() == 0 {
+				payload := make([]byte, cfg.Payload)
+				for i := range payload {
+					payload[i] = byte(i)
+				}
+				// Warm: registries, slab classes, connection setup, and the
+				// congestion window's slow-start ramp.
+				for i := 0; i < cfg.AMs/10+1; i++ {
+					w.ExecAM(1, &wireBwAM{Data: payload})
+				}
+				w.WaitAll()
+				// Per-rep counter deltas so the reported retransmit share
+				// belongs to the same rep as the reported time — aggregate
+				// counters would fold warmup and outlier reps into every row.
+				best := time.Duration(0)
+				var bestBatches, bestRetries uint64
+				prev := w.Stats()
+				for rep := 0; rep < cfg.Reps; rep++ {
+					w.Barrier()
+					stdruntime.GC()
+					start := time.Now()
+					for i := 0; i < cfg.AMs; i++ {
+						w.ExecAM(1, &wireBwAM{Data: payload})
+					}
+					w.WaitAll()
+					el := time.Since(start)
+					s := w.Stats()
+					if best == 0 || el < best {
+						best = el
+						bestBatches = s.BatchesSent - prev.BatchesSent
+						bestRetries = s.WireRetries - prev.WireRetries
+					}
+					prev = s
+				}
+				if tx := bestBatches + bestRetries; tx > 0 {
+					retxPct = 100 * float64(bestRetries) / float64(tx)
+				}
+				kamsPerS = float64(cfg.AMs) / best.Seconds() / 1e3
+				mbPerS = float64(cfg.AMs) * float64(cfg.Payload) / best.Seconds() / 1e6
+				w.Barrier()
+			} else {
+				for rep := 0; rep < cfg.Reps; rep++ {
+					w.Barrier()
+				}
+				w.Barrier()
+			}
+		})
+		if err != nil {
+			return err
+		}
+		table.Add(f.name, "k_ams_per_s", kamsPerS)
+		table.Add(f.name, "mb_per_s", mbPerS)
+		table.Add(f.name, "retx_pct", retxPct)
+		fmt.Fprintf(out, "WIRE %-10s %10.1f kAM/s %10.1f MB/s  retx %.2f%%\n",
+			f.name, kamsPerS, mbPerS, retxPct)
+	}
+	table.Render(out)
+	if cfg.CSV {
+		table.RenderCSV(out)
+	}
+	return nil
+}

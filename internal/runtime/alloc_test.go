@@ -42,6 +42,11 @@ func allocBudgetConfig() Config {
 		Faults: fabric.NewFaultPlan(0),
 	}.withDefaults()
 	cfg.RetryInterval = time.Minute
+	// Pin the adaptive RTO out of the window too: the loopback RTT is
+	// sub-microsecond and a GC pause inside AllocsPerRun could otherwise
+	// trip a (harmless but allocating) spurious retransmit.
+	cfg.RetryBackoffMax = time.Minute
+	cfg.WireRTOMin = time.Minute
 	return cfg
 }
 

@@ -587,7 +587,9 @@ func (w *World) flushLoop() {
 	}
 }
 
-// sampleGauges emits the periodic queue-depth and agg-occupancy levels.
+// sampleGauges emits the periodic queue-depth and agg-occupancy levels,
+// plus — on worlds with a reliable wire — the live AIMD send-window and
+// in-flight/parked frame levels summed across this PE's streams.
 func (w *World) sampleGauges() {
 	c := telemetry.C()
 	if c == nil {
@@ -608,6 +610,17 @@ func (w *World) sampleGauges() {
 		TS: now, Kind: telemetry.EvGauge, Sub: uint8(telemetry.GaugeAggOccupancy),
 		PE: int32(w.pe), Arg1: int64(queued),
 	})
+	if rel := w.env.rel; rel != nil {
+		window, inflight, parked := rel.windowStats(w.pe)
+		c.Emit(telemetry.Event{
+			TS: now, Kind: telemetry.EvGauge, Sub: uint8(telemetry.GaugeWireWindow),
+			PE: int32(w.pe), Arg1: int64(window),
+		})
+		c.Emit(telemetry.Event{
+			TS: now, Kind: telemetry.EvGauge, Sub: uint8(telemetry.GaugeWireInflight),
+			PE: int32(w.pe), Arg1: int64(inflight), Arg2: int64(parked),
+		})
+	}
 }
 
 // rxState is a pooled batch-walk context. It owns the delivered wire

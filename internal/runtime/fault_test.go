@@ -246,10 +246,17 @@ func TestWireCountersInTelemetryAndProm(t *testing.T) {
 	var prom strings.Builder
 	var report StatsReport
 	err := Run(cfg, func(w *World) {
-		for i := 0; i < 200; i++ {
-			w.ExecAM(1-w.MyPE(), &incrAM{Delta: 1})
+		// Many small flushed rounds, not one aggregated burst: each WaitAll
+		// forces the round's data frames onto the wire, so the 20% plan is
+		// guaranteed to hit data frames (whose repair is a wire.retry), not
+		// just acks — a dropped ack can be absorbed by a later cumulative
+		// ack without any retransmission.
+		for round := 0; round < 20; round++ {
+			for i := 0; i < 10; i++ {
+				w.ExecAM(1-w.MyPE(), &incrAM{Delta: 1})
+			}
+			w.WaitAll()
 		}
-		w.WaitAll()
 		w.Barrier()
 		if w.MyPE() == 0 {
 			report = w.StatsReport()

@@ -51,13 +51,20 @@ type Stats struct {
 	// WireDupDropped counts redelivered frames its receiver discarded
 	// (dedup); WireOutOfOrder counts frames buffered awaiting a sequence
 	// gap; WireAcksSent counts standalone cumulative-ack frames;
-	// WireFaultsInjected counts fault-plan injections on its sends.
+	// WireFaultsInjected counts fault-plan injections on its sends;
+	// WireParked counts frames the AIMD send window parked on a pending
+	// queue; WireAcksCoalesced counts per-frame acks avoided by ack
+	// coalescing and piggyback suppression; WireOOODropped counts frames
+	// the receiver dropped beyond its bounded reorder window.
 	WireRetries        uint64
 	WireTimeouts       uint64
 	WireDupDropped     uint64
 	WireOutOfOrder     uint64
 	WireAcksSent       uint64
 	WireFaultsInjected uint64
+	WireParked         uint64
+	WireAcksCoalesced  uint64
+	WireOOODropped     uint64
 	// Fabric is this PE's traffic counters (messages, bytes, modeled ns).
 	Fabric fabric.Counters
 }
@@ -92,6 +99,9 @@ func (w *World) Stats() Stats {
 		s.WireOutOfOrder = wc.oooHeld.Load()
 		s.WireAcksSent = wc.acksSent.Load()
 		s.WireFaultsInjected = wc.faults.Load()
+		s.WireParked = wc.parked.Load()
+		s.WireAcksCoalesced = wc.acksCoalesced.Load()
+		s.WireOOODropped = wc.oooDropped.Load()
 	}
 	return s
 }
@@ -117,12 +127,13 @@ func reasonString(counts [telemetry.NumFlushReasons]uint64) string {
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"PE%d: ams=%d/%d env=%d/%d pool(exec=%d stolen=%d parks=%d busy=%v) batches(sent=%d reasons[%s]) agg(batches=%d ops=%d reasons[%s]) wire(retx=%d dedup=%d ooo=%d acks=%d timeouts=%d injected=%d) net(msgs=%d bytes=%d modeled=%v)",
+		"PE%d: ams=%d/%d env=%d/%d pool(exec=%d stolen=%d parks=%d busy=%v) batches(sent=%d reasons[%s]) agg(batches=%d ops=%d reasons[%s]) wire(retx=%d dedup=%d ooo=%d oodrop=%d parked=%d acks=%d coalesced=%d timeouts=%d injected=%d) net(msgs=%d bytes=%d modeled=%v)",
 		s.PE, s.Completed, s.Issued, s.EnvelopesProcessed, s.EnvelopesSent,
 		s.PoolExecuted, s.PoolStolen, s.PoolParks, s.PoolBusy,
 		s.BatchesSent, reasonString(s.BatchFlushReasons),
 		s.AggBatchesFlushed, s.AggOpsCoalesced, reasonString(s.AggFlushReasons),
-		s.WireRetries, s.WireDupDropped, s.WireOutOfOrder, s.WireAcksSent, s.WireTimeouts, s.WireFaultsInjected,
+		s.WireRetries, s.WireDupDropped, s.WireOutOfOrder, s.WireOOODropped, s.WireParked,
+		s.WireAcksSent, s.WireAcksCoalesced, s.WireTimeouts, s.WireFaultsInjected,
 		s.Fabric.Msgs, s.Fabric.Bytes, time.Duration(s.Fabric.ModeledNs))
 }
 
@@ -206,6 +217,23 @@ func (r StatsReport) String() string {
 //	LAMELLAR_RETRY_MS          initial retransmission timeout in ms
 //	LAMELLAR_DELIVERY_TIMEOUT_MS  per-frame delivery give-up bound in ms
 //	                           (negative disables: retry forever)
+//
+// Wire flow-control knobs (read in withDefaults, so they reach every
+// world in the process; see the README's wire flow-control table):
+//
+//	LAMELLAR_WIRE_WINDOW         AIMD send-window frame cap per
+//	                             (src,dst) stream (default 256;
+//	                             negative disables windowing)
+//	LAMELLAR_WIRE_WINDOW_BYTES   send-window byte cap (default 16 MiB)
+//	LAMELLAR_WIRE_ACK_EVERY      deliveries per forced cumulative ack
+//	                             (default 4; 1 acks every frame)
+//	LAMELLAR_WIRE_ACK_HOLDOFF_US max delay before an owed ack is sent
+//	                             standalone, in µs (default 250)
+//	LAMELLAR_WIRE_OOO            receiver reorder-buffer bound in frames
+//	                             (default 1024; negative disables)
+//	LAMELLAR_WIRE_RTO_MIN_US     floor for the RTT-adaptive
+//	                             retransmission timeout, in µs
+//	                             (default 500)
 func (c Config) ApplyEnv() Config {
 	if v, ok := envInt("LAMELLAR_THREADS"); ok {
 		c.WorkersPerPE = v

@@ -19,12 +19,20 @@ import (
 // and provides an integration point for true multi-process deployment:
 // the wire protocol is self-contained length-prefixed frames.
 //
-// Fault behavior: send never panics. A write or flush error tears the
-// broken connection down and removes it from the connection table, so
-// the next send re-dials; the frame that hit the error reports it to the
-// caller (the reliability layer), which retransmits after the teardown.
-// Sends racing shutdown are gated on the done channel instead of dialing
-// a closed listener.
+// Transmit path: vectored. send() frames the message into one slab
+// buffer and enqueues it on the connection's send queue; a per-connection
+// writer goroutine drains the whole queue with a single writev
+// (net.Buffers.WriteTo), so every frame ready for one destination shares
+// one syscall instead of paying two bufio writes plus a per-frame flush.
+// There is no bufio.Writer on the write path at all — the send queue IS
+// the batching layer, and nothing flushes while more frames are queued.
+//
+// Fault behavior: send never panics. A write error makes the writer tear
+// the connection down and remove it from the connection table, so the
+// next send re-dials; frames queued on the dead connection are dropped
+// (the reliability layer retransmits them — the contract is identical to
+// a frame lost in the network). Sends racing shutdown are gated on the
+// done channel instead of dialing a closed listener.
 //
 // Wire format per frame: u32 srcPE, u32 length, payload bytes.
 type tcpLamellae struct {
@@ -40,13 +48,22 @@ type tcpLamellae struct {
 	done    chan struct{}
 }
 
+// tcpConn is one outbound connection with its vectored send queue.
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	key [2]int
+	c   net.Conn
+
+	mu     sync.Mutex
+	queue  [][]byte // slab-owned framed messages awaiting the writer
+	closed bool     // writer exited (error or shutdown); enqueue refused
+	kick   chan struct{}
+
+	spare [][]byte // writer-owned: recycled queue backing array
 }
 
-// errTCPClosed reports a send issued during or after shutdown.
+// errTCPClosed reports a send issued during or after shutdown, or against
+// a connection torn down by a write error (the caller re-sends and the
+// next attempt re-dials).
 var errTCPClosed = errors.New("runtime: tcp lamellae closed")
 
 func newTCPLamellae(npes int, deliver deliverFn) (*tcpLamellae, error) {
@@ -113,7 +130,8 @@ func (t *tcpLamellae) serve(pe int, conn net.Conn) {
 	}
 }
 
-// conn returns (dialing if needed) the outbound connection src→dst.
+// conn returns (dialing if needed) the outbound connection src→dst and
+// starts its writer goroutine.
 func (t *tcpLamellae) conn(src, dst int) (*tcpConn, error) {
 	key := [2]int{src, dst}
 	t.mu.Lock()
@@ -131,7 +149,7 @@ func (t *tcpLamellae) conn(src, dst int) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runtime: tcp lamellae dial PE%d: %w", dst, err)
 	}
-	tc = &tcpConn{c: c, w: bufio.NewWriterSize(c, 256<<10)}
+	tc = &tcpConn{key: key, c: c, kick: make(chan struct{}, 1)}
 	t.mu.Lock()
 	if existing := t.conns[key]; existing != nil {
 		t.mu.Unlock()
@@ -148,49 +166,104 @@ func (t *tcpLamellae) conn(src, dst int) (*tcpConn, error) {
 	default:
 	}
 	t.conns[key] = tc
+	t.wg.Add(1)
+	go t.writer(tc)
 	t.mu.Unlock()
 	return tc, nil
 }
 
 // dropConn tears down a connection that hit an I/O error so the next
-// send re-dials instead of reusing a dead socket.
-func (t *tcpLamellae) dropConn(key [2]int, tc *tcpConn) {
+// send re-dials instead of reusing a dead socket. Queued frames are
+// returned to the slab — from the reliability layer's point of view they
+// were lost in the network and will be retransmitted.
+func (t *tcpLamellae) dropConn(tc *tcpConn) {
 	t.mu.Lock()
-	if t.conns[key] == tc {
-		delete(t.conns, key)
+	if t.conns[tc.key] == tc {
+		delete(t.conns, tc.key)
 	}
 	t.mu.Unlock()
+	tc.mu.Lock()
+	tc.closed = true
+	q := tc.queue
+	tc.queue = nil
+	tc.mu.Unlock()
+	for _, b := range q {
+		slab.Put(b)
+	}
 	tc.c.Close()
 }
 
+// writer is the per-connection transmit goroutine: it swaps the send
+// queue out under the lock and writes the whole batch with one writev.
+func (t *tcpLamellae) writer(tc *tcpConn) {
+	defer t.wg.Done()
+	var vecs net.Buffers
+	for {
+		select {
+		case <-tc.kick:
+		case <-t.done:
+			t.dropConn(tc)
+			return
+		}
+		for {
+			tc.mu.Lock()
+			q := tc.queue
+			tc.queue = tc.spare[:0]
+			tc.mu.Unlock()
+			if len(q) == 0 {
+				tc.spare = q
+				break
+			}
+			// WriteTo consumes its slice (re-slicing entries on partial
+			// writes), so it gets a scratch copy of the headers; q keeps
+			// the original pointers for slab recycling.
+			vecs = append(vecs[:0], q...)
+			_, err := vecs.WriteTo(tc.c)
+			for i := range vecs {
+				vecs[i] = nil
+			}
+			for i, b := range q {
+				slab.Put(b)
+				q[i] = nil
+			}
+			tc.spare = q
+			if err != nil {
+				t.dropConn(tc)
+				return
+			}
+		}
+	}
+}
+
+// send frames msg into one slab buffer and enqueues it for the
+// connection's writer. The copy is required regardless of batching: the
+// caller (the reliability layer) reuses msg's buffer for retransmission
+// the moment send returns.
 func (t *tcpLamellae) send(src, dst int, msg []byte) error {
 	select {
 	case <-t.done:
 		return errTCPClosed
 	default:
 	}
-	key := [2]int{src, dst}
 	tc, err := t.conn(src, dst)
 	if err != nil {
 		return err
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(src))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(msg)))
+	buf := slab.Get(8 + len(msg))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(src))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(msg)))
+	copy(buf[8:], msg)
 	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if _, err := tc.w.Write(hdr[:]); err != nil {
-		t.dropConn(key, tc)
-		return fmt.Errorf("runtime: tcp lamellae write PE%d→PE%d: %w", src, dst, err)
+	if tc.closed {
+		tc.mu.Unlock()
+		slab.Put(buf)
+		return fmt.Errorf("runtime: tcp lamellae write PE%d→PE%d: %w", src, dst, errTCPClosed)
 	}
-	if _, err := tc.w.Write(msg); err != nil {
-		t.dropConn(key, tc)
-		return fmt.Errorf("runtime: tcp lamellae write PE%d→PE%d: %w", src, dst, err)
-	}
-	// Flush per batch: the aggregation layer above already coalesced.
-	if err := tc.w.Flush(); err != nil {
-		t.dropConn(key, tc)
-		return fmt.Errorf("runtime: tcp lamellae flush PE%d→PE%d: %w", src, dst, err)
+	tc.queue = append(tc.queue, buf)
+	tc.mu.Unlock()
+	select {
+	case tc.kick <- struct{}{}:
+	default:
 	}
 	return nil
 }
@@ -202,11 +275,16 @@ func (t *tcpLamellae) close() {
 			ln.Close()
 		}
 		t.mu.Lock()
+		conns := make([]*tcpConn, 0, len(t.conns))
 		for _, tc := range t.conns {
+			conns = append(conns, tc)
+		}
+		t.mu.Unlock()
+		// Closing the sockets unblocks writers mid-writev; each writer
+		// also observes done and tears its connection down.
+		for _, tc := range conns {
 			tc.c.Close()
 		}
-		t.conns = map[[2]int]*tcpConn{}
-		t.mu.Unlock()
 	})
 	t.wg.Wait()
 }

@@ -65,9 +65,12 @@ func TestTCPSendCloseRace(t *testing.T) {
 	}
 }
 
-// A send hitting a dead connection must report the error, drop the
-// connection from the table, and let a subsequent send re-dial — the
-// reliability layer depends on this to replay unacked frames.
+// A connection dying mid-stream must not wedge the transport: the
+// writer goroutine notices the broken socket, drops the connection from
+// the table (frames still queued on it are lost — send is asynchronous
+// and the reliability layer retransmits), and a later send re-dials.
+// The test sabotages the established socket and keeps sending until
+// frames flow again, proving the re-dial path works end to end.
 func TestTCPSendErrorRedials(t *testing.T) {
 	var delivered atomic.Uint64
 	lam, err := newTCPLamellae(2, func(dst, src int, ref slab.Ref, msg []byte) {
@@ -82,7 +85,9 @@ func TestTCPSendErrorRedials(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Sabotage the established outbound socket behind the table's back,
-	// simulating a connection reset.
+	// simulating a connection reset. Frames enqueued between the reset
+	// and the writer noticing are dropped silently, exactly like frames
+	// lost inside the kernel's socket buffer on a real reset.
 	lam.mu.Lock()
 	tc := lam.conns[[2]int{0, 1}]
 	lam.mu.Unlock()
@@ -90,22 +95,15 @@ func TestTCPSendErrorRedials(t *testing.T) {
 		t.Fatal("no connection registered after send")
 	}
 	tc.c.Close()
-	// The next send may fail (broken socket) — that must be an error
-	// return, and the one after it must have re-dialed and succeeded.
+	// Retransmit until two frames have made it through, as the
+	// reliability layer would; a send error here can only be transient
+	// (racing the writer's teardown), so keep going until the deadline.
 	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if err := lam.send(0, 1, []byte("two")); err == nil {
-			break
-		}
+	for delivered.Load() < 2 {
 		if time.Now().After(deadline) {
-			t.Fatal("send never recovered after connection teardown")
+			t.Fatalf("delivered %d frames after teardown, want >= 2", delivered.Load())
 		}
-	}
-	// Both successful frames eventually arrive.
-	for deadline := time.Now().Add(5 * time.Second); delivered.Load() < 2; {
-		if time.Now().After(deadline) {
-			t.Fatalf("delivered %d frames, want >= 2", delivered.Load())
-		}
+		lam.send(0, 1, []byte("again"))
 		time.Sleep(time.Millisecond)
 	}
 }

@@ -21,6 +21,7 @@ type tuneSnap struct {
 	aggReasons  [telemetry.NumFlushReasons]uint64
 	frames      uint64
 	retries     uint64
+	parked      uint64
 }
 
 func (env *worldEnv) tuneSnapshot() tuneSnap {
@@ -41,6 +42,7 @@ func (env *worldEnv) tuneSnapshot() tuneSnap {
 			c := &env.rel.counters[pe]
 			s.frames += c.frames.Load()
 			s.retries += c.retries.Load()
+			s.parked += c.parked.Load()
 		}
 	}
 	return s
@@ -62,6 +64,7 @@ func (env *worldEnv) buildSample(prev, now tuneSnap, period time.Duration) tunin
 		AggBytes:    now.aggBytes - prev.aggBytes,
 		Retries:     now.retries - prev.retries,
 		FramesSent:  now.frames - prev.frames,
+		WireParked:  now.parked - prev.parked,
 	}
 	for i := range sample.WireReasons {
 		sample.WireReasons[i] = now.wireReasons[i] - prev.wireReasons[i]
@@ -140,6 +143,10 @@ func knobValue(k tuning.Knobs, id tuning.Knob) int64 {
 		return int64(k.AggFlushOps)
 	case tuning.KnobRetryFloor:
 		return int64(k.RetryFloor)
+	case tuning.KnobWireWindowFrames:
+		return int64(k.WireWindowFrames)
+	case tuning.KnobWireWindowBytes:
+		return int64(k.WireWindowBytes)
 	}
 	return 0
 }

@@ -73,10 +73,20 @@ func (d *watchdog) run() {
 // stallThreshold is the age beyond which an outstanding op counts as
 // stalled on pe: factor × recorded round-trip p99, floored at 8× the
 // sampling interval (which also covers the cold-start case where the
-// digest is empty and p99 is zero).
+// digest is empty and p99 is zero). With the RTT-adaptive wire layer the
+// threshold also rides factor × the largest live adaptive RTO on this
+// PE's streams: a link whose retransmission timeout has legitimately
+// grown (congestion, loss) must not be flagged at the old round-trip
+// scale, while a link whose RTO collapsed to microseconds still keeps
+// the interval floor.
 func (d *watchdog) stallThreshold(pe int) int64 {
 	floor := 8 * d.interval.Nanoseconds()
 	thr := int64(d.factor) * int64(d.env.rec.PE(pe).Hist(recorder.HistRoundTrip).Quantile(0.99))
+	if rel := d.env.rel; rel != nil {
+		if rto := int64(d.factor) * rel.maxRTO(pe); rto > thr {
+			thr = rto
+		}
+	}
 	if thr < floor {
 		thr = floor
 	}

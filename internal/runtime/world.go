@@ -270,6 +270,11 @@ func newEnv(cfg Config) (*worldEnv, error) {
 		AggBufSize:        cfg.AggBufSize,
 		AggFlushOps:       cfg.AggFlushOps,
 		RetryFloor:        cfg.RetryInterval,
+		WireWindowFrames:  cfg.WireWindowFrames,
+		WireWindowBytes:   cfg.WireWindowBytes,
+	}
+	if base.WireWindowFrames < 0 {
+		base.WireWindowFrames = 0 // windowing disabled: the tuner leaves it off
 	}
 	env.tuneLim = tuning.DefaultLimits(base, cfg.RetryBackoffMax)
 	env.knobs.Store(base)
@@ -333,7 +338,14 @@ func newEnv(cfg Config) (*worldEnv, error) {
 			// floor through the knob cell: off/observe keep the wire layer
 			// byte-for-byte on its static configuration.
 			rel.retryFloor = &env.knobs.RetryFloorNs
+			// Likewise for the send-window caps (the per-stream AIMD
+			// machinery always runs; the tuner only moves its ceiling).
+			rel.capFrames = &env.knobs.WireWindowFrames
+			rel.capBytes = &env.knobs.WireWindowBytes
 		}
+		// The flight recorder receives wire round-trip samples and seeds
+		// cold streams' adaptive RTO.
+		rel.rec = env.rec
 		rel.start(inner)
 		env.lam = rel
 		env.rel = rel

@@ -40,12 +40,16 @@ const (
 	// HistQueueWait is sampled submit→start latency of pool tasks
 	// (1 in 64 tasks when no telemetry session stamps them all).
 	HistQueueWait
+	// HistWireRTT is the reliable wire layer's frame→cumulative-ack round
+	// trip (Karn-filtered: retransmitted frames are never sampled). It
+	// seeds the adaptive RTO for streams with no samples of their own.
+	HistWireRTT
 
 	// NumHists is the number of recorder histograms.
 	NumHists
 )
 
-var histNames = [NumHists]string{"am_round_trip_ns", "batch_age_ns", "task_queue_wait_ns"}
+var histNames = [NumHists]string{"am_round_trip_ns", "batch_age_ns", "task_queue_wait_ns", "wire_rtt_ns"}
 
 func (id HistID) String() string {
 	if id >= 0 && id < NumHists {

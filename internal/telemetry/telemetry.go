@@ -93,8 +93,12 @@ const (
 	// EvHealth marks one stall-watchdog finding; Sub = HealthKind,
 	// Arg1 = the kind-specific magnitude (stall age ns, backlog frames).
 	EvHealth
+	// EvWireOOODrop marks a received frame dropped because it landed
+	// beyond the receiver's bounded reorder window (the sender's timeout
+	// repairs it); Arg1 = source PE, Arg2 = frame sequence number.
+	EvWireOOODrop
 
-	numEventKinds = int(EvHealth) + 1
+	numEventKinds = int(EvWireOOODrop) + 1
 )
 
 var eventNames = [numEventKinds]string{
@@ -104,7 +108,7 @@ var eventNames = [numEventKinds]string{
 	"task.park",
 	"wire.retry", "wire.dedup", "wire.timeout", "wire.ack", "wire.fault",
 	"tune.decision",
-	"wire.send", "health",
+	"wire.send", "health", "wire.ooodrop",
 }
 
 func (k EventKind) String() string {
@@ -194,11 +198,17 @@ const (
 	// GaugeAggOccupancy is the number of envelopes sitting in this PE's
 	// destination aggregation queues.
 	GaugeAggOccupancy
+	// GaugeWireWindow is the PE's total AIMD send-window size (frames,
+	// summed over destination streams).
+	GaugeWireWindow
+	// GaugeWireInflight is the PE's unacked in-flight wire frame count
+	// (Arg2 of the same gauge event carries the parked-frame count).
+	GaugeWireInflight
 
-	numGauges = int(GaugeAggOccupancy) + 1
+	numGauges = int(GaugeWireInflight) + 1
 )
 
-var gaugeNames = [numGauges]string{"queue.depth", "agg.occupancy"}
+var gaugeNames = [numGauges]string{"queue.depth", "agg.occupancy", "wire.window", "wire.inflight"}
 
 func (g GaugeID) String() string {
 	if int(g) < numGauges {

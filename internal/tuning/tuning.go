@@ -74,12 +74,19 @@ const (
 	// KnobRetryFloor is the reliable wire layer's initial retransmission
 	// timeout (Config.RetryInterval).
 	KnobRetryFloor
+	// KnobWireWindowFrames caps the per-stream AIMD send window in frames
+	// (Config.WireWindowFrames).
+	KnobWireWindowFrames
+	// KnobWireWindowBytes caps the per-stream in-flight byte budget at
+	// full frame window (Config.WireWindowBytes).
+	KnobWireWindowBytes
 
 	// NumKnobs is the number of tuned parameters.
-	NumKnobs = int(KnobRetryFloor) + 1
+	NumKnobs = int(KnobWireWindowBytes) + 1
 )
 
-var knobNames = [NumKnobs]string{"agg_threshold_bytes", "agg_buf_size", "agg_flush_ops", "retry_floor"}
+var knobNames = [NumKnobs]string{"agg_threshold_bytes", "agg_buf_size", "agg_flush_ops", "retry_floor",
+	"wire_window_frames", "wire_window_bytes"}
 
 func (k Knob) String() string {
 	if int(k) < NumKnobs {
@@ -94,6 +101,8 @@ type Knobs struct {
 	AggBufSize        int
 	AggFlushOps       int
 	RetryFloor        time.Duration
+	WireWindowFrames  int
+	WireWindowBytes   int
 }
 
 // Limits clamp every decision; the controller can never push a knob
@@ -103,6 +112,8 @@ type Limits struct {
 	MinAggBufSize, MaxAggBufSize               int
 	MinAggFlushOps, MaxAggFlushOps             int
 	MinRetryFloor, MaxRetryFloor               time.Duration
+	MinWireWindowFrames, MaxWireWindowFrames   int
+	MinWireWindowBytes, MaxWireWindowBytes     int
 }
 
 // DefaultLimits derives clamp ranges from the configured baseline: the
@@ -115,8 +126,10 @@ func DefaultLimits(base Knobs, backoffMax time.Duration) Limits {
 		MinAggThresholdBytes: 4 << 10, MaxAggThresholdBytes: 4 << 20,
 		MinAggBufSize: 4 << 10, MaxAggBufSize: 4 << 20,
 		MinAggFlushOps: 256, MaxAggFlushOps: 1 << 16,
-		MinRetryFloor: base.RetryFloor,
-		MaxRetryFloor: backoffMax / 4,
+		MinRetryFloor:       base.RetryFloor,
+		MaxRetryFloor:       backoffMax / 4,
+		MinWireWindowFrames: 32, MaxWireWindowFrames: 4096,
+		MinWireWindowBytes: 256 << 10, MaxWireWindowBytes: 64 << 20,
 	}
 	if lim.MaxRetryFloor < lim.MinRetryFloor {
 		lim.MaxRetryFloor = lim.MinRetryFloor
@@ -145,9 +158,14 @@ type Sample struct {
 	AggBytes   uint64
 	AggReasons [telemetry.NumFlushReasons]uint64
 	// Retries counts wire retransmissions; FramesSent counts data frames
-	// put on the wire. They drive KnobRetryFloor.
+	// put on the wire. They drive KnobRetryFloor and the window caps.
 	Retries    uint64
 	FramesSent uint64
+	// WireParked counts frames the send window parked on a pending queue
+	// during the window — the signal that the window cap, not the
+	// workload, is the injection bottleneck. Drives KnobWireWindowFrames/
+	// KnobWireWindowBytes.
+	WireParked uint64
 	// FlushAge digests the aggregation open→flush age histogram
 	// (zero-Count when telemetry is off; the reason counters alone still
 	// steer the byte/op knobs).
@@ -312,6 +330,29 @@ func Decide(s Sample, k Knobs, lim Limits) Decision {
 		d.Knobs.RetryFloor = floor
 		d.Changed[KnobRetryFloor] = floor != k.RetryFloor
 	}
+
+	// Wire send-window caps. The per-stream AIMD machinery handles
+	// fast-timescale congestion on its own; the tuner moves the *caps*
+	// slowly: a lossy window (>5% retransmitted) lowers the ceiling the
+	// windows may ramp back to, while a clean window in which the cap
+	// actually parked frames raises it — the stream was window-limited,
+	// not network-limited. Windowing disabled (zero knob) stays disabled.
+	if s.FramesSent > 0 && k.WireWindowFrames > 0 {
+		switch {
+		case s.Retries*100 > s.FramesSent*5:
+			d.Knobs.WireWindowFrames = stepInt(k.WireWindowFrames, shrinkNum, shrinkDen,
+				lim.MinWireWindowFrames, lim.MaxWireWindowFrames)
+			d.Knobs.WireWindowBytes = stepInt(k.WireWindowBytes, shrinkNum, shrinkDen,
+				lim.MinWireWindowBytes, lim.MaxWireWindowBytes)
+		case s.Retries == 0 && s.WireParked > 0:
+			d.Knobs.WireWindowFrames = stepInt(k.WireWindowFrames, growNum, growDen,
+				lim.MinWireWindowFrames, lim.MaxWireWindowFrames)
+			d.Knobs.WireWindowBytes = stepInt(k.WireWindowBytes, growNum, growDen,
+				lim.MinWireWindowBytes, lim.MaxWireWindowBytes)
+		}
+		d.Changed[KnobWireWindowFrames] = d.Knobs.WireWindowFrames != k.WireWindowFrames
+		d.Changed[KnobWireWindowBytes] = d.Knobs.WireWindowBytes != k.WireWindowBytes
+	}
 	return d
 }
 
@@ -325,6 +366,8 @@ type Atomics struct {
 	AggBufSize        atomic.Int64
 	AggFlushOps       atomic.Int64
 	RetryFloorNs      atomic.Int64
+	WireWindowFrames  atomic.Int64
+	WireWindowBytes   atomic.Int64
 }
 
 // Store publishes k to the live cells.
@@ -333,6 +376,8 @@ func (a *Atomics) Store(k Knobs) {
 	a.AggBufSize.Store(int64(k.AggBufSize))
 	a.AggFlushOps.Store(int64(k.AggFlushOps))
 	a.RetryFloorNs.Store(int64(k.RetryFloor))
+	a.WireWindowFrames.Store(int64(k.WireWindowFrames))
+	a.WireWindowBytes.Store(int64(k.WireWindowBytes))
 }
 
 // Load snapshots the live cells.
@@ -342,5 +387,7 @@ func (a *Atomics) Load() Knobs {
 		AggBufSize:        int(a.AggBufSize.Load()),
 		AggFlushOps:       int(a.AggFlushOps.Load()),
 		RetryFloor:        time.Duration(a.RetryFloorNs.Load()),
+		WireWindowFrames:  int(a.WireWindowFrames.Load()),
+		WireWindowBytes:   int(a.WireWindowBytes.Load()),
 	}
 }

@@ -252,3 +252,102 @@ func TestDefaultLimits(t *testing.T) {
 		t.Errorf("degenerate cap: max %v < min %v", tight.MaxRetryFloor, tight.MinRetryFloor)
 	}
 }
+
+func wireKnobs() Knobs {
+	k := baseKnobs()
+	k.WireWindowFrames = 256
+	k.WireWindowBytes = 4 << 20
+	return k
+}
+
+// A clean window in which the cap parked frames means the stream was
+// window-limited, not network-limited: raise both caps.
+func TestWireWindowGrowsWhenParkedAndClean(t *testing.T) {
+	k := wireKnobs()
+	lim := DefaultLimits(k, 500*time.Millisecond)
+	var s Sample
+	s.FramesSent, s.Retries, s.WireParked = 1000, 0, 50
+	d := Decide(s, k, lim)
+	if d.Knobs.WireWindowFrames <= k.WireWindowFrames {
+		t.Errorf("WireWindowFrames %d did not grow from %d", d.Knobs.WireWindowFrames, k.WireWindowFrames)
+	}
+	if d.Knobs.WireWindowBytes <= k.WireWindowBytes {
+		t.Errorf("WireWindowBytes %d did not grow from %d", d.Knobs.WireWindowBytes, k.WireWindowBytes)
+	}
+	if !d.Changed[KnobWireWindowFrames] || !d.Changed[KnobWireWindowBytes] {
+		t.Errorf("Changed flags = %v, want wire-window knobs marked", d.Changed)
+	}
+}
+
+// A lossy window (>5% retransmitted) lowers the ceiling the AIMD
+// windows may ramp back to.
+func TestWireWindowShrinksWhenLossy(t *testing.T) {
+	k := wireKnobs()
+	lim := DefaultLimits(k, 500*time.Millisecond)
+	var s Sample
+	s.FramesSent, s.Retries = 1000, 100
+	d := Decide(s, k, lim)
+	if d.Knobs.WireWindowFrames >= k.WireWindowFrames {
+		t.Errorf("WireWindowFrames %d did not shrink from %d", d.Knobs.WireWindowFrames, k.WireWindowFrames)
+	}
+	if d.Knobs.WireWindowBytes >= k.WireWindowBytes {
+		t.Errorf("WireWindowBytes %d did not shrink from %d", d.Knobs.WireWindowBytes, k.WireWindowBytes)
+	}
+}
+
+// Mild loss with no parked frames carries no cap signal: the AIMD
+// machinery handles it per-stream, the caps hold still.
+func TestWireWindowHoldsOnMildLoss(t *testing.T) {
+	k := wireKnobs()
+	lim := DefaultLimits(k, 500*time.Millisecond)
+	var s Sample
+	s.FramesSent, s.Retries, s.WireParked = 1000, 30, 50 // 3% < 5%, but not clean
+	d := Decide(s, k, lim)
+	if d.Knobs.WireWindowFrames != k.WireWindowFrames || d.Knobs.WireWindowBytes != k.WireWindowBytes {
+		t.Errorf("mild-loss window moved caps: %d/%d -> %d/%d",
+			k.WireWindowFrames, k.WireWindowBytes, d.Knobs.WireWindowFrames, d.Knobs.WireWindowBytes)
+	}
+	if d.Changed[KnobWireWindowFrames] || d.Changed[KnobWireWindowBytes] {
+		t.Error("mild-loss window marked wire knobs changed")
+	}
+}
+
+// No matter how many one-sided windows arrive, the caps stay clamped.
+func TestWireWindowClampsRespected(t *testing.T) {
+	k := wireKnobs()
+	lim := DefaultLimits(k, 500*time.Millisecond)
+	var grow Sample
+	grow.FramesSent, grow.WireParked = 1000, 500
+	for i := 0; i < 100; i++ {
+		k = Decide(grow, k, lim).Knobs
+	}
+	if k.WireWindowFrames != lim.MaxWireWindowFrames || k.WireWindowBytes != lim.MaxWireWindowBytes {
+		t.Errorf("caps %d/%d not pinned at max %d/%d",
+			k.WireWindowFrames, k.WireWindowBytes, lim.MaxWireWindowFrames, lim.MaxWireWindowBytes)
+	}
+	var shrink Sample
+	shrink.FramesSent, shrink.Retries = 1000, 500
+	for i := 0; i < 100; i++ {
+		k = Decide(shrink, k, lim).Knobs
+	}
+	if k.WireWindowFrames != lim.MinWireWindowFrames || k.WireWindowBytes != lim.MinWireWindowBytes {
+		t.Errorf("caps %d/%d not pinned at min %d/%d",
+			k.WireWindowFrames, k.WireWindowBytes, lim.MinWireWindowFrames, lim.MinWireWindowBytes)
+	}
+}
+
+// Windowing disabled by config (zero knob) must stay disabled: the
+// controller may tune the cap, never turn the mechanism on.
+func TestWireWindowDisabledStaysDisabled(t *testing.T) {
+	k := baseKnobs() // WireWindowFrames zero
+	lim := DefaultLimits(k, 500*time.Millisecond)
+	var s Sample
+	s.FramesSent, s.WireParked = 1000, 500
+	d := Decide(s, k, lim)
+	if d.Knobs.WireWindowFrames != 0 || d.Knobs.WireWindowBytes != 0 {
+		t.Errorf("disabled windowing re-enabled: %d/%d", d.Knobs.WireWindowFrames, d.Knobs.WireWindowBytes)
+	}
+	if d.Changed[KnobWireWindowFrames] || d.Changed[KnobWireWindowBytes] {
+		t.Error("disabled windowing marked changed")
+	}
+}
