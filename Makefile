@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench agg-bench bench-sched bench-wire wire-smoke sched-stress trace-smoke watchdog-smoke fault-stress bench-allocs
+.PHONY: build vet test race check bench agg-bench bench-sched bench-wire wire-smoke sched-stress trace-smoke watchdog-smoke fault-stress bench-allocs taskbench-smoke bench-taskbench bench-gate bench-gate-run bench-baseline lint
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,33 @@ race:
 
 # The scheduler stress test must RUN (not skip): the lock-free executor
 # paths only get race coverage through it. Grep the verbose output for
-# its PASS marker so a skip or rename fails the gate loudly.
+# its PASS marker so a skip or rename fails the gate loudly. It runs at
+# GOMAXPROCS 1 AND 4 (ISSUE 9): the deque/parking protocols behave
+# differently under real preemption, and until this matrix every gate
+# had only ever exercised them single-CPU.
+SCHED_STRESS_PROCS ?= 1 4
 sched-stress:
-	$(GO) test -race -count=1 -run TestSchedulerStress -v ./internal/scheduler | tee /tmp/sched-stress.out
-	@grep -q -- '--- PASS: TestSchedulerStress' /tmp/sched-stress.out || \
-		{ echo "check: TestSchedulerStress did not run/pass" >&2; exit 1; }
+	@for p in $(SCHED_STRESS_PROCS); do \
+		echo "== sched-stress GOMAXPROCS=$$p"; \
+		GOMAXPROCS=$$p $(GO) test -race -count=1 -run TestSchedulerStress -v ./internal/scheduler | tee /tmp/sched-stress.out; \
+		grep -q -- '--- PASS: TestSchedulerStress' /tmp/sched-stress.out || \
+			{ echo "check: TestSchedulerStress did not run/pass (GOMAXPROCS=$$p)" >&2; exit 1; }; \
+	done
+
+# Task Bench harness smoke (ISSUE 9): the five dependency patterns must
+# complete with exact task counts under the race detector at GOMAXPROCS
+# 1 and 4 (multi-core coverage for the submit→steal→AM→exec pipeline),
+# and the -quick matrix must produce rows for every pattern.
+taskbench-smoke:
+	@for p in 1 4; do \
+		echo "== taskbench-smoke GOMAXPROCS=$$p"; \
+		GOMAXPROCS=$$p $(GO) test -race -count=1 -run 'TestTaskBench|TestTaskGraph' -v ./internal/bench | tee /tmp/taskbench-smoke.out; \
+		grep -q -- '--- PASS: TestTaskBenchCompletionCounts' /tmp/taskbench-smoke.out || \
+			{ echo "check: TestTaskBenchCompletionCounts did not run/pass (GOMAXPROCS=$$p)" >&2; exit 1; }; \
+	done
+	$(GO) run ./cmd/lamellar-bench taskbench -quick | tee /tmp/taskbench-quick.out > /dev/null
+	@grep -q 'TASKBENCH random' /tmp/taskbench-quick.out || \
+		{ echo "check: taskbench -quick produced no random-pattern rows" >&2; exit 1; }
 
 # Seeded adversarial-fabric matrix: the whole runtime/darc/array/bale
 # surface must stay exactly correct with 5% of wire frames dropped,
@@ -45,10 +67,49 @@ bench-allocs:
 	$(GO) test -run xxx -bench 'BenchmarkAtomicOpsAggregated$$' -benchtime=200x -benchmem -count=1 .
 
 # Tier-1 gate: everything that must stay green before a change lands.
-check: build vet race sched-stress fault-stress wire-smoke trace-smoke watchdog-smoke bench-allocs
+check: build vet race sched-stress taskbench-smoke fault-stress wire-smoke trace-smoke watchdog-smoke bench-allocs
+
+# Lint gate (CI `lint` job): formatting must be canonical and vet clean.
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "lint: gofmt drift in:" >&2; echo "$$fmt_out" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+	@echo "lint: gofmt clean, vet clean"
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# --- Benchmark regression gate (ISSUE 9) -------------------------------
+# A pinned-iteration subset of the benchmark suite, run with -benchtime=Nx
+# and -count=5 so medians are comparable across runs, written to
+# $(BENCH_GATE_OUT) and diffed against the committed bench_baseline.txt
+# by the Go comparator (cmd/lamellar-bench gate). >15% adjusted median
+# ns/op regression or ANY allocs/op increase fails. GateCalibrate is the
+# machine-speed yardstick that rescales the time threshold on differently
+# sized runners; allocs are compared raw. -benchmem is only passed where
+# the alloc count is deterministic (the aggregated hot path): the
+# taskbench cell's allocs jitter ±2 with goroutine timing, which would
+# false-positive an any-increase ratchet.
+BENCH_GATE_OUT ?= /tmp/bench-gate-new.txt
+bench-gate-run:
+	$(GO) test -run xxx -bench 'BenchmarkAtomicOpsAggregated$$' -benchtime=120x -benchmem -count=5 . > $(BENCH_GATE_OUT)
+	$(GO) test -run xxx -bench 'InjectorPop' -benchtime=200000x -count=5 ./internal/scheduler >> $(BENCH_GATE_OUT)
+	$(GO) test -run xxx -bench 'BenchmarkGateCalibrate$$|BenchmarkTaskBenchCellStencil$$' -benchtime=5x -count=5 ./internal/bench >> $(BENCH_GATE_OUT)
+
+bench-gate: bench-gate-run
+	$(GO) run ./cmd/lamellar-bench gate -baseline bench_baseline.txt -new $(BENCH_GATE_OUT)
+
+# Regenerate the committed baseline (run on a quiet machine, then commit
+# bench_baseline.txt together with the change that moved the numbers).
+bench-baseline: BENCH_GATE_OUT = bench_baseline.txt
+bench-baseline: bench-gate-run
+	@echo "bench-baseline: wrote bench_baseline.txt"
+
+# Full Task Bench dependency-pattern matrix (bench_results.txt §TASKBENCH).
+bench-taskbench:
+	$(GO) run ./cmd/lamellar-bench taskbench
 
 # Aggregated vs direct array-op micro-benchmarks (FIG2A companion).
 agg-bench:

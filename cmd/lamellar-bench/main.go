@@ -11,6 +11,8 @@
 //	lamellar-bench ablate-batch  array sub-batch size sweep (§IV-B remark)
 //	lamellar-bench ablate-pes    PEs vs workers-per-PE tradeoff (§IV-B)
 //	lamellar-bench wire          reliable-wire AM throughput, clean vs faulted fabrics
+//	lamellar-bench taskbench     Task Bench dependency-pattern matrix (ISSUE 9)
+//	lamellar-bench gate          benchmark-regression comparator (make bench-gate)
 //	lamellar-bench all           everything above
 //
 // Absolute numbers come from the cost model plus real software overheads;
@@ -23,6 +25,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bale/kernels"
 	"repro/internal/bench"
@@ -44,11 +47,25 @@ func main() {
 		quick    = fs.Bool("quick", false, "tiny workloads for a fast smoke run")
 		retryMS  = fs.Int("retry_ms", 0, "wire bench: initial retransmission timeout override in ms")
 	)
+	var (
+		tbWidth    = fs.Int("tb-width", 0, "taskbench: tasks per timestep (default 256)")
+		tbDepth    = fs.Int("tb-depth", 0, "taskbench: timesteps (default 24)")
+		tbGrains   = fs.String("grains", "", "taskbench: comma-separated per-task spin durations (default 1us,10us,100us)")
+		tbProcs    = fs.String("procs", "", "taskbench: comma-separated GOMAXPROCS sweep (default 1,2,N)")
+		tbPatterns = fs.String("patterns", "", "taskbench: pattern subset (default all five)")
+		tbReps     = fs.Int("reps", 0, "taskbench: timed reps per cell, best-of (default 3)")
+		tbTune     = fs.Bool("tune", false, "taskbench: run the scheduler-knob sweeps instead of the matrix")
+	)
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "gate" {
+		// The gate has its own flag set (it shares nothing with the
+		// kernel-figure flags above).
+		os.Exit(runGate(os.Args[2:]))
+	}
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -108,6 +125,35 @@ func main() {
 				wcfg.Reps = 2
 			}
 			return bench.RunWire(wcfg, os.Stdout)
+		case "taskbench":
+			if *tbTune {
+				return bench.RunTaskBenchTune(*seed, os.Stdout)
+			}
+			pats, err := bench.ParsePatterns(*tbPatterns)
+			if err != nil {
+				return err
+			}
+			tcfg := bench.TaskBenchConfig{
+				Patterns: pats,
+				Width:    *tbWidth,
+				Depth:    *tbDepth,
+				Grains:   parseDurations(*tbGrains),
+				Workers:  *workers,
+				Procs:    parseInts(*tbProcs),
+				Seed:     *seed,
+				Reps:     *tbReps,
+				CSV:      *csv,
+			}
+			if *quick {
+				tcfg.Width, tcfg.Depth, tcfg.Reps = 64, 8, 1
+				if len(tcfg.Grains) == 0 {
+					tcfg.Grains = []time.Duration{time.Microsecond}
+				}
+				if len(tcfg.Procs) == 0 {
+					tcfg.Procs = []int{1, 4}
+				}
+			}
+			return bench.RunTaskBench(tcfg, os.Stdout)
 		default:
 			usage()
 			return fmt.Errorf("unknown subcommand %q", name)
@@ -147,6 +193,23 @@ func parseInts(s string) []int {
 	return out
 }
 
+func parseDurations(s string) []time.Duration {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "lamellar-bench: bad duration %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 func parseStrs(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
@@ -159,6 +222,6 @@ func parseStrs(s string) []string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lamellar-bench <fig2|fig2-get|fig2-agg|fig3|fig4|fig5|ablate-agg|ablate-batch|ablate-pes|ablate-rack|wire|all> [flags]
-run "lamellar-bench fig3 -h" for flags`)
+	fmt.Fprintln(os.Stderr, `usage: lamellar-bench <fig2|fig2-get|fig2-agg|fig3|fig4|fig5|ablate-agg|ablate-batch|ablate-pes|ablate-rack|wire|taskbench|gate|all> [flags]
+run "lamellar-bench fig3 -h" for flags; "lamellar-bench gate -h" for the gate's own flags`)
 }

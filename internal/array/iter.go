@@ -3,7 +3,9 @@ package array
 import (
 	"fmt"
 	"iter"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -75,16 +77,52 @@ type poolIface interface {
 	Workers() int
 }
 
+// chunkTasksPerWorker is the adaptive-chunk split target: parallel
+// terminals aim for this many chunks per worker so work stealing can
+// absorb skew from uneven filters and slow workers. A measured knob
+// (ISSUE 9): the Task Bench matrix sweeps it — see bench_results.txt
+// §TASKBENCH. Override with LAMELLAR_CHUNK_FACTOR or
+// SetChunkTasksPerWorker; WithChunk still overrides per iterator.
+var chunkTasksPerWorker atomic.Int32
+
+const defaultChunkTasksPerWorker = 4
+
+func init() {
+	f := defaultChunkTasksPerWorker
+	if s := os.Getenv("LAMELLAR_CHUNK_FACTOR"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 && v <= 256 {
+			f = v
+		}
+	}
+	chunkTasksPerWorker.Store(int32(f))
+}
+
+// SetChunkTasksPerWorker sets the chunks-per-worker split target
+// (clamped to [1, 256]) used by adaptiveChunk for iterators built
+// afterwards.
+func SetChunkTasksPerWorker(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	chunkTasksPerWorker.Store(int32(n))
+}
+
+// ChunkTasksPerWorker reports the current chunks-per-worker target.
+func ChunkTasksPerWorker() int { return int(chunkTasksPerWorker.Load()) }
+
 // adaptiveChunk picks the default elements-per-task for parallel
-// terminals: enough chunks to give every worker ~4 (absorbing skew from
-// stealing and uneven filters), but clamped so tiny views do not pay
-// per-task overhead and huge views do not queue monster chunks.
-// WithChunk overrides it.
+// terminals: enough chunks to give every worker ~chunkTasksPerWorker
+// (absorbing skew from stealing and uneven filters), but clamped so tiny
+// views do not pay per-task overhead and huge views do not queue monster
+// chunks. WithChunk overrides it.
 func adaptiveChunk(n, workers int) int {
 	if workers < 1 {
 		workers = 1
 	}
-	c := n / (workers * 4)
+	c := n / (workers * int(chunkTasksPerWorker.Load()))
 	if c < 64 {
 		c = 64
 	}

@@ -57,12 +57,12 @@ type cpFlow struct {
 	issueTS float64
 	haveIss bool
 
-	encTS  float64
-	encDur float64
+	encTS   float64
+	encDur  float64
 	haveEnc bool
 
-	execTS  float64
-	execDur float64
+	execTS   float64
+	execDur  float64
 	haveExec bool
 
 	retTS   float64
@@ -73,10 +73,10 @@ type cpFlow struct {
 
 // cpSegments is one completed flow's decomposition, all in microseconds.
 type cpSegments struct {
-	flow                            uint64
-	queue, encode, wire, exec, ret  float64
-	total                           float64
-	retransmits                     int
+	flow                           uint64
+	queue, encode, wire, exec, ret float64
+	total                          float64
+	retransmits                    int
 }
 
 // RunCriticalPath drives the lamellar-trace -critical-path mode: an

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkGateCalibrate is the bench-gate's machine-speed yardstick: a
+// fixed amount of pure CPU work with no runtime involvement. The gate
+// comparator (cmd/lamellar-bench gate) divides every other benchmark's
+// ns/op by this one's ratio between baseline and candidate runs, so a
+// slower CI runner does not read as a regression and a faster one does
+// not mask a real slowdown.
+func BenchmarkGateCalibrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spinKernel(1 << 20)
+	}
+}
+
+// BenchmarkTaskBenchCellStencil is the taskbench cell pinned into the
+// bench-gate: one stencil run (64x16, 5µs grain, 2 PEs x 2 workers over
+// shmem) per iteration, covering the full submit→steal→AM→wire→exec
+// pipeline end to end. Run with -benchtime=Nx so iteration counts match
+// the committed baseline.
+func BenchmarkTaskBenchCellStencil(b *testing.B) {
+	rate := calibrateSpin()
+	g, err := buildTaskGraph("stencil", 64, 16, 0x7B)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runTaskCell(g, 5*time.Microsecond, 2, 2, 1, rate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

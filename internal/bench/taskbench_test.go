@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Graph construction must be a pure function of (pattern, width, depth,
+// seed): two builds are structurally identical, and the random pattern
+// actually varies with the seed.
+func TestTaskGraphDeterministic(t *testing.T) {
+	for _, p := range TaskBenchPatterns {
+		a, err := buildTaskGraph(p, 64, 12, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		b, err := buildTaskGraph(p, 64, 12, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: graph construction is not deterministic", p)
+		}
+	}
+	r1, _ := buildTaskGraph("random", 64, 12, 1)
+	r2, _ := buildTaskGraph("random", 64, 12, 2)
+	if reflect.DeepEqual(r1.ndeps, r2.ndeps) && reflect.DeepEqual(r1.dependents, r2.dependents) {
+		t.Error("random: different seeds produced identical graphs")
+	}
+}
+
+// Structural invariants per pattern: totals, per-level dependency
+// bounds, and that the dependents index is an exact reversal of the
+// dependency counts.
+func TestTaskGraphShape(t *testing.T) {
+	const w, d = 64, 10
+	for _, p := range TaskBenchPatterns {
+		g, err := buildTaskGraph(p, w, d, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		wantTotal := 0
+		for _, lw := range g.widths {
+			wantTotal += lw
+		}
+		if g.total != wantTotal {
+			t.Errorf("%s: total %d != sum of level widths %d", p, g.total, wantTotal)
+		}
+		switch p {
+		case "stencil", "fft", "sparse", "random":
+			if g.widths[0] == 0 || g.widths[0] > w {
+				t.Errorf("%s: bad level width %d", p, g.widths[0])
+			}
+		case "tree":
+			if g.widths[0] != w || g.widths[1] != (w+1)/2 {
+				t.Errorf("tree: unexpected narrowing %v", g.widths[:2])
+			}
+		}
+		// Level 0 has no dependencies; every later active task has >= 1.
+		for i := 0; i < g.widths[0]; i++ {
+			if g.ndeps[i] != 0 {
+				t.Errorf("%s: level-0 task %d has %d deps", p, i, g.ndeps[i])
+			}
+		}
+		for lvl := 1; lvl < d; lvl++ {
+			for i := 0; i < g.widths[lvl]; i++ {
+				if n := g.ndeps[lvl*w+i]; n < 1 || n > tbSparseDegree {
+					t.Errorf("%s: task (%d,%d) has %d deps", p, i, lvl, n)
+				}
+			}
+		}
+		// Reversal: total dependent edges == total dependency counts.
+		var edges, deps int
+		for _, ds := range g.dependents {
+			edges += len(ds)
+		}
+		for _, n := range g.ndeps {
+			deps += int(n)
+		}
+		if edges != deps {
+			t.Errorf("%s: %d dependent edges != %d dependency slots", p, edges, deps)
+		}
+	}
+}
+
+// Every pattern must have at least one cross-PE edge under the 2-PE
+// block distribution — otherwise the matrix would never exercise the AM
+// fabric and the wire layer.
+func TestTaskGraphCrossPEEdges(t *testing.T) {
+	for _, p := range TaskBenchPatterns {
+		g, err := buildTaskGraph(p, 64, 10, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if n := g.crossPEEdges(2); n == 0 {
+			t.Errorf("%s: no cross-PE dependency edges at 2 PEs", p)
+		}
+	}
+}
+
+// TestTaskBenchCompletionCounts runs every pattern end-to-end on a 2-PE
+// shmem world and checks exact completion: each active task ran exactly
+// once (the CAS bitmap catches double executions, the per-PE counters
+// catch losses). This is the -race smoke the taskbench-smoke Makefile
+// target gates into `make check` at GOMAXPROCS 1 and 4.
+func TestTaskBenchCompletionCounts(t *testing.T) {
+	rate := calibrateSpin()
+	for _, p := range TaskBenchPatterns {
+		g, err := buildTaskGraph(p, 32, 8, 0x7B)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		res, err := runTaskCell(g, time.Microsecond, 2, 2, 2, rate)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.doubles != 0 {
+			t.Errorf("%s: %d tasks executed more than once", p, res.doubles)
+		}
+		var ran int64
+		for _, n := range res.ranPE {
+			ran += n
+		}
+		if ran != int64(g.total) {
+			t.Errorf("%s: %d of %d tasks completed", p, ran, g.total)
+		}
+		// Both PEs must own work at width 32 (block split 16/16 except
+		// tree's narrowed levels, which still leave PE 1 the wide ones).
+		for pe, n := range res.ranPE {
+			if n == 0 {
+				t.Errorf("%s: PE %d completed no tasks", p, pe)
+			}
+		}
+	}
+}
+
+// The harness rejects malformed cells loudly instead of hanging.
+func TestTaskGraphErrors(t *testing.T) {
+	if _, err := buildTaskGraph("nope", 8, 4, 1); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if _, err := buildTaskGraph("stencil", 0, 4, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := ParsePatterns("stencil,bogus"); err == nil {
+		t.Error("ParsePatterns accepted unknown name")
+	}
+	ps, err := ParsePatterns("tree, random")
+	if err != nil || len(ps) != 2 || ps[0] != "tree" || ps[1] != "random" {
+		t.Errorf("ParsePatterns(\"tree, random\") = %v, %v", ps, err)
+	}
+}
+
+// A degenerate single-column world: width 1 collapses every pattern to a
+// chain; the run must still terminate with exact counts (guards the
+// tree plateau and fft stage-0 edge cases).
+func TestTaskBenchWidthOne(t *testing.T) {
+	rate := calibrateSpin()
+	for _, p := range TaskBenchPatterns {
+		g, err := buildTaskGraph(p, 1, 6, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		res, err := runTaskCell(g, time.Microsecond, 2, 1, 1, rate)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		var ran int64
+		for _, n := range res.ranPE {
+			ran += n
+		}
+		if ran != int64(g.total) || res.doubles != 0 {
+			t.Errorf("%s: ran %d of %d (doubles %d)", p, ran, g.total, res.doubles)
+		}
+	}
+}

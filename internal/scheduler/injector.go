@@ -34,9 +34,29 @@ type injector struct {
 // a single shard lock.
 const injChunkCap = 64
 
-// maxInjShards caps sharding; beyond ~8 independent locks the cursor
-// atomic itself dominates.
-const maxInjShards = 8
+// injShardCap caps sharding: the injector uses min(workers, cap) shards.
+// Beyond ~8 independent locks the push-cursor atomic itself dominates,
+// so 8 is the default, but the cap is a measured knob (ISSUE 9): the
+// Task Bench matrix sweeps it per dependency pattern — see
+// bench_results.txt §TASKBENCH. Read once at pool construction;
+// override with LAMELLAR_INJ_SHARDS or SetInjectorShardCap before
+// building a pool.
+var injShardCap atomic.Int32
+
+const defaultInjShardCap = 8
+
+func init() {
+	injShardCap.Store(int32(envKnob("LAMELLAR_INJ_SHARDS", defaultInjShardCap, 1, 64)))
+}
+
+// SetInjectorShardCap sets the shard-count cap (clamped to [1, 64]) for
+// pools created afterwards; existing pools keep their shard count.
+func SetInjectorShardCap(n int) {
+	injShardCap.Store(int32(clampKnob(n, 1, 64)))
+}
+
+// InjectorShardCap reports the current shard-count cap.
+func InjectorShardCap() int { return int(injShardCap.Load()) }
 
 type injChunk struct {
 	lo, hi int // valid entries are buf[lo:hi]
@@ -45,8 +65,8 @@ type injChunk struct {
 }
 
 type injShard struct {
-	count atomic.Int64 // entries queued (lock-free empty check)
-	mu    sync.Mutex
+	count  atomic.Int64 // entries queued (lock-free empty check)
+	mu     sync.Mutex
 	head   *injChunk // pop end (oldest)
 	tail   *injChunk // push end (newest)
 	spare  *injChunk // recycled chunks (linked via next), avoids alloc churn
@@ -63,8 +83,8 @@ func newInjector(shards int) *injector {
 	if shards < 1 {
 		shards = 1
 	}
-	if shards > maxInjShards {
-		shards = maxInjShards
+	if cap := int(injShardCap.Load()); shards > cap {
+		shards = cap
 	}
 	return &injector{shards: make([]injShard, shards)}
 }

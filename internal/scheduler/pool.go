@@ -9,6 +9,8 @@
 package scheduler
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,15 +89,57 @@ type Pool struct {
 }
 
 // refillBatch bounds how many injector tasks one worker moves into its
-// deque per shard-lock acquisition; stealBatchMax bounds tasks
-// transferred per steal encounter.
+// deque per shard-lock acquisition.
 const (
-	refillBatch   = 32
-	stealBatchMax = 32
+	refillBatch = 32
 	// injectorPollMask: every 64th dispatch polls the injector before the
 	// local deque so the FIFO queue cannot be starved by deque churn.
 	injectorPollMask = 63
 )
+
+// stealBatchMax bounds tasks transferred per steal encounter ("steal
+// half, capped"). A tunable (ISSUE 9): the Task Bench matrix measures it
+// across dependency patterns and granularities instead of hard-coding a
+// guess — see bench_results.txt §TASKBENCH. Reads are one atomic load on
+// the (rare relative to dispatch) steal path. Override per process with
+// LAMELLAR_STEAL_BATCH or per run with SetStealBatch.
+var stealBatchMax atomic.Int32
+
+const defaultStealBatch = 32
+
+func init() {
+	stealBatchMax.Store(int32(envKnob("LAMELLAR_STEAL_BATCH", defaultStealBatch, 1, 1024)))
+}
+
+// SetStealBatch sets the per-encounter steal transfer cap (clamped to
+// [1, 1024]). Safe to call concurrently; affects subsequent steals.
+func SetStealBatch(n int) {
+	stealBatchMax.Store(int32(clampKnob(n, 1, 1024)))
+}
+
+// StealBatch reports the current steal transfer cap.
+func StealBatch() int { return int(stealBatchMax.Load()) }
+
+// envKnob reads an integer knob from the environment, clamped to
+// [lo, hi]; malformed or absent values select def.
+func envKnob(name string, def, lo, hi int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return clampKnob(v, lo, hi)
+		}
+	}
+	return def
+}
+
+func clampKnob(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
 
 // NewPool starts a pool with the given number of workers (minimum 1).
 func NewPool(workers int) *Pool {
@@ -402,7 +446,7 @@ func (p *Pool) stealFrom(w int, d *deque, rng *uint64) (taskEntry, bool) {
 		if v == w {
 			continue
 		}
-		e, moved, ok := d.stealInto(p.deques[v], stealBatchMax, p.spill)
+		e, moved, ok := d.stealInto(p.deques[v], int(stealBatchMax.Load()), p.spill)
 		if !ok {
 			continue
 		}
