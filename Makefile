@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench agg-bench bench-sched bench-wire wire-smoke sched-stress trace-smoke watchdog-smoke fault-stress bench-allocs taskbench-smoke bench-taskbench bench-gate bench-gate-run bench-baseline lint
+.PHONY: build vet test race check bench agg-bench bench-sched bench-wire bench-kv wire-smoke kv-smoke sched-stress trace-smoke watchdog-smoke fault-stress bench-allocs taskbench-smoke bench-taskbench bench-gate bench-gate-run bench-baseline lint
 
 build:
 	$(GO) build ./...
@@ -66,8 +66,17 @@ bench-allocs:
 	$(GO) test -count=1 -run 'TestAllocBudget' -v . ./internal/runtime
 	$(GO) test -run xxx -bench 'BenchmarkAtomicOpsAggregated$$' -benchtime=200x -benchmem -count=1 .
 
+# KV serving smoke (ISSUE 10): the sharded store must keep an exact
+# update ledger — zero lost and zero phantom updates — while an open-loop
+# Zipfian mix runs over a 5% drop/dup/reorder fabric under the race
+# detector. Grep for the PASS marker so a skip or rename fails loudly.
+kv-smoke:
+	$(GO) test -race -count=1 -run TestKVSmokeFaultedLedgerExact -v ./internal/kv | tee /tmp/kv-smoke.out
+	@grep -q -- '--- PASS: TestKVSmokeFaultedLedgerExact' /tmp/kv-smoke.out || \
+		{ echo "check: TestKVSmokeFaultedLedgerExact did not run/pass" >&2; exit 1; }
+
 # Tier-1 gate: everything that must stay green before a change lands.
-check: build vet race sched-stress taskbench-smoke fault-stress wire-smoke trace-smoke watchdog-smoke bench-allocs
+check: build vet race sched-stress taskbench-smoke fault-stress wire-smoke kv-smoke trace-smoke watchdog-smoke bench-allocs
 
 # Lint gate (CI `lint` job): formatting must be canonical and vet clean.
 lint:
@@ -129,6 +138,13 @@ bench-sched:
 # inside the benchmark, so no FAULT_ENV here.
 bench-wire:
 	$(GO) run ./cmd/lamellar-bench wire
+
+# KV serving benchmark (bench_results.txt §KV): open-loop Zipfian mix
+# against the sharded store on clean / 5% faulted / partition-and-heal
+# fabrics, direct (seed) vs aggregated dispatch, coordinated-omission-
+# safe p50/p99/p999 plus achieved-vs-offered throughput.
+bench-kv:
+	$(GO) run ./cmd/lamellar-bench kv
 
 # Fast wire gate for check: a short run across all four fabrics (the
 # benchmark's own seeded fault plans — clean, 5% drop, drop+dup+reorder,

@@ -35,11 +35,25 @@ type benchSample struct {
 // parseBenchOutput extracts samples from `go test -bench` output,
 // keyed by benchmark name with any trailing -GOMAXPROCS suffix stripped
 // (the suffix varies across hosts and would break baseline matching).
+//
+// Concatenated runs are detected via the `goos:` header `go test` prints
+// once per invocation: repeated samples of one benchmark *within* a
+// segment are the normal -count=N case and merge into one median, but
+// the same name appearing in two different segments means two distinct
+// runs were pasted into one file — silently merging their medians would
+// gate against a fabricated distribution, so that is a hard error.
 func parseBenchOutput(r io.Reader) (map[string][]benchSample, error) {
 	out := make(map[string][]benchSample)
+	firstSeg := make(map[string]int)
+	seg := 0
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		f := strings.Fields(sc.Text())
+		line := sc.Text()
+		if strings.HasPrefix(line, "goos:") {
+			seg++
+			continue
+		}
+		f := strings.Fields(line)
 		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 			continue
 		}
@@ -58,9 +72,16 @@ func parseBenchOutput(r io.Reader) (map[string][]benchSample, error) {
 				s.allocs, s.haveMem = v, true
 			}
 		}
-		if ok {
-			out[name] = append(out[name], s)
+		if !ok {
+			continue
 		}
+		if prev, seen := firstSeg[name]; seen && prev != seg {
+			return nil, fmt.Errorf(
+				"benchmark %q appears in multiple run segments (concatenated outputs); re-run the suite into one file instead of appending",
+				name)
+		}
+		firstSeg[name] = seg
+		out[name] = append(out[name], s)
 	}
 	return out, sc.Err()
 }
@@ -238,5 +259,9 @@ func loadBenchFile(path string) (map[string][]benchSample, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return parseBenchOutput(f)
+	m, err := parseBenchOutput(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
 }

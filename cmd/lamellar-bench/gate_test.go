@@ -144,3 +144,40 @@ func keys(m map[string][]benchSample) []string {
 	}
 	return out
 }
+
+// The same benchmark appearing in two run segments (two goos: headers =
+// two concatenated `go test` invocations) must be a hard parse error —
+// merging their medians would gate against a fabricated distribution.
+// Repeats *within* one segment are the normal -count=N case and merge.
+func TestGateRejectsDuplicateAcrossConcatenatedRuns(t *testing.T) {
+	_, err := parseBenchOutput(strings.NewReader(gateBaseText + gateBaseText))
+	if err == nil {
+		t.Fatal("concatenated runs with duplicate benchmarks parsed without error")
+	}
+	if !strings.Contains(err.Error(), "Benchmark") || !strings.Contains(err.Error(), "segment") {
+		t.Errorf("error %q does not explain the duplicate-run problem", err)
+	}
+	// Sanity: a single segment with -count repeats still parses (the
+	// baseline text itself has 3 samples per benchmark).
+	mustParse(t, gateBaseText)
+}
+
+// Disjoint benchmark sets across segments stay legal: two different
+// suites' outputs may be appended into one baseline file.
+func TestGateAllowsDisjointConcatenatedRuns(t *testing.T) {
+	in := "goos: linux\nBenchmarkOnlyA-4 100 50.0 ns/op\n" +
+		"goos: linux\nBenchmarkOnlyB-4 100 70.0 ns/op\n"
+	m := mustParse(t, in)
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(m), keys(m))
+	}
+}
+
+// A headerless hand-built file is one segment: repeats merge as before.
+func TestGateHeaderlessFileIsOneSegment(t *testing.T) {
+	in := "BenchmarkFoo-4 100 50.0 ns/op\nBenchmarkFoo-4 100 60.0 ns/op\n"
+	m := mustParse(t, in)
+	if got := len(m["BenchmarkFoo"]); got != 2 {
+		t.Errorf("BenchmarkFoo: %d samples, want 2 (merged)", got)
+	}
+}

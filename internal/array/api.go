@@ -281,6 +281,12 @@ func (a *LocalLockArray[T]) BatchLoad(idxs []int) *scheduler.Future[[]T] {
 	return a.c.batchOp(OpLoad, true, idxs, nil, nil)
 }
 
+// BatchFetchOp is the fetch variant of BatchOp, resolving with previous
+// values in input order (under the owners' write locks).
+func (a *LocalLockArray[T]) BatchFetchOp(op Op, idxs []int, v T) *scheduler.Future[[]T] {
+	return a.c.batchOp(op, true, idxs, []T{v}, nil)
+}
+
 // Put writes a range; the owner holds its write lock for the memcopy
 // (the Fig. 2 LocalLockArray path).
 func (a *LocalLockArray[T]) Put(start int, vals []T) *scheduler.Future[struct{}] {
@@ -396,6 +402,36 @@ func (a *UnsafeArray[T]) Max() *scheduler.Future[T] { return a.c.reduce(ReduceMa
 
 // LocalData returns the calling PE's chunk with no protection whatsoever.
 func (a *UnsafeArray[T]) LocalData() []T { return a.c.localSlice() }
+
+// ----- placement introspection (KV routing layer, ISSUE 10) -----------------
+
+// rankOf reports the team rank owning (view-relative) index i.
+func (c *core[T]) rankOf(i int) int {
+	rank, _ := c.st.geom.place(c.globalIndex(i))
+	return rank
+}
+
+// localRange reports the global index range [start, start+n) backing the
+// calling PE's local storage of the full (unviewed) array.
+func (c *core[T]) localRange() (start, n int) {
+	r := c.myRank()
+	return c.st.geom.globalOf(r, 0), c.st.geom.localLen(r)
+}
+
+// RankOf reports the team rank owning index i under the distribution —
+// the index→PE routing the KV layer shards by.
+func (a *AtomicArray[T]) RankOf(i int) int { return a.c.rankOf(i) }
+
+// LocalRange reports the global range [start, start+n) stored on the
+// calling PE (pairs with LocalData for owner-side scans).
+func (a *AtomicArray[T]) LocalRange() (start, n int) { return a.c.localRange() }
+
+// RankOf reports the team rank owning index i under the distribution.
+func (a *LocalLockArray[T]) RankOf(i int) int { return a.c.rankOf(i) }
+
+// LocalRange reports the global range [start, start+n) stored on the
+// calling PE (pairs with ReadLocal for owner-side scans).
+func (a *LocalLockArray[T]) LocalRange() (start, n int) { return a.c.localRange() }
 
 // first adapts a batch future of one element to a scalar future.
 func first[T serde.Number](f *scheduler.Future[[]T]) *scheduler.Future[T] {

@@ -3,12 +3,11 @@ package array
 import (
 	"fmt"
 	"iter"
-	"os"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/envknob"
 	"repro/internal/scheduler"
 	"repro/internal/serde"
 )
@@ -88,13 +87,8 @@ var chunkTasksPerWorker atomic.Int32
 const defaultChunkTasksPerWorker = 4
 
 func init() {
-	f := defaultChunkTasksPerWorker
-	if s := os.Getenv("LAMELLAR_CHUNK_FACTOR"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v >= 1 && v <= 256 {
-			f = v
-		}
-	}
-	chunkTasksPerWorker.Store(int32(f))
+	chunkTasksPerWorker.Store(int32(envknob.Int(
+		"LAMELLAR_CHUNK_FACTOR", defaultChunkTasksPerWorker, 1, 256)))
 }
 
 // SetChunkTasksPerWorker sets the chunks-per-worker split target

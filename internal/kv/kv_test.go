@@ -1,0 +1,217 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+)
+
+// Basic sharded semantics on both backends: cross-PE routing, Put/Get
+// roundtrip, FetchAdd previous values, owner placement.
+func TestStoreRoundTrip(t *testing.T) {
+	for _, backend := range []Backend{BackendAtomic, BackendLocalLock} {
+		t.Run(backend.String(), func(t *testing.T) {
+			cfg := runtime.Config{PEs: 4, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem}
+			err := runtime.Run(cfg, func(w *runtime.World) {
+				s := New(w.Team(), 64, backend)
+				defer s.Drop()
+				me := w.MyPE()
+
+				// Every PE writes one key per shard, reads them all back.
+				for k := me; k < 64; k += w.NumPEs() {
+					if _, err := s.Put(k, uint64(1000+k)).Await(); err != nil {
+						panic(err)
+					}
+				}
+				w.WaitAll()
+				w.Barrier()
+				for k := 0; k < 64; k++ {
+					v, err := s.Get(k).Await()
+					if err != nil {
+						panic(err)
+					}
+					if v != uint64(1000+k) {
+						panic(fmt.Sprintf("PE %d: key %d = %d, want %d", me, k, v, 1000+k))
+					}
+				}
+				w.Barrier()
+
+				// FetchAdd returns previous values; all PEs hammer key 3.
+				prev, err := s.FetchAdd(3, 1).Await()
+				if err != nil {
+					panic(err)
+				}
+				if prev < 1003 || prev >= 1003+uint64(w.NumPEs()) {
+					panic(fmt.Sprintf("PE %d: fetch-add prev %d out of range", me, prev))
+				}
+				w.WaitAll()
+				w.Barrier()
+				if v, _ := s.Get(3).Await(); v != 1003+uint64(w.NumPEs()) {
+					panic(fmt.Sprintf("key 3 = %d after %d adds", v, w.NumPEs()))
+				}
+
+				// Placement: every key in LocalRange is owned here.
+				start, n := s.LocalRange()
+				for g := start; g < start+n; g++ {
+					if s.OwnerOf(g) != me {
+						panic(fmt.Sprintf("key %d in PE %d's range but owned by %d", g, me, s.OwnerOf(g)))
+					}
+				}
+				w.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// kvSmoke drives the full workload on a given fabric and checks ledger
+// exactness. Shared by the faulted smoke gate (make kv-smoke) and the
+// backend matrix.
+func kvSmoke(t *testing.T, backend Backend, plan *fabric.FaultPlan, requests int) {
+	const keys = 512
+	cfg := runtime.Config{
+		PEs: 4, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem,
+		Faults:        plan,
+		RetryInterval: 2 * time.Millisecond,
+	}
+	var mu sync.Mutex
+	results := make([]*Result, cfg.PEs)
+	var violations []string
+	err := runtime.Run(cfg, func(w *runtime.World) {
+		s := New(w.Team(), keys, backend)
+		defer s.Drop()
+		w.Barrier()
+		res := Run(s, Workload{
+			Requests: requests,
+			Skew:     0.99,
+			Seed:     uint64(0xC0FFEE + w.MyPE()),
+			PE:       w.MyPE(),
+			NPEs:     w.NumPEs(),
+		})
+		s.Flush()
+		w.WaitAll()
+		w.Barrier()
+		mu.Lock()
+		results[w.MyPE()] = res
+		mu.Unlock()
+		w.Barrier()
+		mu.Lock()
+		ledger := MergeLedgers(results)
+		mu.Unlock()
+		if bad := VerifyLocal(s, ledger); len(bad) > 0 {
+			mu.Lock()
+			violations = append(violations, bad...)
+			mu.Unlock()
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs uint64
+	for _, r := range results {
+		if r == nil {
+			t.Fatal("a PE reported no result")
+		}
+		errs += r.Errors
+	}
+	if errs != 0 {
+		t.Errorf("%d SLO violations on a fabric the reliable layer should repair", errs)
+	}
+	for _, v := range violations {
+		t.Errorf("ledger: %s", v)
+	}
+}
+
+// The kv-smoke gate (Makefile): small keyspace, adversarial 5% drop/dup/
+// reorder fabric, race detector, ledger exactness — zero lost or phantom
+// updates after the reliable layer repairs the damage.
+func TestKVSmokeFaultedLedgerExact(t *testing.T) {
+	plan := fabric.NewFaultPlan(77).SetDefault(fabric.LinkFaults{
+		DropRate: 0.05, DupRate: 0.05, ReorderRate: 0.05, Delay: 200 * time.Microsecond})
+	kvSmoke(t, BackendAtomic, plan, 2500)
+}
+
+// Same contract on the lock-based backend, clean fabric (keeps the smoke
+// fast; the faulted path is covered above and the wire layer is
+// backend-agnostic).
+func TestKVSmokeLocalLockLedgerExact(t *testing.T) {
+	kvSmoke(t, BackendLocalLock, fabric.NewFaultPlan(0), 1500)
+}
+
+// DeliveryError propagation on the KV path (ISSUE 10 satellite): a Get
+// issued into a partition must surface *runtime.DeliveryError — never a
+// zero value posing as a read — and a workload run across the partition
+// must count those failures as SLO violations.
+func TestKVPartitionGetSurfacesDeliveryError(t *testing.T) {
+	plan := fabric.NewFaultPlan(9)
+	cfg := runtime.Config{
+		PEs: 2, WorkersPerPE: 2, Lamellae: runtime.LamellaeShmem,
+		Faults:          plan,
+		RetryInterval:   2 * time.Millisecond,
+		RetryBackoffMax: 10 * time.Millisecond,
+		DeliveryTimeout: 250 * time.Millisecond,
+	}
+	var sawDeliveryError, sawViolations bool
+	// PEs are in-process goroutines: PE 1 must not enter a collective
+	// while the partition is held down longer than DeliveryTimeout (its
+	// barrier envelope would be abandoned), so heal is signalled out of
+	// band and both PEs only rendezvous on the repaired fabric.
+	healed := make(chan struct{})
+	err := runtime.Run(cfg, func(w *runtime.World) {
+		const keys = 64
+		s := New(w.Team(), keys, BackendAtomic)
+		defer s.Drop()
+		w.Barrier()
+		if w.MyPE() == 0 {
+			// Pick a key PE 1 owns, seed it, then partition and read it.
+			remote := -1
+			for k := 0; k < keys; k++ {
+				if s.OwnerOf(k) == 1 {
+					remote = k
+					break
+				}
+			}
+			if _, err := s.Put(remote, 555).Await(); err != nil {
+				panic(err)
+			}
+			plan.Partition(0, 1, true)
+			v, err := s.Get(remote).Await()
+			var de *runtime.DeliveryError
+			if !errors.As(err, &de) {
+				panic(fmt.Sprintf("partitioned Get returned (%d, %v), want *DeliveryError", v, err))
+			}
+			sawDeliveryError = true
+
+			// A short workload across the live partition: its failures
+			// must be visible as SLO violations, not silent zeros.
+			res := Run(s, Workload{
+				Requests: 300, Rate: 5000, Skew: 0.99, Seed: 21,
+				PE: 0, NPEs: w.NumPEs(), MaxInflight: 64,
+			})
+			sawViolations = res.Errors > 0
+			plan.Heal(0, 1, true)
+			close(healed)
+		} else {
+			<-healed
+		}
+		w.WaitAll()
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawDeliveryError {
+		t.Error("partitioned Get never surfaced a DeliveryError")
+	}
+	if !sawViolations {
+		t.Error("workload across a partition reported zero SLO violations")
+	}
+}

@@ -1,0 +1,149 @@
+// Package kv implements a distributed key-value service sharded over the
+// array layer (ISSUE 10): keys are array indices, so routing is exactly
+// the existing index→PE block distribution, and Get/Put/FetchAdd travel
+// through the aggregation layer as element-op AMs. The package also
+// carries the open-loop Zipfian traffic generator and the
+// coordinated-omission-safe workload driver that measure whether the
+// service holds latency SLOs on clean and adversarial fabrics.
+package kv
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rand is a splitmix64 PRNG: tiny state, full 64-bit output, and a
+// well-known reference sequence, so every workload is reproducible from
+// one seed and cheap to fork per PE (seed+rank).
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) *Rand { return &Rand{s: seed} }
+
+// Next returns the next 64 random bits (splitmix64 reference step).
+func (r *Rand) Next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 { return float64(r.Next()>>11) / (1 << 53) }
+
+// Intn returns a uniform value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("kv: Intn on non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Zipf draws ranks from a Zipfian distribution over [0, n): rank r has
+// probability (1/(r+1)^s) / H(n,s). Sampling inverts the precomputed CDF
+// with a binary search, so a draw is O(log n) and the distribution is
+// exact (no rejection), which makes the analytic top-1 mass 1/H(n,s)
+// directly testable against observed frequencies. s=0 degenerates to
+// uniform.
+type Zipf struct {
+	n   int
+	s   float64
+	cdf []float64 // cdf[r] = P(rank <= r), cdf[n-1] == 1
+}
+
+// NewZipf builds the sampler; O(n) setup, O(log n) per draw.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("kv: Zipf over %d ranks", n))
+	}
+	if s < 0 {
+		s = 0
+	}
+	z := &Zipf{n: n, s: s, cdf: make([]float64, n)}
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += math.Pow(float64(r+1), -s)
+		z.cdf[r] = sum
+	}
+	for r := range z.cdf {
+		z.cdf[r] /= sum
+	}
+	z.cdf[n-1] = 1
+	return z
+}
+
+// Rank draws a rank (0 = most popular) from the uniform sample u in [0,1).
+func (z *Zipf) Rank(u float64) int {
+	// Smallest r with cdf[r] > u.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// P reports the analytic probability mass of a rank.
+func (z *Zipf) P(rank int) float64 {
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}
+
+// KeyGen maps Zipf ranks onto a keyspace. Rank r becomes key
+// (r*mult + off) mod n with mult coprime to n — a bijection, so the
+// rank distribution carries over exactly, but consecutive hot ranks
+// scatter across the keyspace (and therefore across the owning PEs)
+// instead of all landing in PE 0's block.
+type KeyGen struct {
+	rng  *Rand
+	zipf *Zipf
+	n    int
+	mult int
+	off  int
+}
+
+// NewKeyGen builds a generator over keys [0, n) with skew s. Generators
+// with the same (n, s, seed) produce identical key sequences.
+func NewKeyGen(n int, s float64, seed uint64) *KeyGen {
+	if n <= 0 {
+		panic("kv: KeyGen over empty keyspace")
+	}
+	// A multiplier near the golden-ratio point spreads consecutive ranks
+	// roughly evenly; walk upward to the nearest value coprime to n so
+	// the map stays a bijection for every keyspace size.
+	mult := int(float64(n)*0.6180339887) | 1
+	if mult < 1 {
+		mult = 1
+	}
+	for gcd(mult, n) != 1 {
+		mult += 2
+	}
+	return &KeyGen{rng: NewRand(seed), zipf: NewZipf(n, s), n: n, mult: mult % n, off: 17 % n}
+}
+
+// Next draws a key.
+func (g *KeyGen) Next() int { return g.KeyOfRank(g.zipf.Rank(g.rng.Float64())) }
+
+// KeyOfRank maps a popularity rank to its key (deterministic bijection).
+func (g *KeyGen) KeyOfRank(r int) int { return (r*g.mult + g.off) % g.n }
+
+// TopMass reports the analytic probability of the hottest key.
+func (g *KeyGen) TopMass() float64 { return g.zipf.P(0) }
+
+// Rng exposes the underlying PRNG for auxiliary draws (op mix, values)
+// that must stay on the same deterministic stream.
+func (g *KeyGen) Rng() *Rand { return g.rng }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

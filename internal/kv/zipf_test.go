@@ -1,0 +1,105 @@
+package kv
+
+import (
+	"math"
+	"testing"
+)
+
+// Same seed, same sequence — the whole workload methodology rests on it.
+func TestKeyGenDeterministicPerSeed(t *testing.T) {
+	a := NewKeyGen(1<<12, 0.99, 42)
+	b := NewKeyGen(1<<12, 0.99, 42)
+	c := NewKeyGen(1<<12, 0.99, 43)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		ka, kb, kc := a.Next(), b.Next(), c.Next()
+		if ka != kb {
+			same = false
+		}
+		if ka != kc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different key sequences")
+	}
+	if !diff {
+		t.Error("different seeds produced identical key sequences")
+	}
+}
+
+// splitmix64 reference values (seed 1234567) so the PRNG can never drift
+// from the published sequence without a test noticing.
+func TestSplitMix64Reference(t *testing.T) {
+	r := NewRand(1234567)
+	want := []uint64{0x599ED017FB08FC85, 0x2C73F08458540FA5, 0x883EBCE5A3F27C77}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("step %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+// The hottest key's observed frequency must sit near the analytic mass
+// 1/H(n,s); with 200k draws the binomial noise is far below the 10%
+// relative tolerance.
+func TestZipfTopKeyMass(t *testing.T) {
+	const n, draws = 1 << 10, 200_000
+	for _, s := range []float64{0.8, 0.99, 1.2} {
+		g := NewKeyGen(n, s, 7)
+		counts := make(map[int]int, n)
+		for i := 0; i < draws; i++ {
+			counts[g.Next()]++
+		}
+		top := g.KeyOfRank(0)
+		got := float64(counts[top]) / draws
+		want := g.TopMass()
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("s=%v: top key frequency %.4f vs analytic %.4f (rel err %.1f%%)",
+				s, got, want, rel*100)
+		}
+		// And the top key must actually be the mode.
+		for k, c := range counts {
+			if c > counts[top] {
+				t.Errorf("s=%v: key %d (%d draws) beats nominal top key %d (%d draws)",
+					s, k, c, top, counts[top])
+				break
+			}
+		}
+	}
+}
+
+// The rank→key map must be a bijection for assorted keyspace sizes
+// (including sizes sharing factors with the multiplier candidates).
+func TestKeyGenBijection(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 64, 1000, 1 << 12, 12289} {
+		g := NewKeyGen(n, 1.0, 1)
+		seen := make([]bool, n)
+		for r := 0; r < n; r++ {
+			k := g.KeyOfRank(r)
+			if k < 0 || k >= n {
+				t.Fatalf("n=%d: rank %d maps out of range (%d)", n, r, k)
+			}
+			if seen[k] {
+				t.Fatalf("n=%d: key %d hit twice — not a bijection", n, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// Zipf with s=0 must be uniform (chi-square-lite: no bucket far off).
+func TestZipfZeroSkewUniform(t *testing.T) {
+	const n, draws = 64, 128_000
+	g := NewKeyGen(n, 0, 3)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.25 {
+			t.Errorf("key %d: %d draws, want ~%.0f (uniform)", k, c, want)
+		}
+	}
+}

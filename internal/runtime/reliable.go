@@ -1199,9 +1199,21 @@ func (r *relLamellae) sweepPair(src, dst int, nowNs int64) {
 			Attempts: attempts,
 			Elapsed:  time.Duration(nowNs - fr.firstNs),
 		}
-		diag.Errorf("wire", "%s", err.Error())
-		if r.giveUp != nil {
-			r.giveUp(src, dst, fr.buf[wireHeaderBytes:], err)
+		// Distinguish "never arrived" from "arrived, but the reverse-path
+		// wire ack was lost". The receiver's cumulative counter advances
+		// strictly in order, so seq < next proves the frame was delivered
+		// and its envelopes processed — the futures it carried were
+		// resolved by real returns/acks, and reconciling it again would
+		// double-credit completion counters (completed > issued), which
+		// wedges finalize's quiescence sum forever (ISSUE 10). Only the
+		// sender-side ack stream is broken; retire the frame quietly.
+		if fr.seq < r.recv[dst][src].next.Load() {
+			diag.Warnf("wire", "PE%d→PE%d frame %d timed out after delivery (lost wire acks); skipping reconciliation", src, dst, fr.seq)
+		} else {
+			diag.Errorf("wire", "%s", err.Error())
+			if r.giveUp != nil {
+				r.giveUp(src, dst, fr.buf[wireHeaderBytes:], err)
+			}
 		}
 		// The reconciler's zero-copy decode may alias the payload, so the
 		// abandoned buffer goes to the GC instead of back to the slab; the

@@ -3,11 +3,11 @@ package runtime
 import (
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/envknob"
 	"repro/internal/fabric"
 	"repro/internal/telemetry"
 )
@@ -250,7 +250,7 @@ func (c Config) ApplyEnv() Config {
 	if v, ok := envInt("LAMELLAR_RING_SLOTS"); ok {
 		c.RingSlots = v
 	}
-	if v := os.Getenv("LAMELLAR_TRACE"); v == "1" || strings.EqualFold(v, "true") {
+	if v, ok := envknob.LookupBool("LAMELLAR_TRACE"); ok && v {
 		c.Telemetry = true
 	}
 	if v := os.Getenv("LAMELLAR_TRACE_OUT"); v != "" {
@@ -275,31 +275,12 @@ func (c Config) ApplyEnv() Config {
 	return c
 }
 
-func envInt(name string) (int, bool) {
-	v := os.Getenv(name)
-	if v == "" {
-		return 0, false
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lamellar: ignoring %s=%q: %v\n", name, v, err)
-		return 0, false
-	}
-	return n, true
-}
+// envInt and envFloat delegate to envknob so every malformed LAMELLAR_*
+// value warns through the diag logger instead of printing (or not) on an
+// ad-hoc path.
+func envInt(name string) (int, bool) { return envknob.LookupInt(name) }
 
-func envFloat(name string) (float64, bool) {
-	v := os.Getenv(name)
-	if v == "" {
-		return 0, false
-	}
-	f, err := strconv.ParseFloat(v, 64)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lamellar: ignoring %s=%q: %v\n", name, v, err)
-		return 0, false
-	}
-	return f, true
-}
+func envFloat(name string) (float64, bool) { return envknob.LookupFloat(name) }
 
 // envFaultOnce caches the process-wide fault plan built from
 // LAMELLAR_FAULT_* so every world in the process shares one plan (and its

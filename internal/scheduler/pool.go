@@ -9,13 +9,12 @@
 package scheduler
 
 import (
-	"os"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/diag"
+	"repro/internal/envknob"
 	"repro/internal/telemetry"
 )
 
@@ -121,14 +120,10 @@ func SetStealBatch(n int) {
 func StealBatch() int { return int(stealBatchMax.Load()) }
 
 // envKnob reads an integer knob from the environment, clamped to
-// [lo, hi]; malformed or absent values select def.
+// [lo, hi]; absent values select def and malformed ones warn via diag
+// before doing the same (envknob handles both).
 func envKnob(name string, def, lo, hi int) int {
-	if s := os.Getenv(name); s != "" {
-		if v, err := strconv.Atoi(s); err == nil {
-			return clampKnob(v, lo, hi)
-		}
-	}
-	return def
+	return envknob.Int(name, def, lo, hi)
 }
 
 func clampKnob(v, lo, hi int) int {

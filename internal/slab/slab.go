@@ -23,9 +23,10 @@ package slab
 
 import (
 	"math/bits"
-	"os"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/envknob"
 )
 
 const (
@@ -48,7 +49,7 @@ const (
 // returning it to the pool sees 0xDB garbage instead of stale (plausible)
 // bytes, turning silent use-after-recycle into loud corruption that the
 // wire layer's header validation and the tests' content checks catch.
-var checkMode = os.Getenv("LAMELLAR_SLAB_CHECK") == "1"
+var checkMode = envknob.Bool("LAMELLAR_SLAB_CHECK", false)
 
 // SetCheckMode toggles poison-on-release; tests use it to harden
 // use-after-recycle detection without environment plumbing.

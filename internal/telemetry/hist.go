@@ -77,6 +77,31 @@ func (h *Histogram) Buckets() [histBuckets]uint64 {
 	return out
 }
 
+// Merge folds another histogram's observations into h, so per-PE
+// latency distributions can be combined into one digest before taking
+// quantiles (quantiles themselves do not compose; buckets do). Merge is
+// not atomic with respect to concurrent Record on o — merge quiesced
+// histograms.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range h.buckets {
+		if n := o.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	m := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if m <= cur || h.max.CompareAndSwap(cur, m) {
+			break
+		}
+	}
+}
+
 // Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
 // upper edge of the first bucket whose cumulative count reaches q. An
 // empty histogram reports 0.
@@ -112,6 +137,7 @@ type HistSummary struct {
 	P50   time.Duration
 	P90   time.Duration
 	P99   time.Duration
+	P999  time.Duration
 	Max   time.Duration
 }
 
@@ -122,6 +148,7 @@ func (h *Histogram) Summary() HistSummary {
 		P50:   time.Duration(h.Quantile(0.50)),
 		P90:   time.Duration(h.Quantile(0.90)),
 		P99:   time.Duration(h.Quantile(0.99)),
+		P999:  time.Duration(h.Quantile(0.999)),
 		Max:   time.Duration(h.max.Load()),
 	}
 	if s.Count > 0 {
@@ -134,6 +161,6 @@ func (s HistSummary) String() string {
 	if s.Count == 0 {
 		return "n=0"
 	}
-	return fmt.Sprintf("n=%d mean=%v p50<=%v p90<=%v p99<=%v max=%v",
-		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%v p50<=%v p90<=%v p99<=%v p999<=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
 }
